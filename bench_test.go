@@ -1,0 +1,270 @@
+// Benchmarks for every reproduced experiment (E01-E12, one bench each —
+// see DESIGN.md §4) plus throughput benchmarks for the mechanisms' hot
+// path (reward evaluation) and the supporting substrates.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package incentivetree_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/incremental"
+	"incentivetree/internal/sim"
+	"incentivetree/internal/sybil"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+// benchExperiment runs one DESIGN.md experiment per iteration and fails
+// the benchmark if the reproduction stops matching the paper.
+func benchExperiment(b *testing.B, run func() (experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("%s no longer matches the paper:\n%s", res.ID, res.Render())
+		}
+	}
+}
+
+func BenchmarkE01PropertyMatrix(b *testing.B) {
+	benchExperiment(b, experiments.E01PropertyMatrix)
+}
+
+func BenchmarkE02Impossibility(b *testing.B) {
+	benchExperiment(b, experiments.E02Impossibility)
+}
+
+func BenchmarkE03TDRMCounterexample(b *testing.B) {
+	benchExperiment(b, experiments.E03TDRMCounterexample)
+}
+
+func BenchmarkE04GeometricChainAttack(b *testing.B) {
+	benchExperiment(b, experiments.E04GeometricChainAttack)
+}
+
+func BenchmarkE05Fig1Scenarios(b *testing.B) {
+	benchExperiment(b, experiments.E05Fig1Scenarios)
+}
+
+func BenchmarkE06RCTTransform(b *testing.B) {
+	benchExperiment(b, experiments.E06RCTTransform)
+}
+
+func BenchmarkE07EpsilonChainOptimality(b *testing.B) {
+	benchExperiment(b, experiments.E07EpsilonChainOptimality)
+}
+
+func BenchmarkE08CDRMConditions(b *testing.B) {
+	benchExperiment(b, experiments.E08CDRMConditions)
+}
+
+func BenchmarkE09BudgetAudit(b *testing.B) {
+	benchExperiment(b, experiments.E09BudgetAudit)
+}
+
+func BenchmarkE10PachiraSLViolation(b *testing.B) {
+	benchExperiment(b, experiments.E10PachiraSLViolation)
+}
+
+func BenchmarkE11RewardScaling(b *testing.B) {
+	benchExperiment(b, experiments.E11RewardScaling)
+}
+
+func BenchmarkE12GrowthSimulation(b *testing.B) {
+	benchExperiment(b, experiments.E12GrowthSimulation)
+}
+
+func BenchmarkX01EmekCSIFailure(b *testing.B) {
+	benchExperiment(b, experiments.X01EmekCSIFailure)
+}
+
+func BenchmarkX02TDRMMuAblation(b *testing.B) {
+	benchExperiment(b, experiments.X02TDRMMuAblation)
+}
+
+func BenchmarkX03GeometricDecayAblation(b *testing.B) {
+	benchExperiment(b, experiments.X03GeometricDecayAblation)
+}
+
+func BenchmarkX04SearchConvergence(b *testing.B) {
+	benchExperiment(b, experiments.X04SearchConvergence)
+}
+
+func BenchmarkX05EquilibriumContribution(b *testing.B) {
+	benchExperiment(b, experiments.X05EquilibriumContribution)
+}
+
+func BenchmarkX06RewardFlow(b *testing.B) {
+	benchExperiment(b, experiments.X06RewardFlow)
+}
+
+// benchTree builds a deterministic mixed-shape workload tree.
+func benchTree(n int) *tree.Tree {
+	r := rand.New(rand.NewSource(int64(n)))
+	return treegen.Random(r, treegen.Config{
+		N:       n,
+		Contrib: treegen.Uniform(0.1, 5),
+		Attach:  treegen.PreferentialAttach,
+	})
+}
+
+// BenchmarkRewards measures reward-evaluation throughput for every suite
+// mechanism across tree sizes — the hot path of any deployment.
+func BenchmarkRewards(b *testing.B) {
+	mechs, err := experiments.Suite(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 1000, 10000} {
+		t := benchTree(n)
+		for _, m := range mechs {
+			b.Run(fmt.Sprintf("%s/n=%d", m.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Rewards(t); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRCTTransformSize measures the TDRM reward computation tree
+// construction across sizes and contribution scales (larger contributions
+// mean longer chains).
+func BenchmarkRCTTransformSize(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		t := benchTree(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tdrm.Transform(t, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSybilSearch measures the bounded best-attack enumeration used
+// by the USA/UGSA checkers.
+func BenchmarkSybilSearch(b *testing.B) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sybil.Scenario{
+		Base:         tree.FromSpecs(tree.Spec{C: 1}),
+		Parent:       1,
+		Contribution: 2,
+		ChildTrees:   []tree.Spec{{C: 1}, {C: 1.5}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sybil.BestRewardAttack(m, s, sybil.DefaultSearch()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrowthSimulation measures one full campaign simulation.
+func BenchmarkGrowthSimulation(b *testing.B) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(1)
+	cfg.SybilFraction = 0.3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalVsFull contrasts O(depth) incremental reward
+// maintenance with O(n) full re-evaluation on a growing campaign — the
+// ablation for the live-service write path.
+func BenchmarkIncrementalVsFull(b *testing.B) {
+	p := core.DefaultParams()
+	geo, err := geometric.Default(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const joins = 2000
+	workload := func(b *testing.B, e incremental.Engine) {
+		b.Helper()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < joins; i++ {
+			parent := tree.NodeID(rng.Intn(e.Tree().Len()))
+			if _, err := e.Join(parent, rng.Float64()*3); err != nil {
+				b.Fatal(err)
+			}
+			_ = e.Reward(tree.NodeID(1 + rng.Intn(e.Tree().NumParticipants())))
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload(b, incremental.NewGeometric(geo))
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := incremental.NewFull(geo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload(b, e)
+		}
+	})
+}
+
+// BenchmarkTreeOps measures the substrate primitives the mechanisms are
+// built from.
+func BenchmarkTreeOps(b *testing.B) {
+	t := benchTree(10000)
+	b.Run("SubtreeSums", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.SubtreeSums()
+		}
+	})
+	b.Run("Clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Clone()
+		}
+	})
+	b.Run("Walk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			t.Walk(tree.Root, func(tree.NodeID) bool { n++; return true })
+		}
+	})
+	b.Run("MarshalJSON", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

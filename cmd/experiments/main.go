@@ -1,0 +1,55 @@
+// Command experiments regenerates every paper reproduction (E01-E12, see
+// DESIGN.md §4) and prints them as markdown, ready for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-only E03]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"incentivetree/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment by id (e.g. E03)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mismatches := 0
+	ran := 0
+	for _, r := range experiments.All() {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		res, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprintln(stdout, res.Render())
+		ran++
+		if !res.OK {
+			mismatches++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d experiment(s) do not match the paper", mismatches)
+	}
+	fmt.Fprintf(stdout, "all %d experiments match the paper\n", ran)
+	return nil
+}

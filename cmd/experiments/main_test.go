@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E03"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E03") || !strings.Contains(s, "MATCHES PAPER") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+	if strings.Contains(s, "E04") {
+		t.Fatal("-only should filter other experiments")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E99"}, &out); err == nil {
+		t.Fatal("unknown experiment id should fail")
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run is second-scale")
+	}
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"E01", "E06", "E12", "X01", "X04"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+	if !strings.Contains(s, "all 18 experiments match the paper") {
+		t.Fatalf("missing summary line:\n%s", s[len(s)-200:])
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunComparison(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rounds", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mechanism", "sybil advantage", "Geometric", "TDRM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rounds", "5", "-series"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "growth curve") {
+		t.Fatalf("no series printed:\n%s", out.String())
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sybil", "2"}, &out); err == nil {
+		t.Fatal("invalid sybil fraction should fail")
+	}
+	if err := run([]string{"-rounds", "0"}, &out); err == nil {
+		t.Fatal("zero rounds should fail")
+	}
+}

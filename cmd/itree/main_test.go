@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTree = `{"participants":[
+  {"label":"alice","c":2,"kids":[{"label":"bob","c":3}]},
+  {"label":"carol","c":1}
+]}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mechanism", "geometric"}, strings.NewReader(sampleTree), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Geometric", "alice", "bob", "carol", "C(T) = 6"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.json")
+	if err := os.WriteFile(path, []byte(sampleTree), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-mechanism", "tdrm", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "TDRM") {
+		t.Fatalf("output missing mechanism:\n%s", out.String())
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dot"}, strings.NewReader(sampleTree), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatalf("not dot output:\n%s", out.String())
+	}
+}
+
+func TestRunRender(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-render"}, strings.NewReader(sampleTree), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "└──") {
+		t.Fatalf("no ascii tree:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mechanism", "nope"}, strings.NewReader(sampleTree), &out); err == nil {
+		t.Fatal("unknown mechanism should fail")
+	}
+	if err := run(nil, strings.NewReader("{"), &out); err == nil {
+		t.Fatal("malformed tree should fail")
+	}
+	if err := run([]string{"missing-file.json"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := run([]string{"-phi", "2"}, strings.NewReader(sampleTree), &out); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}

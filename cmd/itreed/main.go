@@ -1,0 +1,105 @@
+// Command itreed serves the Incentive Tree referral API over HTTP (see
+// internal/server for the endpoint reference).
+//
+// Usage:
+//
+//	itreed [-addr :8080] [-mechanism tdrm] [-phi 0.5] [-fair 0.05] [-seed alice,bob] [-journal events.log]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/journal"
+	"incentivetree/internal/server"
+)
+
+func main() {
+	s, addr, cleanup, err := setup(os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// setup parses flags, recovers state from the journal (if any), and
+// returns the configured server ready to serve. The cleanup closes the
+// journal file.
+func setup(args []string, stdout io.Writer) (s *server.Server, addr string, cleanup func(), err error) {
+	fs := flag.NewFlagSet("itreed", flag.ContinueOnError)
+	addrFlag := fs.String("addr", ":8080", "listen address")
+	mech := fs.String("mechanism", "tdrm",
+		"mechanism: "+strings.Join(experiments.MechanismNames(), ", "))
+	phi := fs.Float64("phi", 0.5, "budget fraction Phi")
+	fair := fs.Float64("fair", 0.05, "fairness floor phi")
+	seed := fs.String("seed", "", "comma-separated names of organic seed participants")
+	wal := fs.String("journal", "", "append-only event log file; replayed on start for crash recovery")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", nil, err
+	}
+
+	m, err := experiments.ByName(core.Params{Phi: *phi, FairShare: *fair}, *mech)
+	if err != nil {
+		return nil, "", nil, err
+	}
+
+	cleanup = func() {}
+	var opts []server.Option
+	var recovered []journal.Event
+	if *wal != "" {
+		data, err := os.ReadFile(*wal)
+		switch {
+		case err == nil:
+			recovered, err = journal.Read(bytes.NewReader(data))
+			if err != nil {
+				return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
+			}
+		case !os.IsNotExist(err):
+			return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
+		}
+		f, err := os.OpenFile(*wal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
+		}
+		cleanup = func() { f.Close() }
+		next := uint64(1)
+		if n := len(recovered); n > 0 {
+			next = recovered[n-1].Seq + 1
+		}
+		opts = append(opts, server.WithJournal(journal.NewWriter(f, next)))
+	}
+
+	s = server.New(m, opts...)
+	if len(recovered) > 0 {
+		if err := server.Recover(s, nil, recovered); err != nil {
+			cleanup()
+			return nil, "", nil, fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(stdout, "itreed: recovered %d journal events\n", len(recovered))
+	}
+	if *seed != "" {
+		for _, name := range strings.Split(*seed, ",") {
+			if err := s.Join(strings.TrimSpace(name), ""); err != nil {
+				cleanup()
+				return nil, "", nil, fmt.Errorf("seed %q: %w", name, err)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "itreed: serving %s on %s\n", m.Name(), *addrFlag)
+	return s, *addrFlag, cleanup, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSetupWithSeeds(t *testing.T) {
+	var out bytes.Buffer
+	s, addr, cleanup, err := setup([]string{"-seed", "alice, bob", "-mechanism", "geometric"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if addr != ":8080" {
+		t.Fatalf("addr = %q", addr)
+	}
+	if err := s.Contribute("alice", 2); err != nil {
+		t.Fatalf("seed participant missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "Geometric") {
+		t.Fatalf("banner = %q", out.String())
+	}
+	// The handler serves.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+}
+
+func TestSetupErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, _, _, err := setup([]string{"-mechanism", "nope"}, &out); err == nil {
+		t.Fatal("unknown mechanism should fail")
+	}
+	if _, _, _, err := setup([]string{"-phi", "0"}, &out); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+	if _, _, _, err := setup([]string{"-seed", "dup,dup"}, &out); err == nil {
+		t.Fatal("duplicate seeds should fail")
+	}
+}
+
+func TestSetupJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "events.log")
+
+	// First run: write some state through the journal.
+	var out bytes.Buffer
+	s, _, cleanup, err := setup([]string{"-journal", wal}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("ada", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("bo", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("bo", 4); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+
+	// Second run: state must come back from the log.
+	out.Reset()
+	s2, _, cleanup2, err := setup([]string{"-journal", wal}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup2()
+	if !strings.Contains(out.String(), "recovered 3 journal events") {
+		t.Fatalf("banner = %q", out.String())
+	}
+	snap := s2.SnapshotState()
+	if snap.Tree.Total() != 4 {
+		t.Fatalf("recovered total = %v", snap.Tree.Total())
+	}
+	// New writes continue the sequence.
+	if err := s2.Contribute("ada", 1); err != nil {
+		t.Fatal(err)
+	}
+	cleanup2()
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 4 {
+		t.Fatalf("journal lines = %d, want 4", got)
+	}
+}
+
+func TestSetupRejectsCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(wal, []byte("garbage\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, _, _, err := setup([]string{"-journal", wal}, &out); err == nil {
+		t.Fatal("corrupt journal should fail startup")
+	}
+}

@@ -1,0 +1,49 @@
+// Command propmatrix prints the property matrix of Theorems 1, 2, 4 and 5:
+// every desirable property checked against every suite mechanism, with
+// violation witnesses.
+//
+// Usage:
+//
+//	propmatrix [-witnesses] [-phi 0.5] [-fair 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/properties"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "propmatrix:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("propmatrix", flag.ContinueOnError)
+	witnesses := fs.Bool("witnesses", false, "print the violation witness for every failing cell")
+	phi := fs.Float64("phi", 0.5, "budget fraction Phi")
+	fair := fs.Float64("fair", 0.05, "fairness floor phi")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mechs, err := experiments.Suite(core.Params{Phi: *phi, FairShare: *fair})
+	if err != nil {
+		return err
+	}
+	mat := properties.RunParallel(mechs, properties.DefaultConfig())
+	fmt.Fprint(stdout, mat.Render())
+	if *witnesses {
+		fmt.Fprintln(stdout)
+		for _, v := range mat.Failures() {
+			fmt.Fprintln(stdout, v)
+		}
+	}
+	return nil
+}

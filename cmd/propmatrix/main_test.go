@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is second-scale")
+	}
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mechanism", "UGSA", "Geometric", "TDRM", "CDRM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWitnesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is second-scale")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-witnesses"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "witness") {
+		t.Fatalf("no witnesses printed:\n%s", out.String())
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-phi", "0"}, &out); err == nil {
+		t.Fatal("invalid Phi should fail")
+	}
+}

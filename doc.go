@@ -1,0 +1,18 @@
+// Package incentivetree is a reproduction of "Fair and resilient Incentive
+// Tree mechanisms" by Yuezhou Lv and Thomas Moscibroda (PODC 2013; journal
+// version in Distributed Computing 28(4), 2015).
+//
+// An Incentive Tree mechanism rewards participants of a crowdsourcing or
+// multi-level-marketing system both for contributing and for soliciting new
+// participants. The library implements the referral-tree substrate, the
+// mechanisms analysed and introduced by the paper (the (a,b)-Geometric
+// mechanism, the lifted Lottery-Tree mechanisms L-Luxor and L-Pachira, the
+// topology-dependent TDRM, and the contribution-deterministic CDRM family),
+// executable versions of the paper's eight axiomatic properties, Sybil
+// attack strategies and search, and deployment-style simulations.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The packages live under internal/; the
+// binaries under cmd/ and the runnable scenarios under examples/ show the
+// intended entry points.
+package incentivetree

@@ -1,0 +1,58 @@
+// Crowdsense: an indoor-localization style crowd-sensing campaign (the
+// Zee / unsupervised-indoor-localization deployments cited in the
+// paper's introduction). Contribution is sensing data uploaded, which in
+// real deployments is heavy-tailed — a few power users do most of the
+// mapping. The example compares how the suite mechanisms split the
+// reward pool on identical campaigns: growth, inequality (Gini), and
+// resilience when 25% of joiners forge identities.
+//
+// Run with:
+//
+//	go run ./examples/crowdsense
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/sim"
+	"incentivetree/internal/treegen"
+)
+
+func main() {
+	mechs, err := experiments.Suite(core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig(2026)
+	cfg.Rounds = 30
+	cfg.Contribution = treegen.Pareto(0.5, 1.5) // heavy-tailed sensing effort
+	cfg.SybilFraction = 0.25
+
+	results, err := sim.Compare(mechs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("crowd-sensing campaign, Pareto(0.5, 1.5) contributions, 25% identity forgers")
+	fmt.Println()
+	fmt.Printf("%-42s %8s %8s %9s %7s %9s\n",
+		"mechanism", "persons", "C(T)", "paid", "gini", "sybil adv")
+	for _, r := range results {
+		fmt.Printf("%-42s %8d %8.1f %9.2f %7.3f %8.2fx\n",
+			r.Mechanism, r.Participants, r.Total, r.Rewards, r.RewardGini, r.SybilAdvantage())
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  - every mechanism stays within the Phi=0.5 budget on the same campaign;")
+	fmt.Println("  - Geometric/L-Luxor leak reward to identity forgers (sybil adv > 1);")
+	fmt.Println("  - TDRM and the CDRM family neutralize forgery (adv <= 1), matching")
+	fmt.Println("    Theorems 4 and 5;")
+	fmt.Println("  - reward inequality (Gini) mostly mirrors the heavy-tailed contribution")
+	fmt.Println("    profile; topology-dependent mechanisms additionally concentrate")
+	fmt.Println("    reward on early, well-connected recruiters.")
+}

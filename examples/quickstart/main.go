@@ -1,0 +1,76 @@
+// Quickstart: build a referral tree, evaluate a mechanism, read the
+// settlement.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+func main() {
+	// A mechanism is parameterized by the budget fraction Phi (the
+	// administrator returns at most Phi*C(T) as rewards) and the
+	// fairness floor phi (everyone gets back at least phi*C(u)).
+	params := core.Params{Phi: 0.5, FairShare: 0.05}
+	mech, err := tdrm.Default(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the referral history: alice joined on her own, recruited bob
+	// and carol; bob recruited dave.
+	t := tree.New()
+	alice := t.MustAdd(tree.Root, 0)
+	bob := t.MustAdd(alice, 0)
+	carol := t.MustAdd(alice, 0)
+	dave := t.MustAdd(bob, 0)
+	for id, name := range map[tree.NodeID]string{alice: "alice", bob: "bob", carol: "carol", dave: "dave"} {
+		if err := t.SetLabel(id, name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Record contributions (tasks solved, data uploaded, goods bought...).
+	for id, c := range map[tree.NodeID]float64{alice: 2, bob: 3.5, carol: 1, dave: 4} {
+		if err := t.SetContribution(id, c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Print(t.Render())
+
+	// Evaluate the mechanism and print everyone's settlement.
+	rewards, err := mech.Rewards(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Audit(mech, t, rewards); err != nil {
+		log.Fatal(err) // budget and sanity audit
+	}
+	fmt.Printf("\n%s on C(T) = %.4g (budget %.4g):\n\n", mech.Name(), t.Total(), params.Phi*t.Total())
+	for _, u := range t.Nodes() {
+		fmt.Printf("  %-6s contributed %-5.4g -> reward %.4f (profit %+.4f)\n",
+			t.Label(u), t.Contribution(u), rewards.Of(u), core.Profit(t, rewards, u))
+	}
+	fmt.Printf("\ntotal paid: %.4f of %.4g budget\n", rewards.Total(), params.Phi*t.Total())
+
+	// Soliciting pays: alice's reward strictly increases when dave's
+	// subtree grows (CSI), and she is protected against bob splitting
+	// into Sybil identities (USA).
+	grown := t.Clone()
+	grown.MustAdd(dave, 2)
+	r2, err := mech.Rewards(grown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter dave recruits a contributor of 2.0, alice's reward rises %.4f -> %.4f\n",
+		rewards.Of(alice), r2.Of(alice))
+}

@@ -1,0 +1,104 @@
+// Red Balloon: a DARPA Network Challenge-style hunt (the motivating
+// deployment of the paper and of [13]). Ten balloons are hidden across a
+// large field; a lone searcher is compared against a referral-recruited
+// team paid through the Geometric mechanism — the strategy family the
+// winning MIT team used.
+//
+// Run with:
+//
+//	go run ./examples/redballoon
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/crowd"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tree"
+)
+
+const (
+	cells    = 2000
+	balloons = 10
+	prize    = 1.0 // contribution credited per balloon
+)
+
+func balloonValues() []float64 {
+	v := make([]float64, balloons)
+	for i := range v {
+		v[i] = prize
+	}
+	return v
+}
+
+func main() {
+	params := core.Params{Phi: 0.5, FairShare: 0.05}
+	mech, err := geometric.Default(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Campaign 1: a lone searcher.
+	rng := rand.New(rand.NewSource(7))
+	soloField, err := crowd.NewField(rng, cells, balloonValues())
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo := crowd.NewCampaign(mech, soloField)
+	if _, err := solo.Recruit(tree.Root, "lone-wolf", 2); err != nil {
+		log.Fatal(err)
+	}
+	soloReport, err := solo.Run(rng, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Campaign 2: a referral tree. The organizer recruits three captains,
+	// each captain recruits four searchers — the recruiting paid for by
+	// the mechanism's bubble-up rewards.
+	rng = rand.New(rand.NewSource(7))
+	teamField, err := crowd.NewField(rng, cells, balloonValues())
+	if err != nil {
+		log.Fatal(err)
+	}
+	team := crowd.NewCampaign(mech, teamField)
+	organizer, err := team.Recruit(tree.Root, "organizer", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		captain, err := team.Recruit(organizer, fmt.Sprintf("captain-%d", c+1), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for s := 0; s < 4; s++ {
+			if _, err := team.Recruit(captain, fmt.Sprintf("searcher-%d-%d", c+1, s+1), 2); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	teamReport, err := team.Run(rng, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("field: %d cells, %d balloons, mechanism %s\n\n", cells, balloons, mech.Name())
+	fmt.Printf("lone searcher: found %2.0f balloons in %5d rounds\n", soloReport.Found, soloReport.Rounds)
+	fmt.Printf("referral team: found %2.0f balloons in %5d rounds\n\n", teamReport.Found, teamReport.Rounds)
+
+	fmt.Println("team settlement (finders are rewarded, and so are their recruiters):")
+	tt := team.Tree()
+	for _, u := range tt.Nodes() {
+		if teamReport.Rewards.Of(u) == 0 && tt.Contribution(u) == 0 {
+			continue
+		}
+		fmt.Printf("  %-13s found %.0f balloon(s), reward %.4f\n",
+			tt.Label(u), tt.Contribution(u), teamReport.Rewards.Of(u))
+	}
+	fmt.Printf("\norganizer pays out %.4f (budget %.4f) and the hunt finished %.1fx faster\n",
+		teamReport.PaidOut, params.Phi*tt.Total(),
+		float64(soloReport.Rounds)/float64(teamReport.Rounds))
+}

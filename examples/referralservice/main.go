@@ -1,0 +1,116 @@
+// Referral service: drive the HTTP deployment end-to-end. The example
+// starts the in-memory referral API (the same handler cmd/itreed
+// serves), runs a small recruitment campaign over HTTP — joins with
+// sponsor codes, contribution reports, reward queries — and prints the
+// final dashboard a campaign operator would see.
+//
+// Run with:
+//
+//	go run ./examples/referralservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/server"
+	"incentivetree/internal/tdrm"
+)
+
+func post(base, path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return http.Post(base+path, "application/json", bytes.NewReader(data))
+}
+
+func main() {
+	mech, err := tdrm.Default(core.Params{Phi: 0.5, FairShare: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(mech).Handler())
+	defer ts.Close()
+	fmt.Printf("referral service running at %s (%s)\n\n", ts.URL, mech.Name())
+
+	// The campaign, entirely over HTTP.
+	joins := []struct{ name, sponsor string }{
+		{"ada", ""}, // organic seed
+		{"bryan", "ada"},
+		{"chen", "ada"},
+		{"diya", "bryan"},
+		{"emeka", "bryan"},
+		{"farid", "diya"},
+	}
+	for _, j := range joins {
+		resp, err := post(ts.URL, "/v1/join", map[string]string{"name": j.name, "sponsor": j.sponsor})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			log.Fatalf("join %s: status %d", j.name, resp.StatusCode)
+		}
+	}
+	contributions := map[string]float64{
+		"ada": 1.5, "bryan": 2, "chen": 0.5, "diya": 3, "emeka": 1, "farid": 2.5,
+	}
+	for name, amount := range contributions {
+		resp, err := post(ts.URL, "/v1/contribute", map[string]any{"name": name, "amount": amount})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("contribute %s: status %d", name, resp.StatusCode)
+		}
+	}
+
+	// The operator dashboard.
+	resp, err := http.Get(ts.URL + "/v1/rewards")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dashboard struct {
+		Mechanism    string               `json:"mechanism"`
+		Total        float64              `json:"total_contribution"`
+		TotalReward  float64              `json:"total_reward"`
+		Budget       float64              `json:"budget"`
+		Participants []server.Participant `json:"participants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dashboard); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign dashboard — C(T) = %.2f, paid %.4f of %.2f budget\n\n",
+		dashboard.Total, dashboard.TotalReward, dashboard.Budget)
+	fmt.Printf("  %-7s %-8s %13s %9s %9s\n", "member", "sponsor", "contribution", "reward", "recruits")
+	for _, p := range dashboard.Participants {
+		sponsor := p.Sponsor
+		if sponsor == "" {
+			sponsor = "(organic)"
+		}
+		fmt.Printf("  %-7s %-9s %12.2f %9.4f %9d\n",
+			p.Name, sponsor, p.Contribution, p.Reward, p.Recruits)
+	}
+
+	// One member checks their personal page.
+	resp, err = http.Get(ts.URL + "/v1/participants/bryan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var bryan server.Participant
+	if err := json.NewDecoder(resp.Body).Decode(&bryan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbryan's view: contributed %.2f, reward %.4f — recruiting diya and emeka\n",
+		bryan.Contribution, bryan.Reward)
+	fmt.Println("paid off thanks to the mechanism's solicitation incentive (CSI).")
+}

@@ -1,0 +1,3 @@
+module incentivetree
+
+go 1.22

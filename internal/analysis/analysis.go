@@ -1,0 +1,145 @@
+// Package analysis provides reward-flow attribution for Incentive Tree
+// mechanisms: how much of each participant's reward is funded by which
+// contributor, and how far reward travels up the solicitation chain.
+//
+// Attribution is computed mechanism-agnostically by leave-one-out
+// differencing: the share of R(u) attributable to contributor v is
+// R(u) evaluated on T minus R(u) evaluated on T with C(v) zeroed. For
+// mechanisms that are linear in contributions (Geometric, L-Luxor,
+// Emek-Binary) the rows decompose R(u) exactly; for nonlinear mechanisms
+// (TDRM's quadratic term, CDRM, L-Pachira) the leave-one-out shares are
+// a first-order attribution and the per-row residual is reported so
+// callers can see the nonlinearity.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// Attribution holds the leave-one-out reward decomposition of one tree
+// under one mechanism.
+type Attribution struct {
+	Mechanism string
+	// Share[u][v] is the part of R(u) attributable to contributor v.
+	// Both indices are NodeIDs; the root row and column are zero.
+	Share [][]float64
+	// Residual[u] = R(u) - sum_v Share[u][v]: zero (up to float noise)
+	// for contribution-linear mechanisms.
+	Residual []float64
+	// Rewards are the baseline rewards on the unmodified tree.
+	Rewards core.Rewards
+}
+
+// Compute evaluates the attribution matrix with n+1 mechanism
+// evaluations (one baseline, one per participant).
+func Compute(m core.Mechanism, t *tree.Tree) (*Attribution, error) {
+	base, err := m.Rewards(t)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	n := t.Len()
+	att := &Attribution{
+		Mechanism: m.Name(),
+		Share:     make([][]float64, n),
+		Residual:  make([]float64, n),
+		Rewards:   base,
+	}
+	for u := range att.Share {
+		att.Share[u] = make([]float64, n)
+	}
+	work := t.Clone()
+	for _, v := range t.Nodes() {
+		c := t.Contribution(v)
+		if c == 0 {
+			continue
+		}
+		if err := work.SetContribution(v, 0); err != nil {
+			return nil, err
+		}
+		without, err := m.Rewards(work)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: leave-out %d: %w", v, err)
+		}
+		if err := work.SetContribution(v, c); err != nil {
+			return nil, err
+		}
+		for _, u := range t.Nodes() {
+			att.Share[u][v] = base.Of(u) - without.Of(u)
+		}
+	}
+	for _, u := range t.Nodes() {
+		sum := 0.0
+		for _, s := range att.Share[u] {
+			sum += s
+		}
+		att.Residual[u] = base.Of(u) - sum
+	}
+	return att, nil
+}
+
+// MaxResidual returns the largest absolute residual — zero means the
+// mechanism is contribution-linear on this tree.
+func (a *Attribution) MaxResidual() float64 {
+	max := 0.0
+	for _, r := range a.Residual {
+		if v := math.Abs(r); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// FundedBy returns contributor v's total funding across all rewards:
+// how much of the whole reward pool exists because of v.
+func (a *Attribution) FundedBy(v tree.NodeID) float64 {
+	if int(v) >= len(a.Share) {
+		return 0
+	}
+	total := 0.0
+	for u := range a.Share {
+		total += a.Share[u][v]
+	}
+	return total
+}
+
+// SelfShare returns the fraction of R(u) funded by u's own contribution
+// (0 when R(u) is 0).
+func (a *Attribution) SelfShare(u tree.NodeID) float64 {
+	if int(u) >= len(a.Share) {
+		return 0
+	}
+	if r := a.Rewards.Of(u); r > 0 {
+		return a.Share[u][u] / r
+	}
+	return 0
+}
+
+// DepthFlow aggregates the attribution by solicitation distance: entry d
+// is the total reward that travelled exactly d edges from contributor to
+// rewardee (d = 0 is reward from one's own contribution; contributors
+// outside the rewardee's subtree — possible only for non-SL mechanisms —
+// are aggregated under distance -1, returned separately).
+func DepthFlow(t *tree.Tree, a *Attribution) (byDepth []float64, nonLocal float64) {
+	for _, u := range t.Nodes() {
+		for _, v := range t.Nodes() {
+			s := a.Share[u][v]
+			if s == 0 {
+				continue
+			}
+			d := t.DepthFrom(u, v)
+			if d < 0 {
+				nonLocal += s
+				continue
+			}
+			for len(byDepth) <= d {
+				byDepth = append(byDepth, 0)
+			}
+			byDepth[d] += s
+		}
+	}
+	return byDepth, nonLocal
+}

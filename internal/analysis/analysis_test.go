@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func geoMech(t *testing.T) *geometric.Mechanism {
+	t.Helper()
+	m, err := geometric.New(core.Params{Phi: 0.5, FairShare: 0}, 0.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAttributionHandComputedGeometric(t *testing.T) {
+	// a=0.5, b=0.25: u(2) -> v(4). R(u) = 0.25*(2 + 0.5*4) = 1.
+	// Share[u][u] = 0.25*2 = 0.5, Share[u][v] = 0.25*0.5*4 = 0.5.
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 4}}})
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := att.Share[1][1]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("self share = %v, want 0.5", got)
+	}
+	if got := att.Share[1][2]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("child share = %v, want 0.5", got)
+	}
+	if got := att.Share[2][1]; got != 0 {
+		t.Errorf("upward share = %v, want 0 (ancestors don't fund descendants)", got)
+	}
+	if got := att.MaxResidual(); got > 1e-12 {
+		t.Errorf("geometric residual = %v, want 0 (linear mechanism)", got)
+	}
+	if got := att.SelfShare(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SelfShare = %v, want 0.5", got)
+	}
+	// v's contribution funds its own reward (1.0) plus 0.5 at u.
+	if got := att.FundedBy(2); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("FundedBy(v) = %v, want 1.5", got)
+	}
+}
+
+func TestLinearMechanismsHaveZeroResidual(t *testing.T) {
+	m := geoMech(t)
+	for _, tr := range treegen.Corpus(71, 8, 30) {
+		att, err := Compute(m, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := att.MaxResidual(); got > 1e-9 {
+			t.Fatalf("residual = %v on linear mechanism", got)
+		}
+	}
+}
+
+func TestNonlinearMechanismsReportResidual(t *testing.T) {
+	// TDRM's quadratic term multiplies a node's own contribution with its
+	// descendants', so removing u and removing its child each subtract
+	// the cross term once: the leave-one-out row over-counts and the
+	// residual must be visible.
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Spec{C: 0.8, Kids: []tree.Spec{{C: 0.6}}})
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.MaxResidual() == 0 {
+		t.Fatal("quadratic mechanism should show an attribution residual")
+	}
+}
+
+func TestDepthFlowGeometricDecay(t *testing.T) {
+	// On a long unit chain the flow at distance d is proportional to
+	// a^d: each consecutive ratio must be ~a (up to end effects, so use
+	// the asymptotic interior of a long chain).
+	m := geoMech(t)
+	tr := treegen.ChainTree(30, 1)
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDepth, nonLocal := DepthFlow(tr, att)
+	if nonLocal != 0 {
+		t.Fatalf("SL mechanism leaked %v non-local flow", nonLocal)
+	}
+	for d := 1; d < 10; d++ {
+		ratio := byDepth[d] / byDepth[d-1]
+		// End effects shrink the pool of (u, v) pairs at distance d by
+		// one per level on a 30-chain; tolerate 10%.
+		if math.Abs(ratio-0.5) > 0.05 {
+			t.Fatalf("flow ratio at depth %d = %v, want ~a = 0.5", d, ratio)
+		}
+	}
+}
+
+func TestDepthFlowCDRMSelfShare(t *testing.T) {
+	// CDRM rewards are paid for one's own contribution (topology-free):
+	// depth-0 flow dominates and equals most of the pool.
+	m, err := cdrm.DefaultReciprocal(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}, {C: 3}}})
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDepth, _ := DepthFlow(tr, att)
+	if len(byDepth) == 0 || byDepth[0] <= 0 {
+		t.Fatalf("byDepth = %v", byDepth)
+	}
+	total := 0.0
+	for _, v := range byDepth {
+		total += v
+	}
+	if byDepth[0]/total < 0.5 {
+		t.Fatalf("CDRM self flow = %v of %v, expected dominant", byDepth[0], total)
+	}
+}
+
+func TestAttributionRowsSumToReward(t *testing.T) {
+	m := geoMech(t)
+	tr := treegen.StarTree(1, 5, 2)
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range tr.Nodes() {
+		sum := 0.0
+		for _, s := range att.Share[u] {
+			sum += s
+		}
+		if !numeric.AlmostEqual(sum+att.Residual[u], att.Rewards.Of(u), 1e-9) {
+			t.Fatalf("row %d: %v + residual %v != R %v", u, sum, att.Residual[u], att.Rewards.Of(u))
+		}
+	}
+}
+
+func TestAccessorsOutOfRange(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	att, err := Compute(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := att.FundedBy(tree.NodeID(99)); got != 0 {
+		t.Fatalf("FundedBy(out of range) = %v", got)
+	}
+	if got := att.SelfShare(tree.NodeID(99)); got != 0 {
+		t.Fatalf("SelfShare(out of range) = %v", got)
+	}
+}
+
+func TestComputeInputUntouched(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}}})
+	before := tr.Clone()
+	if _, err := Compute(m, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(before) {
+		t.Fatal("Compute mutated its input")
+	}
+}

@@ -1,0 +1,109 @@
+package cdrm
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func TestNewBlendValidation(t *testing.T) {
+	p := core.DefaultParams()
+	if _, err := NewBlend(p, 0.5, 0.3); err != nil {
+		t.Fatalf("valid blend rejected: %v", err)
+	}
+	for _, w := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewBlend(p, w, 0.3); err == nil {
+			t.Errorf("weight %v should be rejected", w)
+		}
+	}
+	if _, err := NewBlend(p, 0.5, 0.9); err == nil {
+		t.Error("theta above ceiling should be rejected")
+	}
+}
+
+func TestBlendEvalIsConvexCombination(t *testing.T) {
+	p := core.DefaultParams()
+	b := Blend{W: 0.25, A: Reciprocal{Phi: p.Phi, Theta: 0.3}, B: Log{Phi: p.Phi, Theta: 0.3}}
+	x, y := 2.0, 5.0
+	want := 0.25*b.A.Eval(x, y) + 0.75*b.B.Eval(x, y)
+	if got := b.Eval(x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+}
+
+// TestBlendIsSuccessfullyContributionDeterministic: the family is closed
+// under convex combination, so a blend must pass the full condition
+// verifier.
+func TestBlendIsSuccessfullyContributionDeterministic(t *testing.T) {
+	p := core.DefaultParams()
+	for _, w := range []float64{0.1, 0.5, 0.9} {
+		m, err := NewBlend(p, w, 0.8*(p.Phi-p.FairShare))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := Verify(m.Func(), p, DefaultGrid()); len(vs) != 0 {
+			t.Fatalf("w=%v: %d violations, first: %s", w, len(vs), vs[0])
+		}
+	}
+}
+
+func TestBlendBetweenParents(t *testing.T) {
+	// The blend's reward lies between its parents' rewards pointwise.
+	p := core.DefaultParams()
+	rec, err := DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := DefaultLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blend, err := NewBlend(p, 0.5, 0.8*(p.Phi-p.FairShare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range treegen.Corpus(81, 5, 30) {
+		rr, err := rec.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := lg.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := blend.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range tr.Nodes() {
+			lo := math.Min(rr.Of(u), rl.Of(u))
+			hi := math.Max(rr.Of(u), rl.Of(u))
+			if rb.Of(u) < lo-1e-12 || rb.Of(u) > hi+1e-12 {
+				t.Fatalf("blend reward %v outside parents [%v, %v]", rb.Of(u), lo, hi)
+			}
+		}
+	}
+}
+
+func TestBlendBudgetAndAudit(t *testing.T) {
+	p := core.DefaultParams()
+	m, err := NewBlend(p, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 3}}})
+	r, err := m.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Audit(m, tr, r); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() == "" || !numeric.LessOrAlmostEqual(r.Total(), p.Phi*tr.Total(), numeric.Eps) {
+		t.Fatalf("blend audit: name %q, total %v", m.Name(), r.Total())
+	}
+}

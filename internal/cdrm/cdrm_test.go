@@ -1,0 +1,234 @@
+package cdrm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func defaultBoth(t *testing.T) []*Mechanism {
+	t.Helper()
+	p := core.DefaultParams()
+	rec, err := DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := DefaultLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Mechanism{rec, lg}
+}
+
+func TestThetaValidation(t *testing.T) {
+	p := core.Params{Phi: 0.5, FairShare: 0.1} // ceiling: theta < 0.4
+	tests := []struct {
+		theta   float64
+		wantErr bool
+	}{
+		{0.2, false},
+		{0.39, false},
+		{0, true},
+		{-0.1, true},
+		{0.4, true},
+		{0.5, true},
+	}
+	for _, tc := range tests {
+		if _, err := NewReciprocal(p, tc.theta); (err != nil) != tc.wantErr {
+			t.Errorf("NewReciprocal(theta=%v) err = %v, wantErr %v", tc.theta, err, tc.wantErr)
+		}
+		if _, err := NewLog(p, tc.theta); (err != nil) != tc.wantErr {
+			t.Errorf("NewLog(theta=%v) err = %v, wantErr %v", tc.theta, err, tc.wantErr)
+		}
+	}
+	if _, err := NewReciprocal(core.Params{Phi: -1}, 0.1); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("bad shared params err = %v", err)
+	}
+}
+
+func TestReciprocalHandComputed(t *testing.T) {
+	// R(x, y) = (Phi - theta/(1+x+y)) * x with Phi = 0.5, theta = 0.3:
+	// R(2, 1) = (0.5 - 0.3/4)*2 = 0.85.
+	f := Reciprocal{Phi: 0.5, Theta: 0.3}
+	if got := f.Eval(2, 1); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("Eval(2,1) = %v, want 0.85", got)
+	}
+	if got := f.Eval(0, 5); got != 0 {
+		t.Fatalf("Eval(0,5) = %v, want 0", got)
+	}
+}
+
+func TestLogHandComputed(t *testing.T) {
+	// R(x, y) = Phi*x + theta*ln((1+y)/(x+y+1)) with Phi = 0.5,
+	// theta = 0.3: R(1, 0) = 0.5 + 0.3*ln(1/2).
+	f := Log{Phi: 0.5, Theta: 0.3}
+	want := 0.5 + 0.3*math.Log(0.5)
+	if got := f.Eval(1, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eval(1,0) = %v, want %v", got, want)
+	}
+	if got := f.Eval(0, 7); got != 0 {
+		t.Fatalf("Eval(0,7) = %v, want 0", got)
+	}
+}
+
+func TestRewardsDependOnlyOnXAndY(t *testing.T) {
+	// Same (x, y) pair under different subtree topologies must yield the
+	// same reward: that is the defining feature of CDRM.
+	for _, m := range defaultBoth(t) {
+		star := tree.FromSpecs(tree.Star(2, 1, 1, 1))
+		chain := tree.FromSpecs(tree.Chain(2, 1, 1, 1))
+		rs, err := m.Rewards(star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := m.Rewards(chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(rs.Of(1), rc.Of(1), numeric.Eps) {
+			t.Fatalf("%s: star root R = %v, chain root R = %v (topology leaked in)",
+				m.Name(), rs.Of(1), rc.Of(1))
+		}
+	}
+}
+
+func TestRewardsMatchFunctionOnCorpus(t *testing.T) {
+	for _, m := range defaultBoth(t) {
+		for _, tr := range treegen.Corpus(51, 10, 40) {
+			r, err := m.Rewards(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range tr.Nodes() {
+				want := m.Func().Eval(tr.Contribution(u), tr.DescendantSum(u))
+				if !numeric.AlmostEqual(r.Of(u), want, numeric.Eps) {
+					t.Fatalf("%s: R(%d) = %v, want %v", m.Name(), u, r.Of(u), want)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetOnCorpus(t *testing.T) {
+	for _, m := range defaultBoth(t) {
+		for i, tr := range treegen.Corpus(52, 20, 60) {
+			r, err := m.Rewards(tr)
+			if err != nil {
+				t.Fatalf("tree %d: %v", i, err)
+			}
+			if err := core.Audit(m, tr, r); err != nil {
+				t.Fatalf("tree %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestRewardBoundedByPhiX(t *testing.T) {
+	// The structural reason CDRM fails URO/PO: R(u) < Phi * C(u) always,
+	// so profit is always negative.
+	for _, m := range defaultBoth(t) {
+		for _, tr := range treegen.Corpus(53, 10, 50) {
+			r, err := m.Rewards(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range tr.Nodes() {
+				x := tr.Contribution(u)
+				if x == 0 {
+					continue
+				}
+				if got := r.Of(u); got >= m.Params().Phi*x {
+					t.Fatalf("%s: R(%d) = %v >= Phi*x = %v", m.Name(), u, got, m.Params().Phi*x)
+				}
+				if core.Profit(tr, r, u) >= 0 {
+					t.Fatalf("%s: non-negative profit %v (PO should fail)",
+						m.Name(), core.Profit(tr, r, u))
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyConditionsPassForBothInstances(t *testing.T) {
+	p := core.DefaultParams()
+	for _, m := range defaultBoth(t) {
+		if vs := Verify(m.Func(), p, DefaultGrid()); len(vs) != 0 {
+			t.Fatalf("%s: %d violations, first: %s", m.Name(), len(vs), vs[0])
+		}
+	}
+}
+
+// brokenFn fails (i) (slope > 1) and (iv) (convex in x), to prove the
+// verifier has teeth.
+type brokenFn struct{}
+
+func (brokenFn) Name() string { return "broken" }
+func (brokenFn) Eval(x, y float64) float64 {
+	return 2 * x * (1 + y/(1+y)) // dR/dx >= 2
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	p := core.DefaultParams()
+	vs := Verify(brokenFn{}, p, VerifyGrid{XMax: 10, YMax: 10, Points: 5, Splits: 3})
+	if len(vs) == 0 {
+		t.Fatal("verifier passed a broken function")
+	}
+	seen := map[Condition]bool{}
+	for _, v := range vs {
+		seen[v.Cond] = true
+		if v.String() == "" {
+			t.Fatal("empty violation string")
+		}
+	}
+	if !seen[CondContributionSlope] {
+		t.Fatal("slope violation not detected")
+	}
+	if !seen[CondFairnessBudget] {
+		t.Fatal("budget violation not detected")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	for _, c := range []Condition{CondContributionSlope, CondSolicitationSlope,
+		CondFairnessBudget, CondSuperadditivity, Condition(99)} {
+		if c.String() == "" {
+			t.Fatalf("empty string for condition %d", int(c))
+		}
+	}
+}
+
+func TestLogSuperadditivityIsTight(t *testing.T) {
+	// For the Log instance, condition (iv) holds with equality — the
+	// split terms telescope. This pins the analytic structure.
+	f := Log{Phi: 0.5, Theta: 0.3}
+	x, y := 3.0, 2.0
+	for _, x1 := range []float64{0.5, 1, 1.5, 2.9} {
+		x2 := x - x1
+		split := f.Eval(x1, x2+y) + f.Eval(x2, y)
+		if !numeric.AlmostEqual(split, f.Eval(x, y), 1e-9) {
+			t.Fatalf("split %v != whole %v (should telescope exactly)", split, f.Eval(x, y))
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, m := range defaultBoth(t) {
+		if m.Name() == "" {
+			t.Fatal("empty mechanism name")
+		}
+	}
+}
+
+func TestRewardsRejectsInvalidTree(t *testing.T) {
+	for _, m := range defaultBoth(t) {
+		var empty tree.Tree
+		if _, err := m.Rewards(&empty); err == nil {
+			t.Fatal("rootless tree should be rejected")
+		}
+	}
+}

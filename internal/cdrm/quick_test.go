@@ -1,0 +1,136 @@
+package cdrm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+)
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(777))}
+}
+
+// domain maps arbitrary uint16 fuzz inputs onto the (x, y) quadrant the
+// conditions quantify over, spanning several orders of magnitude.
+func domain(rawX, rawY uint16) (x, y float64) {
+	x = 0.001 * math.Pow(1.0002, float64(rawX)) // (0, ~500]
+	y = 0.001 * (math.Pow(1.0002, float64(rawY)) - 1)
+	return x, y
+}
+
+func bothFuncs(t *testing.T) []Function {
+	t.Helper()
+	p := core.DefaultParams()
+	rec, err := DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := DefaultLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Function{rec.Func(), lg.Func()}
+}
+
+// TestQuickBoundsAndMonotonicity fuzzes conditions (i)-(iii) over the
+// whole quadrant, far beyond the fixed verification grid.
+func TestQuickBoundsAndMonotonicity(t *testing.T) {
+	p := core.DefaultParams()
+	for _, fn := range bothFuncs(t) {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(rawX, rawY uint16) bool {
+				x, y := domain(rawX, rawY)
+				r := fn.Eval(x, y)
+				// (iii) phi*x < R < Phi*x.
+				if !(r > p.FairShare*x && r < p.Phi*x) {
+					return false
+				}
+				// (i)/(ii) discrete monotonicity.
+				if fn.Eval(x*1.01, y) <= r {
+					return false
+				}
+				if fn.Eval(x, y+0.5) <= r {
+					return false
+				}
+				// (i) slope below 1: the increment is smaller than dx.
+				if fn.Eval(x+0.1, y)-r >= 0.1 {
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSuperadditivity fuzzes condition (iv): splitting x into a
+// chain never pays.
+func TestQuickSuperadditivity(t *testing.T) {
+	for _, fn := range bothFuncs(t) {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(rawX, rawY uint16, rawSplit uint8) bool {
+				x, y := domain(rawX, rawY)
+				frac := (float64(rawSplit) + 0.5) / 256 // (0, 1)
+				x1 := x * frac
+				x2 := x - x1
+				split := fn.Eval(x1, x2+y) + fn.Eval(x2, y)
+				return numeric.LessOrAlmostEqual(split, fn.Eval(x, y), numeric.Eps)
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickThreeWaySplit extends (iv) to three identities by induction:
+// a chain of three parts never beats the merged node.
+func TestQuickThreeWaySplit(t *testing.T) {
+	for _, fn := range bothFuncs(t) {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(rawX, rawY uint16, rawA, rawB uint8) bool {
+				x, y := domain(rawX, rawY)
+				fa := (float64(rawA) + 0.5) / 256
+				fb := (float64(rawB) + 0.5) / 256
+				x1 := x * fa
+				x2 := (x - x1) * fb
+				x3 := x - x1 - x2
+				chain := fn.Eval(x1, x2+x3+y) + fn.Eval(x2, x3+y) + fn.Eval(x3, y)
+				return numeric.LessOrAlmostEqual(chain, fn.Eval(x, y), numeric.Eps)
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickProfitDecreasesInContribution is the UGSA mechanism at the
+// function level: x - R(x, y) strictly increases in x (slope of R below
+// 1), so buying more always costs more than it returns.
+func TestQuickProfitDecreasesInContribution(t *testing.T) {
+	for _, fn := range bothFuncs(t) {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(rawX, rawY uint16, rawEps uint8) bool {
+				x, y := domain(rawX, rawY)
+				eps := 0.01 + float64(rawEps)/64
+				payBefore := x - fn.Eval(x, y)
+				payAfter := (x + eps) - fn.Eval(x+eps, y)
+				return payAfter > payBefore
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

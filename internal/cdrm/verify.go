@@ -1,0 +1,108 @@
+package cdrm
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+)
+
+// Condition identifies one of the four requirements on a successfully
+// contribution-deterministic function (Sect. 6).
+type Condition int
+
+// The four conditions of Sect. 6.
+const (
+	// CondContributionSlope is (i): 0 < dR/dx < 1.
+	CondContributionSlope Condition = iota + 1
+	// CondSolicitationSlope is (ii): 0 < dR/dy.
+	CondSolicitationSlope
+	// CondFairnessBudget is (iii): phi*x < R(x,y) < Phi*x.
+	CondFairnessBudget
+	// CondSuperadditivity is (iv): R(x,y) >= R(x', x''+y) + R(x'', y)
+	// for every split x' + x'' = x.
+	CondSuperadditivity
+)
+
+// String implements fmt.Stringer.
+func (c Condition) String() string {
+	switch c {
+	case CondContributionSlope:
+		return "(i) 0 < dR/dx < 1"
+	case CondSolicitationSlope:
+		return "(ii) 0 < dR/dy"
+	case CondFairnessBudget:
+		return "(iii) phi*x < R < Phi*x"
+	case CondSuperadditivity:
+		return "(iv) split superadditivity"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// Violation records a grid point at which a condition fails.
+type Violation struct {
+	Cond   Condition
+	X, Y   float64
+	XSplit float64 // the x' of a failed superadditivity split (cond iv)
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated at x=%.4g y=%.4g: %s", v.Cond, v.X, v.Y, v.Detail)
+}
+
+// VerifyGrid is the domain over which Verify checks the four conditions.
+type VerifyGrid struct {
+	XMax   float64 // largest own contribution checked (> 0)
+	YMax   float64 // largest descendant sum checked
+	Points int     // grid resolution per axis (>= 2)
+	Splits int     // number of x-splits checked per point for (iv)
+}
+
+// DefaultGrid covers contributions across four orders of magnitude.
+func DefaultGrid() VerifyGrid { return VerifyGrid{XMax: 100, YMax: 1000, Points: 25, Splits: 7} }
+
+// Verify numerically checks the four conditions of a candidate function
+// over the grid and returns every violation found (nil means the function
+// passed, i.e. it is successfully contribution-deterministic as far as
+// the grid can tell). Derivatives are estimated by symmetric differences.
+func Verify(fn Function, p core.Params, g VerifyGrid) []Violation {
+	const h = 1e-6
+	var out []Violation
+	xs := numeric.Grid(g.XMax/float64(g.Points), g.XMax, g.Points)
+	ys := numeric.Grid(0, g.YMax, g.Points)
+	for _, x := range xs {
+		for _, y := range ys {
+			// (i) 0 < dR/dx < 1.
+			dx := numeric.Derivative(func(t float64) float64 { return fn.Eval(t, y) }, x, h)
+			if dx <= 0 || dx >= 1 {
+				out = append(out, Violation{Cond: CondContributionSlope, X: x, Y: y,
+					Detail: fmt.Sprintf("dR/dx = %v", dx)})
+			}
+			// (ii) dR/dy > 0.
+			dy := numeric.Derivative(func(t float64) float64 { return fn.Eval(x, t) }, y+h, h)
+			if dy <= 0 {
+				out = append(out, Violation{Cond: CondSolicitationSlope, X: x, Y: y,
+					Detail: fmt.Sprintf("dR/dy = %v", dy)})
+			}
+			// (iii) phi*x < R < Phi*x.
+			r := fn.Eval(x, y)
+			if !(r > p.FairShare*x && r < p.Phi*x) {
+				out = append(out, Violation{Cond: CondFairnessBudget, X: x, Y: y,
+					Detail: fmt.Sprintf("R = %v, bounds (%v, %v)", r, p.FairShare*x, p.Phi*x)})
+			}
+			// (iv) superadditivity over splits of x.
+			for s := 1; s <= g.Splits; s++ {
+				x1 := x * float64(s) / float64(g.Splits+1)
+				x2 := x - x1
+				split := fn.Eval(x1, x2+y) + fn.Eval(x2, y)
+				if !numeric.LessOrAlmostEqual(split, r, numeric.Eps) {
+					out = append(out, Violation{Cond: CondSuperadditivity, X: x, Y: y, XSplit: x1,
+						Detail: fmt.Sprintf("R(x',x''+y)+R(x'',y) = %v > R = %v", split, r)})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package core defines the Incentive Tree mechanism abstraction from the
+// paper's model section: a reward mechanism is a function taking a weighted
+// referral tree T and computing a non-negative reward R(u) for every
+// participant, subject to the budget constraint R(T) <= Phi * C(T).
+//
+// Mechanism implementations live in sibling packages (geometric, lottree,
+// tdrm, cdrm); the executable versions of the paper's desirable properties
+// live in internal/properties.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+)
+
+// Params holds the two global parameters every mechanism shares.
+type Params struct {
+	// Phi is the budget fraction: the system administrator pays out at
+	// most Phi * C(T) in total reward. 0 < Phi <= 1.
+	Phi float64
+	// FairShare is the paper's lower-case phi: the phi-RPC fairness floor
+	// demanding R(u) >= FairShare * C(u) for every participant.
+	// 0 <= FairShare <= Phi.
+	FairShare float64
+}
+
+// ErrBadParams reports an invalid parameterization at mechanism
+// construction time.
+var ErrBadParams = errors.New("core: invalid mechanism parameters")
+
+// Validate checks the admissible region for the shared parameters.
+func (p Params) Validate() error {
+	if !(p.Phi > 0 && p.Phi <= 1) {
+		return fmt.Errorf("%w: Phi = %v, need 0 < Phi <= 1", ErrBadParams, p.Phi)
+	}
+	if !(p.FairShare >= 0 && p.FairShare <= p.Phi) {
+		return fmt.Errorf("%w: FairShare = %v, need 0 <= FairShare <= Phi (%v)",
+			ErrBadParams, p.FairShare, p.Phi)
+	}
+	return nil
+}
+
+// DefaultParams is the parameterization used throughout the experiments:
+// the administrator returns at most half of the contribution as reward and
+// guarantees every participant at least 5% of its own contribution back.
+func DefaultParams() Params { return Params{Phi: 0.5, FairShare: 0.05} }
+
+// Rewards maps every node of a tree (by NodeID) to its reward. The
+// imaginary root's entry is always zero.
+type Rewards []float64
+
+// Of returns R(u), or 0 for ids outside the tree.
+func (r Rewards) Of(id tree.NodeID) float64 {
+	if id < 0 || int(id) >= len(r) {
+		return 0
+	}
+	return r[id]
+}
+
+// Total returns R(T), the sum of all rewards, using compensated summation.
+func (r Rewards) Total() float64 { return numeric.KahanSum(r) }
+
+// Mechanism is an Incentive Tree reward mechanism.
+//
+// Rewards must be deterministic in the tree: equal trees yield equal
+// rewards. Implementations must return an entry for every node and must
+// never return negative rewards.
+type Mechanism interface {
+	// Name identifies the mechanism (including its parameterization)
+	// in experiment output.
+	Name() string
+	// Params returns the shared budget/fairness parameters.
+	Params() Params
+	// Rewards computes R(u) for every node of t.
+	Rewards(t *tree.Tree) (Rewards, error)
+}
+
+// Profit returns P(u) = R(u) - C(u), the multi-level-marketing profit of a
+// participant (Sect. 2 of the paper).
+func Profit(t *tree.Tree, r Rewards, u tree.NodeID) float64 {
+	return r.Of(u) - t.Contribution(u)
+}
+
+// Payment returns Pay(u) = C(u) - R(u), the amount a buyer effectively
+// pays for its goods.
+func Payment(t *tree.Tree, r Rewards, u tree.NodeID) float64 {
+	return t.Contribution(u) - r.Of(u)
+}
+
+// AuditViolation describes a failed audit of a mechanism's output.
+type AuditViolation struct {
+	Mechanism string
+	Reason    string
+}
+
+func (v *AuditViolation) Error() string {
+	return fmt.Sprintf("core: audit of %s failed: %s", v.Mechanism, v.Reason)
+}
+
+// Audit verifies the model-level contract of a mechanism's output on a
+// tree: one entry per node, non-negative rewards, a zero entry for the
+// imaginary root, and the budget constraint R(T) <= Phi * C(T).
+func Audit(m Mechanism, t *tree.Tree, r Rewards) error {
+	if len(r) != t.Len() {
+		return &AuditViolation{m.Name(), fmt.Sprintf("%d reward entries for %d nodes", len(r), t.Len())}
+	}
+	if r.Of(tree.Root) != 0 {
+		return &AuditViolation{m.Name(), fmt.Sprintf("imaginary root rewarded %v", r.Of(tree.Root))}
+	}
+	for id := 1; id < t.Len(); id++ {
+		if r[id] < 0 {
+			return &AuditViolation{m.Name(), fmt.Sprintf("negative reward %v for node %d", r[id], id)}
+		}
+	}
+	budget := m.Params().Phi * t.Total()
+	if total := r.Total(); !numeric.LessOrAlmostEqual(total, budget, numeric.Eps) {
+		return &AuditViolation{m.Name(),
+			fmt.Sprintf("total reward %v exceeds budget %v (Phi=%v, C(T)=%v)",
+				total, budget, m.Params().Phi, t.Total())}
+	}
+	return nil
+}
+
+// RewardsOrPanic is a convenience for examples and benchmarks where the
+// tree is known to be valid; it panics on error.
+func RewardsOrPanic(m Mechanism, t *tree.Tree) Rewards {
+	r, err := m.Rewards(t)
+	if err != nil {
+		panic(fmt.Sprintf("core: %s.Rewards: %v", m.Name(), err))
+	}
+	return r
+}

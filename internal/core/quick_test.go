@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+)
+
+// randomTree generates arbitrary referral trees for mechanism-level
+// invariant checking.
+type randomTree struct {
+	T *tree.Tree
+}
+
+// Generate implements quick.Generator.
+func (randomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	t := tree.New()
+	n := 1 + r.Intn(size+1)
+	for i := 0; i < n; i++ {
+		parent := tree.NodeID(r.Intn(t.Len()))
+		c := r.Float64() * 8
+		t.MustAdd(parent, c)
+	}
+	return reflect.ValueOf(randomTree{T: t})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(314))}
+}
+
+func suite(t *testing.T) []core.Mechanism {
+	t.Helper()
+	mechs, err := experiments.Suite(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mechs
+}
+
+// TestQuickAuditHoldsForArbitraryTrees is the model contract under
+// arbitrary inputs: every suite mechanism returns one non-negative reward
+// per node, pays the root nothing, and respects the budget.
+func TestQuickAuditHoldsForArbitraryTrees(t *testing.T) {
+	for _, m := range suite(t) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree) bool {
+				r, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				return core.Audit(m, rt.T, r) == nil
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickFairnessFloor checks phi-RPC pointwise under arbitrary trees.
+func TestQuickFairnessFloor(t *testing.T) {
+	for _, m := range suite(t) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			phi := m.Params().FairShare
+			f := func(rt randomTree) bool {
+				r, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				for _, u := range rt.T.Nodes() {
+					if !numeric.LessOrAlmostEqual(phi*rt.T.Contribution(u), r.Of(u), numeric.Eps) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickDeterminism: equal trees always settle identically.
+func TestQuickDeterminism(t *testing.T) {
+	for _, m := range suite(t) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree) bool {
+				r1, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				r2, err := m.Rewards(rt.T.Clone())
+				if err != nil {
+					return false
+				}
+				for i := range r1 {
+					if r1[i] != r2[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSubtreeLocalMechanismsSurviveExtraction: for the mechanisms
+// the paper proves subtree-local (Geometric, L-Luxor, TDRM, CDRM), the
+// reward of any node equals its reward on the extracted subtree.
+func TestQuickSubtreeLocalMechanismsSurviveExtraction(t *testing.T) {
+	mechs := suite(t)
+	local := []core.Mechanism{mechs[0], mechs[1], mechs[3], mechs[4], mechs[5]}
+	for _, m := range local {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree, pick uint8) bool {
+				if rt.T.NumParticipants() == 0 {
+					return true
+				}
+				u := tree.NodeID(1 + int(pick)%rt.T.NumParticipants())
+				full, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				sub, err := rt.T.Extract(u)
+				if err != nil {
+					return false
+				}
+				rs, err := m.Rewards(sub)
+				if err != nil {
+					return false
+				}
+				return numeric.AlmostEqual(full.Of(u), rs.Of(1), 1e-7)
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickMonotoneUnderContribution: raising any node's contribution
+// never reduces that node's reward (the weak form of CCI that holds even
+// at zero contributions).
+func TestQuickMonotoneUnderContribution(t *testing.T) {
+	for _, m := range suite(t) {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree, pick uint8, rawDelta uint8) bool {
+				if rt.T.NumParticipants() == 0 {
+					return true
+				}
+				u := tree.NodeID(1 + int(pick)%rt.T.NumParticipants())
+				delta := 0.01 + float64(rawDelta)/64
+				before, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				mut := rt.T.Clone()
+				if err := mut.AddContribution(u, delta); err != nil {
+					return false
+				}
+				after, err := m.Rewards(mut)
+				if err != nil {
+					return false
+				}
+				return after.Of(u) >= before.Of(u)-1e-9
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickRewardsTotalMatchesKahan: the Total accessor agrees with a
+// plain sum within float tolerance.
+func TestQuickRewardsTotalMatchesKahan(t *testing.T) {
+	m := suite(t)[0]
+	f := func(rt randomTree) bool {
+		r, err := m.Rewards(rt.T)
+		if err != nil {
+			return false
+		}
+		naive := 0.0
+		for _, v := range r {
+			naive += v
+		}
+		return math.Abs(naive-r.Total()) < 1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

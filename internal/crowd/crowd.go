@@ -1,0 +1,175 @@
+// Package crowd is a crowd-tasking substrate in the style of the DARPA
+// Red Balloon Challenge and the mobile crowd-sensing deployments cited in
+// the paper's introduction: tasks of known value are hidden in a field of
+// cells, recruited workers search cells, and every find is credited as
+// contribution to the worker's node in the referral tree. An Incentive
+// Tree mechanism then turns the contribution record into rewards.
+//
+// The substrate lets experiments measure, end to end, how a mechanism's
+// recruiting incentive translates into task completion speed.
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// Task is one unit of work hidden in the field (a balloon, a sensing
+// cell, a labelling task).
+type Task struct {
+	ID    int
+	Cell  int
+	Value float64
+	// FoundBy is the worker that completed the task (None while hidden).
+	FoundBy tree.NodeID
+}
+
+// Field is a set of cells containing hidden tasks.
+type Field struct {
+	cells     int
+	tasks     []Task
+	byCell    map[int][]int // cell -> indices of unfound tasks
+	remaining int
+}
+
+// NewField hides the given task values in uniformly random cells.
+func NewField(rng *rand.Rand, cells int, values []float64) (*Field, error) {
+	if cells <= 0 {
+		return nil, errors.New("crowd: field needs at least one cell")
+	}
+	f := &Field{cells: cells, byCell: make(map[int][]int)}
+	for i, v := range values {
+		if v <= 0 {
+			return nil, fmt.Errorf("crowd: task value %v must be positive", v)
+		}
+		t := Task{ID: i, Cell: rng.Intn(cells), Value: v, FoundBy: tree.None}
+		f.tasks = append(f.tasks, t)
+		f.byCell[t.Cell] = append(f.byCell[t.Cell], i)
+		f.remaining++
+	}
+	return f, nil
+}
+
+// Cells returns the number of cells.
+func (f *Field) Cells() int { return f.cells }
+
+// Remaining returns the number of unfound tasks.
+func (f *Field) Remaining() int { return f.remaining }
+
+// Tasks returns a copy of the task list (including found state).
+func (f *Field) Tasks() []Task { return append([]Task(nil), f.tasks...) }
+
+// search marks every unfound task in the cell as found by the worker and
+// returns the total value collected.
+func (f *Field) search(cell int, worker tree.NodeID) float64 {
+	idxs := f.byCell[cell]
+	if len(idxs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, i := range idxs {
+		f.tasks[i].FoundBy = worker
+		total += f.tasks[i].Value
+		f.remaining--
+	}
+	delete(f.byCell, cell)
+	return total
+}
+
+// Campaign is a running crowd-tasking deployment: a referral tree of
+// workers searching a field, settled by a mechanism.
+type Campaign struct {
+	mech  core.Mechanism
+	field *Field
+	tree  *tree.Tree
+	skill map[tree.NodeID]int // cells searched per round
+}
+
+// NewCampaign starts a campaign over the field.
+func NewCampaign(m core.Mechanism, f *Field) *Campaign {
+	return &Campaign{mech: m, field: f, tree: tree.New(), skill: make(map[tree.NodeID]int)}
+}
+
+// Recruit adds a worker solicited by parent (tree.Root for seeds). Skill
+// is the number of cells the worker can search per round (>= 1).
+func (c *Campaign) Recruit(parent tree.NodeID, name string, skill int) (tree.NodeID, error) {
+	if skill < 1 {
+		return tree.None, fmt.Errorf("crowd: skill %d must be >= 1", skill)
+	}
+	id, err := c.tree.Add(parent, 0)
+	if err != nil {
+		return tree.None, fmt.Errorf("crowd: recruit: %w", err)
+	}
+	if name != "" {
+		if err := c.tree.SetLabel(id, name); err != nil {
+			return tree.None, err
+		}
+	}
+	c.skill[id] = skill
+	return id, nil
+}
+
+// Step lets every worker search its skill's worth of random cells,
+// crediting found task values as contribution. It returns the total value
+// found this round.
+func (c *Campaign) Step(rng *rand.Rand) (float64, error) {
+	found := 0.0
+	for _, w := range c.tree.Nodes() {
+		for s := 0; s < c.skill[w]; s++ {
+			if c.field.Remaining() == 0 {
+				break
+			}
+			v := c.field.search(rng.Intn(c.field.Cells()), w)
+			if v > 0 {
+				if err := c.tree.AddContribution(w, v); err != nil {
+					return 0, err
+				}
+				found += v
+			}
+		}
+	}
+	return found, nil
+}
+
+// Done reports whether every task has been found.
+func (c *Campaign) Done() bool { return c.field.Remaining() == 0 }
+
+// Tree exposes the referral/contribution tree.
+func (c *Campaign) Tree() *tree.Tree { return c.tree }
+
+// Report is the settled outcome of a campaign run.
+type Report struct {
+	Rounds    int     // rounds executed
+	Completed bool    // all tasks found within the round budget
+	Found     float64 // total value found
+	Rewards   core.Rewards
+	// PaidOut is the total reward liability.
+	PaidOut float64
+}
+
+// Run executes up to maxRounds rounds and settles the rewards.
+func (c *Campaign) Run(rng *rand.Rand, maxRounds int) (Report, error) {
+	rep := Report{}
+	for rep.Rounds = 0; rep.Rounds < maxRounds && !c.Done(); rep.Rounds++ {
+		v, err := c.Step(rng)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Found += v
+	}
+	rep.Completed = c.Done()
+	r, err := c.mech.Rewards(c.tree)
+	if err != nil {
+		return Report{}, fmt.Errorf("crowd: settle: %w", err)
+	}
+	if err := core.Audit(c.mech, c.tree, r); err != nil {
+		return Report{}, err
+	}
+	rep.Rewards = r
+	rep.PaidOut = r.Total()
+	return rep, nil
+}

@@ -1,0 +1,219 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tree"
+)
+
+func mech(t *testing.T) core.Mechanism {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func unitValues(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestNewFieldPlacesTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f, err := NewField(rng, 50, unitValues(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Remaining() != 10 {
+		t.Fatalf("Remaining = %d", f.Remaining())
+	}
+	if f.Cells() != 50 {
+		t.Fatalf("Cells = %d", f.Cells())
+	}
+	for _, task := range f.Tasks() {
+		if task.Cell < 0 || task.Cell >= 50 {
+			t.Fatalf("task cell %d out of range", task.Cell)
+		}
+		if task.FoundBy != tree.None {
+			t.Fatalf("task already found: %+v", task)
+		}
+	}
+}
+
+func TestNewFieldErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewField(rng, 0, unitValues(1)); err == nil {
+		t.Fatal("zero cells should fail")
+	}
+	if _, err := NewField(rng, 10, []float64{0}); err == nil {
+		t.Fatal("zero-value task should fail")
+	}
+	if _, err := NewField(rng, 10, []float64{-1}); err == nil {
+		t.Fatal("negative-value task should fail")
+	}
+}
+
+func TestRecruitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f, err := NewField(rng, 10, unitValues(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCampaign(mech(t), f)
+	if _, err := c.Recruit(tree.Root, "w", 0); err == nil {
+		t.Fatal("skill 0 should fail")
+	}
+	if _, err := c.Recruit(tree.NodeID(7), "w", 1); err == nil {
+		t.Fatal("recruit under missing parent should fail")
+	}
+	w, err := c.Recruit(tree.Root, "alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Tree().Label(w); got != "alice" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestCampaignCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f, err := NewField(rng, 20, unitValues(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCampaign(mech(t), f)
+	seed, err := c.Recruit(tree.Root, "seed", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recruit(seed, "friend", 3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("campaign incomplete after %d rounds", rep.Rounds)
+	}
+	if rep.Found != 5 {
+		t.Fatalf("Found = %v, want 5", rep.Found)
+	}
+	if got := c.Tree().Total(); got != 5 {
+		t.Fatalf("credited contribution = %v, want 5", got)
+	}
+	if rep.PaidOut <= 0 {
+		t.Fatal("no rewards paid")
+	}
+	if rep.PaidOut > core.DefaultParams().Phi*5+1e-9 {
+		t.Fatalf("paid %v, over budget", rep.PaidOut)
+	}
+	// Every task credited to a real worker.
+	for _, task := range f.Tasks() {
+		if task.FoundBy == tree.None {
+			t.Fatalf("unclaimed task %+v", task)
+		}
+	}
+}
+
+func TestCampaignRoundBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f, err := NewField(rng, 100000, unitValues(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCampaign(mech(t), f)
+	if _, err := c.Recruit(tree.Root, "solo", 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds > 3 {
+		t.Fatalf("Rounds = %d, budget was 3", rep.Rounds)
+	}
+	if rep.Completed {
+		t.Fatal("a lone low-skill worker cannot finish a huge field in 3 rounds")
+	}
+}
+
+func TestRecruitingSpeedsCompletion(t *testing.T) {
+	// A deeper team with more searchers finishes no later than a single
+	// worker on identical fields; compare average rounds over seeds.
+	soloRounds, teamRounds := 0, 0
+	for seed := int64(0); seed < 5; seed++ {
+		solo := rand.New(rand.NewSource(seed))
+		f1, err := NewField(solo, 300, unitValues(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := NewCampaign(mech(t), f1)
+		if _, err := c1.Recruit(tree.Root, "solo", 1); err != nil {
+			t.Fatal(err)
+		}
+		rep1, err := c1.Run(solo, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		team := rand.New(rand.NewSource(seed))
+		f2, err := NewField(team, 300, unitValues(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := NewCampaign(mech(t), f2)
+		lead, err := c2.Recruit(tree.Root, "lead", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 9; i++ {
+			if _, err := c2.Recruit(lead, "", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep2, err := c2.Run(team, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloRounds += rep1.Rounds
+		teamRounds += rep2.Rounds
+	}
+	if teamRounds >= soloRounds {
+		t.Fatalf("team rounds %d >= solo rounds %d", teamRounds, soloRounds)
+	}
+}
+
+func TestStepCreditsFinder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, err := NewField(rng, 1, unitValues(3)) // all tasks in the one cell
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCampaign(mech(t), f)
+	w, err := c.Recruit(tree.Root, "w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := c.Step(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != 3 {
+		t.Fatalf("found = %v, want 3 (single cell)", found)
+	}
+	if got := c.Tree().Contribution(w); got != 3 {
+		t.Fatalf("contribution = %v", got)
+	}
+	if !c.Done() {
+		t.Fatal("field should be exhausted")
+	}
+}

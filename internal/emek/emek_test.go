@@ -1,0 +1,217 @@
+package emek
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func defaultMech(t *testing.T) *Mechanism {
+	t.Helper()
+	m, err := Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	p := core.Params{Phi: 0.5, FairShare: 0.05}
+	if _, err := New(p, 0.5, 0.2); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, tc := range []struct{ a, b float64 }{
+		{0, 0.2}, {1, 0.2}, {0.5, 0}, {0.5, 0.01}, {0.5, 0.3},
+	} {
+		if _, err := New(p, tc.a, tc.b); err == nil {
+			t.Errorf("New(a=%v, b=%v) should fail", tc.a, tc.b)
+		}
+	}
+	if _, err := New(core.Params{Phi: 0}, 0.5, 0.2); err == nil {
+		t.Error("bad shared params should fail")
+	}
+}
+
+func TestBinaryChildrenKeepsDeepest(t *testing.T) {
+	// u has three children: a bare leaf (id 2), a chain of 2 (id 3) and a
+	// chain of 3 (id 5). The leaf must be pruned.
+	tr := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{
+		{C: 1},                            // id 2: leaf
+		{C: 1, Kids: []tree.Spec{{C: 1}}}, // id 3: height 1
+		{C: 1, Kids: []tree.Spec{{C: 1, Kids: []tree.Spec{{C: 1}}}}}, // id 5: height 2
+	}})
+	kept := BinaryChildren(tr)
+	got := kept[1]
+	if len(got) != 2 {
+		t.Fatalf("kept %v, want 2 children", got)
+	}
+	if got[0] != 5 || got[1] != 3 {
+		t.Fatalf("kept %v, want [5 3] (deepest first)", got)
+	}
+}
+
+func TestBinaryChildrenTieBreaksByJoinOrder(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 1}, {C: 2}, {C: 3}}})
+	kept := BinaryChildren(tr)
+	if len(kept[1]) != 2 || kept[1][0] != 2 || kept[1][1] != 3 {
+		t.Fatalf("kept %v, want the two earliest joiners [2 3]", kept[1])
+	}
+}
+
+func TestRewardsMatchGeometricOnBinaryTrees(t *testing.T) {
+	// On trees with fanout <= 2, pruning is a no-op and the mechanism
+	// must coincide with the (a,b)-Geometric mechanism.
+	p := core.DefaultParams()
+	em, err := Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := treegen.KAry(2, 4, 1.5)
+	re, err := em.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := geo.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range tr.Nodes() {
+		if !numeric.AlmostEqual(re.Of(u), rg.Of(u), numeric.Eps) {
+			t.Fatalf("R(%d): emek %v != geometric %v", u, re.Of(u), rg.Of(u))
+		}
+	}
+}
+
+func TestPrunedBranchDoesNotPayAncestor(t *testing.T) {
+	m := defaultMech(t)
+	// u with two tall children; a third, shallow child contributes a lot
+	// but must not change R(u).
+	base := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{
+		{C: 1, Kids: []tree.Spec{{C: 1}}},
+		{C: 1, Kids: []tree.Spec{{C: 1}}},
+	}})
+	before, err := m.Rewards(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base.Clone()
+	grown.MustAdd(1, 100) // shallow third child, pruned
+	after, err := m.Rewards(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(before.Of(1), after.Of(1), numeric.Eps) {
+		t.Fatalf("pruned branch changed R(u): %v -> %v", before.Of(1), after.Of(1))
+	}
+}
+
+// TestCSIFailure is the Sect. 4.3 claim: a node with two established
+// children gains nothing from soliciting a third (CSI violated), whereas
+// the plain Geometric mechanism always rewards new solicitation.
+func TestCSIFailure(t *testing.T) {
+	m := defaultMech(t)
+	base := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{
+		{C: 1, Kids: []tree.Spec{{C: 1}}},
+		{C: 1, Kids: []tree.Spec{{C: 1}}},
+	}})
+	before, err := m.Rewards(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base.Clone()
+	grown.MustAdd(1, 1) // newly solicited third child
+	after, err := m.Rewards(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.StrictlyGreater(after.Of(1), before.Of(1), numeric.Eps) {
+		t.Fatal("third child increased the solicitor's reward; CSI failure not reproduced")
+	}
+}
+
+func TestBudgetOnCorpus(t *testing.T) {
+	m := defaultMech(t)
+	for i, tr := range treegen.Corpus(61, 20, 60) {
+		r, err := m.Rewards(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if err := core.Audit(m, tr, r); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+	}
+}
+
+func TestRewardNeverExceedsGeometric(t *testing.T) {
+	// Pruning only removes bubble-up paths, so Emek rewards are
+	// pointwise at most the Geometric rewards with equal parameters.
+	p := core.DefaultParams()
+	em, err := Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range treegen.Corpus(62, 10, 50) {
+		re, err := em.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := geo.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range tr.Nodes() {
+			if re.Of(u) > rg.Of(u)+1e-9 {
+				t.Fatalf("R(%d): emek %v > geometric %v", u, re.Of(u), rg.Of(u))
+			}
+		}
+	}
+}
+
+func TestRewardsHandComputed(t *testing.T) {
+	// a = 0.5, b = 0.25. u(2) with kids v(4) [chain of one] and w(8)
+	// [leaf], plus x(16) [leaf, pruned since v and w tie at height 0 and
+	// join earlier].
+	p := core.Params{Phi: 0.5, FairShare: 0}
+	m, err := New(p, 0.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 4}, {C: 8}, {C: 16}}})
+	r, err := m.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kept children of u: ids 2 and 3 (join order). S(u) = 2 + 0.5*(4+8) = 8.
+	if got, want := r.Of(1), 0.25*8.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("R(u) = %v, want %v", got, want)
+	}
+	if got, want := r.Of(4), 0.25*16.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pruned child keeps its own reward: R = %v, want %v", got, want)
+	}
+}
+
+func TestName(t *testing.T) {
+	if defaultMech(t).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestRewardsRejectsInvalidTree(t *testing.T) {
+	var empty tree.Tree
+	if _, err := defaultMech(t).Rewards(&empty); err == nil {
+		t.Fatal("rootless tree should be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"incentivetree/internal/core"
+)
+
+func TestSuiteConstructs(t *testing.T) {
+	mechs, err := Suite(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mechs) != 6 {
+		t.Fatalf("suite size = %d, want 6", len(mechs))
+	}
+	names := map[string]bool{}
+	for _, m := range mechs {
+		if names[m.Name()] {
+			t.Fatalf("duplicate mechanism name %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+}
+
+func TestSuiteRejectsBadParams(t *testing.T) {
+	if _, err := Suite(core.Params{Phi: 0}); err == nil {
+		t.Fatal("invalid params should fail suite construction")
+	}
+}
+
+// TestEveryExperimentMatchesPaper is the repository's reproduction gate:
+// all twelve experiments must run and report OK (measured shape matches
+// the paper's claims).
+func TestEveryExperimentMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are second-scale")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.ID != r.ID {
+				t.Fatalf("result id %q, want %q", res.ID, r.ID)
+			}
+			if !res.OK {
+				t.Errorf("%s does not match the paper:\n%s", r.ID, res.Render())
+			}
+			if len(res.Rows) == 0 {
+				t.Error("no result rows")
+			}
+			if res.Title == "" {
+				t.Error("empty title")
+			}
+		})
+	}
+}
+
+func TestRunAllOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are second-scale")
+	}
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("got %d results, want %d", len(results), len(All()))
+	}
+	for i, r := range All() {
+		if results[i].ID != r.ID {
+			t.Fatalf("result %d has id %q, want %q", i, results[i].ID, r.ID)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := Result{
+		ID:     "E99",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note one"},
+		OK:     true,
+	}
+	out := r.Render()
+	for _, want := range []string{"E99", "demo", "MATCHES PAPER", "| a | b |", "| 1 | 2 |", "note one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	r.OK = false
+	if !strings.Contains(r.Render(), "MISMATCH") {
+		t.Error("render should flag mismatches")
+	}
+}
+
+func TestMarkAndFormat(t *testing.T) {
+	if mark(true) != "✓" || mark(false) != "✗" {
+		t.Fatal("mark symbols changed")
+	}
+	if f(1.5) != "1.5" {
+		t.Fatalf("f(1.5) = %q", f(1.5))
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/sim"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+// E11RewardScaling contrasts the URO mechanisms with the bounded CDRM
+// family: R(u) as a function of the solicitation fanout, with u's own
+// contribution fixed at 1. TDRM and Geometric grow without bound; CDRM
+// saturates strictly below Phi * C(u).
+func E11RewardScaling() (Result, error) {
+	res := Result{
+		ID:     "E11",
+		Title:  "Reward scaling in fanout: unbounded (URO) vs capped (Sect. 5 vs Sect. 6)",
+		Header: []string{"fanout", "Geometric", "TDRM", "CDRM-Reciprocal", "CDRM cap Phi*C(u)"},
+		OK:     true,
+	}
+	p := core.DefaultParams()
+	geo, err := geometric.Default(p)
+	if err != nil {
+		return Result{}, err
+	}
+	td, err := tdrm.Default(p)
+	if err != nil {
+		return Result{}, err
+	}
+	rec, err := cdrm.DefaultReciprocal(p)
+	if err != nil {
+		return Result{}, err
+	}
+	rewardCap := p.Phi * 1.0
+	var lastGeo, lastTD, lastRec float64
+	var prevGeo, prevTD float64
+	for _, fanout := range []int{1, 4, 16, 64, 256, 1024} {
+		t := tree.New()
+		u := t.MustAdd(tree.Root, 1)
+		for i := 0; i < fanout; i++ {
+			t.MustAdd(u, 1)
+		}
+		rg, err := geo.Rewards(t)
+		if err != nil {
+			return Result{}, err
+		}
+		rt, err := td.Rewards(t)
+		if err != nil {
+			return Result{}, err
+		}
+		rr, err := rec.Rewards(t)
+		if err != nil {
+			return Result{}, err
+		}
+		prevGeo, prevTD = lastGeo, lastTD
+		lastGeo, lastTD, lastRec = rg.Of(u), rt.Of(u), rr.Of(u)
+		if lastGeo <= prevGeo || lastTD <= prevTD {
+			res.OK = false // unbounded mechanisms must keep growing
+		}
+		if lastRec >= rewardCap {
+			res.OK = false // CDRM must stay under its cap
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", fanout), f(lastGeo), f(lastTD), f(lastRec), f(rewardCap),
+		})
+	}
+	if lastGeo < 10 || lastTD < 10 {
+		res.OK = false // by fanout 1024 the URO mechanisms are far past any cap
+	}
+	res.Notes = append(res.Notes,
+		"Geometric and TDRM grow linearly in fanout (URO); CDRM-Reciprocal converges to but never reaches Phi*C(u), which is why it fails URO and PO.")
+	return res, nil
+}
+
+// E12GrowthSimulation runs the deployment-style campaign of the paper's
+// introduction: identical recruitment dynamics under each mechanism, with
+// 30% of joiners mounting chain-Sybil attacks. The headline measurement
+// is the attackers' reward yield relative to honest participants.
+func E12GrowthSimulation() (Result, error) {
+	res := Result{
+		ID: "E12",
+		Title: "Growth simulation with Sybil attackers (deployment scenario, " +
+			"Sect. 1 motivation)",
+		Header: []string{"mechanism", "participants", "identities", "C(T)", "R(T)",
+			"reward Gini", "Sybil advantage"},
+		OK: true,
+	}
+	mechs, err := Suite(core.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sim.DefaultConfig(42)
+	cfg.SybilFraction = 0.3
+	results, err := sim.Compare(mechs, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for i, r := range results {
+		adv := r.SybilAdvantage()
+		res.Rows = append(res.Rows, []string{
+			r.Mechanism,
+			fmt.Sprintf("%d", r.Participants),
+			fmt.Sprintf("%d", r.Identities),
+			f(r.Total), f(r.Rewards),
+			fmt.Sprintf("%.3f", r.RewardGini),
+			fmt.Sprintf("%.3f×", adv),
+		})
+		switch i {
+		case 0, 1: // Geometric, L-Luxor: splitting pays
+			if adv <= 1.0 {
+				res.OK = false
+			}
+		case 3: // TDRM: splitting must not pay
+			if adv > 1.05 {
+				res.OK = false
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"30% of joiners split into 3 chained identities; every campaign uses identical seeds and arrival dynamics.",
+		"Sybil advantage is the attackers' reward-per-contribution over the honest participants'; > 1 means the mechanism leaks reward to multi-identity strategies (the Theorem 1 USA failure, visible end-to-end).")
+	return res, nil
+}

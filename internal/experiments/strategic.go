@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/strategic"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+// X05EquilibriumContribution runs best-response contribution dynamics
+// under every suite mechanism on an identical population: the axioms
+// (CCI's marginal reward, the dR/dx < 1 structure of CDRM) turned into
+// elicited contribution. This is the behavioural counterpart of the
+// paper's incentive claims.
+func X05EquilibriumContribution() (Result, error) {
+	res := Result{
+		ID:    "X05",
+		Title: "Best-response equilibrium: contribution elicited by each mechanism",
+		Header: []string{"mechanism", "rounds", "converged",
+			"equilibrium C(T)", "participation", "welfare"},
+		OK: true,
+	}
+	mechs, err := Suite(core.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	// A fixed 25-participant referral shape with heterogeneous private
+	// values in [0.3, 1.0).
+	rng := rand.New(rand.NewSource(7))
+	shape := treegen.GaltonWatson(rng, 3, 3, 0.55, 25, treegen.Constant(1))
+	values := make(map[tree.NodeID]float64, shape.NumParticipants())
+	for _, u := range shape.Nodes() {
+		values[u] = 0.3 + 0.7*rng.Float64()
+	}
+	cfg := strategic.DefaultConfig()
+	for _, m := range mechs {
+		eq, err := strategic.BestResponse(m, shape, values, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if !eq.Converged {
+			res.OK = false
+		}
+		// Budget must hold at the equilibrium profile too.
+		r, err := m.Rewards(eq.Tree)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := core.Audit(m, eq.Tree, r); err != nil {
+			res.OK = false
+			res.Notes = append(res.Notes, err.Error())
+		}
+		res.Rows = append(res.Rows, []string{
+			m.Name(), fmt.Sprintf("%d", eq.Rounds), mark(eq.Converged),
+			f(eq.Total), fmt.Sprintf("%.0f%%", 100*eq.Participation), f(eq.Welfare),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"Every agent picks its contribution from the grid {0, 0.5, 1, 2, 4} to maximize v*c + R(c) - c; dynamics sweep until a fixed point.",
+		"Participation thresholds follow each schedule's marginal reward: a lone agent contributes under Geometric only if v > 1-b = 2/3, under CDRM if v > 1-Phi once its subtree is heavy.")
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/properties"
+	"incentivetree/internal/sybil"
+	"incentivetree/internal/tree"
+)
+
+// expectedMatrix is the paper's claimed property profile, keyed by suite
+// index (see Suite): the set of properties each mechanism FAILS.
+func expectedMatrix() []map[properties.Property]bool {
+	return []map[properties.Property]bool{
+		{properties.USA: true, properties.UGSA: true}, // Geometric, Theorem 1
+		{properties.USA: true, properties.UGSA: true}, // L-Luxor, "same properties"
+		{properties.SL: true, properties.UGSA: true},  // L-Pachira, Theorem 2
+		{properties.UGSA: true},                       // TDRM, Theorem 4
+		{properties.URO: true, properties.PO: true},   // CDRM-Reciprocal, Theorem 5
+		{properties.URO: true, properties.PO: true},   // CDRM-Log, Theorem 5
+	}
+}
+
+// E01PropertyMatrix reproduces the paper's headline artifact: the
+// property matrix implied by Theorems 1, 2, 4 and 5.
+func E01PropertyMatrix() (Result, error) {
+	res := Result{
+		ID:    "E01",
+		Title: "Property matrix (Theorems 1, 2, 4, 5)",
+		OK:    true,
+	}
+	mechs, err := Suite(core.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	mat := properties.RunParallel(mechs, properties.DefaultConfig())
+	expected := expectedMatrix()
+	res.Header = append([]string{"mechanism"}, func() []string {
+		var h []string
+		for _, p := range mat.Properties {
+			h = append(h, p.String())
+		}
+		return h
+	}()...)
+	for i, row := range mat.Rows {
+		cells := []string{row.Mechanism}
+		for _, p := range mat.Properties {
+			v := row.Verdicts[p]
+			cell := mark(v.Holds)
+			wantHolds := !expected[i][p]
+			if v.Holds != wantHolds {
+				cell += " (paper: " + mark(wantHolds) + ")"
+				res.OK = false
+			}
+			cells = append(cells, cell)
+		}
+		res.Rows = append(res.Rows, cells)
+	}
+	res.Notes = append(res.Notes,
+		"Every ✗ is backed by a concrete witness; every ✓ survived bounded falsification (see internal/properties).",
+		"Paper expectation: Geometric and L-Luxor fail USA+UGSA; L-Pachira fails SL+UGSA; TDRM fails only UGSA; CDRM fails only URO+PO.")
+	return res, nil
+}
+
+// E02Impossibility executes the constructive proof of Theorem 3 (Fig. 2)
+// against the Geometric mechanism, which satisfies SL and PO: the
+// u_a/u_b generalized Sybil attack must strictly increase profit,
+// demonstrating that SL + PO force a UGSA violation.
+func E02Impossibility() (Result, error) {
+	res := Result{
+		ID:     "E02",
+		Title:  "Impossibility of SL + PO + UGSA (Theorem 3, Fig. 2)",
+		Header: []string{"quantity", "value"},
+	}
+	p := core.DefaultParams()
+	m, err := geometric.Default(p)
+	if err != nil {
+		return Result{}, err
+	}
+	// v* with C(v*) = 1 whose child tree T* gives it positive profit
+	// (PO): T* is u* (C=1) with 100 unit children.
+	const cv, cu = 1.0, 1.0
+	const fanout = 100
+	kids := make([]tree.Spec, fanout)
+	for i := range kids {
+		kids[i] = tree.Spec{C: 1}
+	}
+
+	// Single-join world: v* -> u* -> 100 children.
+	base := tree.FromSpecs(tree.Spec{C: cv, Label: "v*"})
+	scenario := sybil.Scenario{Base: base, Parent: 1, Contribution: cu, ChildTrees: kids}
+	single, err := sybil.Execute(m, scenario, sybil.Single(cu, fanout))
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Fig. 2 right: u* joins as u_a (C = C(v*)) over u_b (C = C(u*)).
+	attack := sybil.Arrangement{
+		Parts:       []float64{cv, cu},
+		ParentIdx:   []int{-1, 0},
+		ChildAssign: make([]int, fanout),
+	}
+	for j := range attack.ChildAssign {
+		attack.ChildAssign[j] = 1
+	}
+	attacked, err := sybil.Execute(m, scenario, attack)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// P(v*) in the single-join world, for the identity
+	// P'(u*) = P(u*) + P(v*) predicted by SL.
+	singleTree := base.Clone()
+	uStar, err := singleTree.Add(1, cu)
+	if err != nil {
+		return Result{}, err
+	}
+	for range kids {
+		if _, err := singleTree.Add(uStar, 1); err != nil {
+			return Result{}, err
+		}
+	}
+	rw, err := m.Rewards(singleTree)
+	if err != nil {
+		return Result{}, err
+	}
+	profitVStar := core.Profit(singleTree, rw, 1)
+
+	gain := attacked.Profit() - single.Profit()
+	res.Rows = [][]string{
+		{"P(u*) single join", f(single.Profit())},
+		{"P'(u*) as u_a+u_b", f(attacked.Profit())},
+		{"profit gain", f(gain)},
+		{"P(v*) (predicted gain via SL)", f(profitVStar)},
+	}
+	res.OK = gain > 0 && profitVStar > 0 &&
+		fmt.Sprintf("%.9f", gain) == fmt.Sprintf("%.9f", profitVStar)
+	res.Notes = append(res.Notes,
+		"Theorem 3: for any mechanism with SL and PO, the u_a/u_b attack gains exactly P(v*) > 0, violating UGSA.",
+		"Measured gain equals the SL-predicted P(v*) to 9 decimal places.")
+	return res, nil
+}

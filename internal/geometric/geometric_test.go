@@ -1,0 +1,190 @@
+package geometric
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func mustNew(t *testing.T, p core.Params, a, b float64) *Mechanism {
+	t.Helper()
+	m, err := New(p, a, b)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	p := core.Params{Phi: 0.5, FairShare: 0.05}
+	tests := []struct {
+		name    string
+		a, b    float64
+		wantErr bool
+	}{
+		{"valid", 0.5, 0.2, false},
+		{"valid at budget bound", 0.5, 0.25, false},
+		{"a zero", 0, 0.2, true},
+		{"a one", 1, 0.2, true},
+		{"a negative", -0.3, 0.2, true},
+		{"b zero", 0.5, 0, true},
+		{"b below fairness", 0.5, 0.01, true},
+		{"b above budget bound", 0.5, 0.3, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(p, tc.a, tc.b)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(a=%v, b=%v) err = %v, wantErr %v", tc.a, tc.b, err, tc.wantErr)
+			}
+			if err != nil && !errors.Is(err, core.ErrBadParams) {
+				t.Fatalf("error should wrap ErrBadParams, got %v", err)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(core.Params{Phi: 2}, 0.5, 0.2); err == nil {
+		t.Fatal("invalid shared params should be rejected")
+	}
+}
+
+func TestDefault(t *testing.T) {
+	m, err := Default(core.DefaultParams())
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	if got := m.B(); math.Abs(got-(1-m.A())*0.5) > 1e-12 {
+		t.Fatalf("Default b = %v, want budget bound", got)
+	}
+}
+
+// TestRewardsHandComputed checks Algorithm 1 on a hand-evaluated tree.
+//
+//	r -> u(4) -> { v(2) -> w(1), x(3) }
+//
+// With a = 1/2, b = 1/4:
+//
+//	R(w) = b*1                     = 0.25
+//	R(v) = b*(2 + a*1)             = 0.625
+//	R(x) = b*3                     = 0.75
+//	R(u) = b*(4 + a*(2+a*1) + a*3) = b*(4 + 1.25 + 1.5) = 1.6875
+func TestRewardsHandComputed(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 4, Kids: []tree.Spec{
+		{C: 2, Kids: []tree.Spec{{C: 1}}},
+		{C: 3},
+	}})
+	m := mustNew(t, core.Params{Phi: 0.5, FairShare: 0}, 0.5, 0.25)
+	r, err := m.Rewards(tr)
+	if err != nil {
+		t.Fatalf("Rewards: %v", err)
+	}
+	wants := map[tree.NodeID]float64{1: 1.6875, 2: 0.625, 3: 0.25, 4: 0.75}
+	for id, want := range wants {
+		if got := r.Of(id); math.Abs(got-want) > 1e-12 {
+			t.Errorf("R(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if got := r.Of(tree.Root); got != 0 {
+		t.Errorf("root reward = %v", got)
+	}
+}
+
+// TestRewardsMatchesDefinition cross-checks the O(n) implementation
+// against the paper's O(n^2) definition on random trees.
+func TestRewardsMatchesDefinition(t *testing.T) {
+	m := mustNew(t, core.DefaultParams(), 0.4, 0.2)
+	for _, tr := range treegen.Corpus(99, 15, 40) {
+		r, err := m.Rewards(tr)
+		if err != nil {
+			t.Fatalf("Rewards: %v", err)
+		}
+		for _, u := range tr.Nodes() {
+			want := 0.0
+			tr.WalkDepth(u, func(v tree.NodeID, d int) bool {
+				want += math.Pow(m.A(), float64(d)) * m.B() * tr.Contribution(v)
+				return true
+			})
+			if got := r.Of(u); !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("R(%d) = %v, want %v (definition)", u, got, want)
+			}
+		}
+	}
+}
+
+func TestBudgetConstraintOnCorpus(t *testing.T) {
+	m, err := Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range treegen.Corpus(5, 25, 80) {
+		r, err := m.Rewards(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if err := core.Audit(m, tr, r); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+	}
+}
+
+func TestFairnessFloorOnCorpus(t *testing.T) {
+	p := core.Params{Phi: 0.5, FairShare: 0.1}
+	m := mustNew(t, p, 0.5, 0.2)
+	for _, tr := range treegen.Corpus(6, 10, 50) {
+		r, err := m.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range tr.Nodes() {
+			if floor := p.FairShare * tr.Contribution(u); r.Of(u) < floor-1e-12 {
+				t.Fatalf("R(%d) = %v below phi*C = %v", u, r.Of(u), floor)
+			}
+		}
+	}
+}
+
+func TestRewardsRejectInvalidTree(t *testing.T) {
+	m := mustNew(t, core.DefaultParams(), 0.5, 0.2)
+	bad := tree.FromSpecs(tree.Spec{C: 1})
+	// Corrupt through JSON round trip? Simpler: build an invalid tree via
+	// unsafe reflection is overkill; instead check a valid tree passes and
+	// rely on tree.Validate tests for corruption. Here we exercise the
+	// error path with an empty (rootless) tree value.
+	var empty tree.Tree
+	if _, err := m.Rewards(&empty); err == nil {
+		t.Fatal("Rewards should reject a rootless tree")
+	}
+	if _, err := m.Rewards(bad); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestDeepChainRewardConverges(t *testing.T) {
+	// On an infinite unit chain, the top node's reward tends to
+	// b * 1/(1-a). A depth-60 chain is numerically there already.
+	a, b := 0.5, 0.25
+	m := mustNew(t, core.Params{Phi: 0.5}, a, b)
+	tr := treegen.ChainTree(60, 1)
+	r, err := m.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b / (1 - a)
+	if got := r.Of(1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chain-top reward = %v, want %v", got, want)
+	}
+}
+
+func TestName(t *testing.T) {
+	m := mustNew(t, core.DefaultParams(), 0.5, 0.2)
+	if got := m.Name(); got != "Geometric(a=0.5,b=0.2)" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package incremental maintains Incentive Tree rewards under a stream of
+// joins and contribution updates without recomputing the whole tree.
+//
+// A live referral service (internal/server, cmd/itreed) processes two
+// kinds of writes — "join" and "contribute" — and serves reward reads
+// between them. Recomputing R(u) for all u is O(n) per read; the engines
+// here exploit the recursive structure of the mechanisms to keep per-node
+// reward state that a write updates in O(depth):
+//
+//   - Geometric: R(u) = b*S(u) with S(u) = C(u) + a*sum_children S, so a
+//     contribution delta at v adds a^dist * delta to S along v's ancestor
+//     path.
+//   - CDRM: R(u) = f(C(u), Y(u)) with Y(u) the proper-descendant sum, so
+//     a delta at v adds delta to Y along the ancestor path.
+//
+// Mechanisms whose rewards depend on global structure (L-Pachira) or on
+// a non-local transformation (TDRM's reward computation tree) do not
+// admit this decomposition and are served by full evaluation.
+package incremental
+
+import (
+	"fmt"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tree"
+)
+
+// Engine maintains a referral tree and serves rewards under writes.
+type Engine interface {
+	// Join adds a participant under parent with contribution c.
+	Join(parent tree.NodeID, c float64) (tree.NodeID, error)
+	// AddContribution increases a participant's contribution.
+	AddContribution(u tree.NodeID, delta float64) error
+	// Reward returns the current R(u) in O(1).
+	Reward(u tree.NodeID) float64
+	// Rewards snapshots all rewards.
+	Rewards() core.Rewards
+	// Tree exposes the maintained referral tree (read-only by
+	// convention).
+	Tree() *tree.Tree
+	// Mechanism returns the mechanism whose rewards are maintained.
+	Mechanism() core.Mechanism
+}
+
+// GeometricEngine incrementally maintains the (a,b)-Geometric mechanism.
+type GeometricEngine struct {
+	mech *geometric.Mechanism
+	t    *tree.Tree
+	s    []float64 // weighted subtree sums: R(u) = b * s[u]
+}
+
+// NewGeometric starts an empty engine for m.
+func NewGeometric(m *geometric.Mechanism) *GeometricEngine {
+	return &GeometricEngine{mech: m, t: tree.New(), s: []float64{0}}
+}
+
+// Join implements Engine in O(depth).
+func (e *GeometricEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	id, err := e.t.Add(parent, c)
+	if err != nil {
+		return tree.None, err
+	}
+	e.s = append(e.s, 0)
+	e.bubble(id, c)
+	return id, nil
+}
+
+// AddContribution implements Engine in O(depth).
+func (e *GeometricEngine) AddContribution(u tree.NodeID, delta float64) error {
+	if err := e.t.AddContribution(u, delta); err != nil {
+		return err
+	}
+	e.bubble(u, delta)
+	return nil
+}
+
+// bubble adds delta to s[u] and a^dist*delta to every ancestor.
+func (e *GeometricEngine) bubble(u tree.NodeID, delta float64) {
+	factor := 1.0
+	for n := u; n != tree.Root; n = e.t.Parent(n) {
+		e.s[n] += factor * delta
+		factor *= e.mech.A()
+	}
+}
+
+// Reward implements Engine.
+func (e *GeometricEngine) Reward(u tree.NodeID) float64 {
+	if u <= tree.Root || int(u) >= len(e.s) {
+		return 0
+	}
+	return e.mech.B() * e.s[u]
+}
+
+// Rewards implements Engine.
+func (e *GeometricEngine) Rewards() core.Rewards {
+	out := make(core.Rewards, len(e.s))
+	for id := 1; id < len(e.s); id++ {
+		out[id] = e.mech.B() * e.s[id]
+	}
+	return out
+}
+
+// Tree implements Engine.
+func (e *GeometricEngine) Tree() *tree.Tree { return e.t }
+
+// Mechanism implements Engine.
+func (e *GeometricEngine) Mechanism() core.Mechanism { return e.mech }
+
+// CDRMEngine incrementally maintains any CDRM-family mechanism.
+type CDRMEngine struct {
+	mech *cdrm.Mechanism
+	t    *tree.Tree
+	desc []float64 // proper-descendant contribution sums y_u
+}
+
+// NewCDRM starts an empty engine for m.
+func NewCDRM(m *cdrm.Mechanism) *CDRMEngine {
+	return &CDRMEngine{mech: m, t: tree.New(), desc: []float64{0}}
+}
+
+// Join implements Engine in O(depth).
+func (e *CDRMEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	id, err := e.t.Add(parent, c)
+	if err != nil {
+		return tree.None, err
+	}
+	e.desc = append(e.desc, 0)
+	e.propagate(id, c)
+	return id, nil
+}
+
+// AddContribution implements Engine in O(depth).
+func (e *CDRMEngine) AddContribution(u tree.NodeID, delta float64) error {
+	if err := e.t.AddContribution(u, delta); err != nil {
+		return err
+	}
+	e.propagate(u, delta)
+	return nil
+}
+
+// propagate adds delta to every proper ancestor's descendant sum.
+func (e *CDRMEngine) propagate(u tree.NodeID, delta float64) {
+	for n := e.t.Parent(u); n != tree.Root && n != tree.None; n = e.t.Parent(n) {
+		e.desc[n] += delta
+	}
+}
+
+// Reward implements Engine.
+func (e *CDRMEngine) Reward(u tree.NodeID) float64 {
+	if u <= tree.Root || int(u) >= len(e.desc) {
+		return 0
+	}
+	return e.mech.Func().Eval(e.t.Contribution(u), e.desc[u])
+}
+
+// Rewards implements Engine.
+func (e *CDRMEngine) Rewards() core.Rewards {
+	out := make(core.Rewards, len(e.desc))
+	for id := 1; id < len(e.desc); id++ {
+		out[id] = e.Reward(tree.NodeID(id))
+	}
+	return out
+}
+
+// Tree implements Engine.
+func (e *CDRMEngine) Tree() *tree.Tree { return e.t }
+
+// Mechanism implements Engine.
+func (e *CDRMEngine) Mechanism() core.Mechanism { return e.mech }
+
+// FullEngine serves any mechanism by re-evaluating rewards after every
+// write — the baseline the incremental engines are benchmarked against,
+// and the fallback for mechanisms without an incremental decomposition
+// (TDRM, L-Pachira).
+type FullEngine struct {
+	mech    core.Mechanism
+	t       *tree.Tree
+	rewards core.Rewards
+}
+
+// NewFull starts an empty full-evaluation engine.
+func NewFull(m core.Mechanism) (*FullEngine, error) {
+	e := &FullEngine{mech: m, t: tree.New()}
+	if err := e.recompute(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *FullEngine) recompute() error {
+	r, err := e.mech.Rewards(e.t)
+	if err != nil {
+		return fmt.Errorf("incremental: recompute: %w", err)
+	}
+	e.rewards = r
+	return nil
+}
+
+// Join implements Engine in O(n).
+func (e *FullEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	id, err := e.t.Add(parent, c)
+	if err != nil {
+		return tree.None, err
+	}
+	if err := e.recompute(); err != nil {
+		return tree.None, err
+	}
+	return id, nil
+}
+
+// AddContribution implements Engine in O(n).
+func (e *FullEngine) AddContribution(u tree.NodeID, delta float64) error {
+	if err := e.t.AddContribution(u, delta); err != nil {
+		return err
+	}
+	return e.recompute()
+}
+
+// Reward implements Engine.
+func (e *FullEngine) Reward(u tree.NodeID) float64 { return e.rewards.Of(u) }
+
+// Rewards implements Engine.
+func (e *FullEngine) Rewards() core.Rewards {
+	return append(core.Rewards(nil), e.rewards...)
+}
+
+// Tree implements Engine.
+func (e *FullEngine) Tree() *tree.Tree { return e.t }
+
+// Mechanism implements Engine.
+func (e *FullEngine) Mechanism() core.Mechanism { return e.mech }

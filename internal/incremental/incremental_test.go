@@ -1,0 +1,188 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+func geoEngine(t *testing.T) *GeometricEngine {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGeometric(m)
+}
+
+func cdrmEngine(t *testing.T) *CDRMEngine {
+	t.Helper()
+	m, err := cdrm.DefaultReciprocal(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCDRM(m)
+}
+
+// opSequence drives an engine through a deterministic random workload
+// and cross-checks every read against full re-evaluation.
+func opSequence(t *testing.T, e Engine, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		if e.Tree().NumParticipants() == 0 || rng.Float64() < 0.6 {
+			parent := tree.NodeID(rng.Intn(e.Tree().Len()))
+			if _, err := e.Join(parent, rng.Float64()*4); err != nil {
+				t.Fatalf("op %d join: %v", i, err)
+			}
+		} else {
+			u := tree.NodeID(1 + rng.Intn(e.Tree().NumParticipants()))
+			if err := e.AddContribution(u, rng.Float64()*2); err != nil {
+				t.Fatalf("op %d contribute: %v", i, err)
+			}
+		}
+		if i%7 == 0 { // periodic full cross-check
+			want, err := e.Mechanism().Rewards(e.Tree())
+			if err != nil {
+				t.Fatalf("op %d: full eval: %v", i, err)
+			}
+			got := e.Rewards()
+			if len(got) != len(want) {
+				t.Fatalf("op %d: %d rewards, want %d", i, len(got), len(want))
+			}
+			for id := range want {
+				if !numeric.AlmostEqual(got[id], want[id], 1e-9) {
+					t.Fatalf("op %d node %d: incremental %v != full %v", i, id, got[id], want[id])
+				}
+			}
+		}
+	}
+}
+
+func TestGeometricEngineMatchesFullEvaluation(t *testing.T) {
+	opSequence(t, geoEngine(t), 1, 300)
+}
+
+func TestCDRMEngineMatchesFullEvaluation(t *testing.T) {
+	opSequence(t, cdrmEngine(t), 2, 300)
+}
+
+func TestFullEngineMatchesItself(t *testing.T) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFull(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opSequence(t, e, 3, 60)
+}
+
+func TestGeometricEngineHandComputed(t *testing.T) {
+	// a = 1/3, b = (1-a)*Phi = 1/3 (defaults). Chain u -> v with C 1, 3:
+	// R(v) = b*3, R(u) = b*(1 + a*3) = b*2.
+	e := geoEngine(t)
+	u, err := e.Join(tree.Root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Join(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 1.0 / 3.0
+	if got := e.Reward(v); !numeric.AlmostEqual(got, b*3, 1e-12) {
+		t.Fatalf("R(v) = %v", got)
+	}
+	if got := e.Reward(u); !numeric.AlmostEqual(got, b*2, 1e-12) {
+		t.Fatalf("R(u) = %v", got)
+	}
+	// Contribution top-up at v bubbles a*delta to u.
+	if err := e.AddContribution(v, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Reward(u); !numeric.AlmostEqual(got, b*3, 1e-12) {
+		t.Fatalf("after top-up R(u) = %v", got)
+	}
+}
+
+func TestCDRMEngineHandComputed(t *testing.T) {
+	e := cdrmEngine(t)
+	u, err := e.Join(tree.Root, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Join(u, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := e.mech.Func().Eval(2, 1)
+	if got := e.Reward(u); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("R(u) = %v, want %v", got, want)
+	}
+}
+
+func TestEngineErrorPaths(t *testing.T) {
+	engines := []Engine{geoEngine(t), cdrmEngine(t)}
+	for _, e := range engines {
+		if _, err := e.Join(tree.NodeID(9), 1); err == nil {
+			t.Fatal("join under missing parent should fail")
+		}
+		if err := e.AddContribution(tree.NodeID(9), 1); err == nil {
+			t.Fatal("contribution to missing node should fail")
+		}
+		if _, err := e.Join(tree.Root, -1); err == nil {
+			t.Fatal("negative contribution should fail")
+		}
+		if got := e.Reward(tree.Root); got != 0 {
+			t.Fatalf("root reward = %v", got)
+		}
+		if got := e.Reward(tree.NodeID(99)); got != 0 {
+			t.Fatalf("missing node reward = %v", got)
+		}
+	}
+}
+
+func TestFailedWriteLeavesStateConsistent(t *testing.T) {
+	e := geoEngine(t)
+	u, err := e.Join(tree.Root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underflowing contribution update must not corrupt the sums.
+	if err := e.AddContribution(u, -5); err == nil {
+		t.Fatal("underflow should fail")
+	}
+	want, err := e.Mechanism().Rewards(e.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(e.Reward(u), want.Of(u), 1e-12) {
+		t.Fatalf("state diverged after failed write: %v vs %v", e.Reward(u), want.Of(u))
+	}
+}
+
+func TestRewardsSnapshotIsACopy(t *testing.T) {
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewFull(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Join(tree.Root, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := full.Rewards()
+	snap[1] = 999
+	if full.Reward(1) == 999 {
+		t.Fatal("snapshot aliases engine state")
+	}
+}

@@ -1,0 +1,202 @@
+// Package journal provides an append-only event log for Incentive Tree
+// deployments: every state change (join, contribute) is recorded as one
+// JSON line, and a log replays into the exact referral tree it
+// witnessed. Together with the tree's JSON snapshot format this gives
+// the in-memory HTTP service (internal/server) crash-recovery semantics:
+// snapshot + suffix-of-journal = current state.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"incentivetree/internal/tree"
+)
+
+// Kind discriminates event types.
+type Kind string
+
+// The event kinds.
+const (
+	// KindJoin records a new participant (with optional sponsor).
+	KindJoin Kind = "join"
+	// KindContribute records a contribution increase.
+	KindContribute Kind = "contribute"
+)
+
+// Event is one journal entry. Participants are identified by name, as in
+// the HTTP API, so logs are stable across id renumbering.
+type Event struct {
+	Seq     uint64  `json:"seq"`
+	Kind    Kind    `json:"kind"`
+	Name    string  `json:"name"`
+	Sponsor string  `json:"sponsor,omitempty"`
+	Amount  float64 `json:"amount,omitempty"`
+}
+
+// Validate checks the event's internal consistency.
+func (e Event) Validate() error {
+	switch e.Kind {
+	case KindJoin:
+		if e.Name == "" {
+			return errors.New("journal: join event without name")
+		}
+		if e.Amount != 0 {
+			return errors.New("journal: join event carries an amount")
+		}
+	case KindContribute:
+		if e.Name == "" {
+			return errors.New("journal: contribute event without name")
+		}
+		if e.Amount <= 0 {
+			return fmt.Errorf("journal: contribute amount %v must be positive", e.Amount)
+		}
+	default:
+		return fmt.Errorf("journal: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Writer appends events as JSON lines. It is safe for concurrent use.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+}
+
+// NewWriter wraps w. Use nextSeq = 1 for a fresh log, or the successor
+// of the last persisted sequence number when appending.
+func NewWriter(w io.Writer, nextSeq uint64) *Writer {
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	return &Writer{w: w, seq: nextSeq}
+}
+
+// Append assigns the next sequence number, validates, and writes the
+// event as one JSON line. It returns the persisted event.
+func (jw *Writer) Append(e Event) (Event, error) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	e.Seq = jw.seq
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return Event{}, fmt.Errorf("journal: encode: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := jw.w.Write(data); err != nil {
+		return Event{}, fmt.Errorf("journal: write: %w", err)
+	}
+	jw.seq++
+	return e, nil
+}
+
+// Read decodes all events from r, checking sequence continuity.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", len(out)+1, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		if len(out) > 0 && e.Seq != out[len(out)-1].Seq+1 {
+			return nil, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, out[len(out)-1].Seq)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: scan: %w", err)
+	}
+	return out, nil
+}
+
+// State is the result of replaying a journal.
+type State struct {
+	// Tree is the reconstructed referral tree (labels carry names).
+	Tree *tree.Tree
+	// ByName maps participant names to node ids.
+	ByName map[string]tree.NodeID
+	// LastSeq is the sequence number of the last applied event (0 for an
+	// empty journal).
+	LastSeq uint64
+}
+
+// Replay applies events (in order) on top of an optional base state.
+// Pass nil to start from an empty tree.
+func Replay(base *State, events []Event) (*State, error) {
+	st := base
+	if st == nil {
+		st = &State{Tree: tree.New(), ByName: make(map[string]tree.NodeID)}
+	}
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		if e.Seq <= st.LastSeq {
+			return nil, fmt.Errorf("journal: event %d replayed out of order (last %d)", e.Seq, st.LastSeq)
+		}
+		switch e.Kind {
+		case KindJoin:
+			if _, dup := st.ByName[e.Name]; dup {
+				return nil, fmt.Errorf("journal: duplicate join of %q at seq %d", e.Name, e.Seq)
+			}
+			parent := tree.Root
+			if e.Sponsor != "" {
+				p, ok := st.ByName[e.Sponsor]
+				if !ok {
+					return nil, fmt.Errorf("journal: unknown sponsor %q at seq %d", e.Sponsor, e.Seq)
+				}
+				parent = p
+			}
+			id, err := st.Tree.Add(parent, 0)
+			if err != nil {
+				return nil, fmt.Errorf("journal: seq %d: %w", e.Seq, err)
+			}
+			if err := st.Tree.SetLabel(id, e.Name); err != nil {
+				return nil, err
+			}
+			st.ByName[e.Name] = id
+		case KindContribute:
+			id, ok := st.ByName[e.Name]
+			if !ok {
+				return nil, fmt.Errorf("journal: contribution by unknown %q at seq %d", e.Name, e.Seq)
+			}
+			if err := st.Tree.AddContribution(id, e.Amount); err != nil {
+				return nil, fmt.Errorf("journal: seq %d: %w", e.Seq, err)
+			}
+		}
+		st.LastSeq = e.Seq
+	}
+	return st, nil
+}
+
+// StateFromTree rebuilds the replay state of an existing labelled tree
+// (e.g. a decoded snapshot), assigning it the given last sequence
+// number. Labels must be unique.
+func StateFromTree(t *tree.Tree, lastSeq uint64) (*State, error) {
+	st := &State{Tree: t, ByName: make(map[string]tree.NodeID, t.NumParticipants()), LastSeq: lastSeq}
+	for _, u := range t.Nodes() {
+		name := t.Label(u)
+		if _, dup := st.ByName[name]; dup {
+			return nil, fmt.Errorf("journal: duplicate participant name %q in snapshot", name)
+		}
+		st.ByName[name] = u
+	}
+	return st, nil
+}

@@ -1,0 +1,249 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"incentivetree/internal/tree"
+)
+
+func TestEventValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		e       Event
+		wantErr bool
+	}{
+		{"valid join", Event{Seq: 1, Kind: KindJoin, Name: "a"}, false},
+		{"valid sponsored join", Event{Seq: 1, Kind: KindJoin, Name: "b", Sponsor: "a"}, false},
+		{"valid contribute", Event{Seq: 1, Kind: KindContribute, Name: "a", Amount: 2}, false},
+		{"join without name", Event{Seq: 1, Kind: KindJoin}, true},
+		{"join with amount", Event{Seq: 1, Kind: KindJoin, Name: "a", Amount: 1}, true},
+		{"contribute without name", Event{Seq: 1, Kind: KindContribute, Amount: 1}, true},
+		{"contribute zero", Event{Seq: 1, Kind: KindContribute, Name: "a"}, true},
+		{"contribute negative", Event{Seq: 1, Kind: KindContribute, Name: "a", Amount: -1}, true},
+		{"unknown kind", Event{Seq: 1, Kind: "frobnicate", Name: "a"}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.e.Validate(); (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriterAssignsSequence(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	e1, err := w.Append(Event{Kind: KindJoin, Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := w.Append(Event{Kind: KindContribute, Name: "a", Amount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("sequences = %d, %d", e1.Seq, e2.Seq)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("lines = %d", got)
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 1)
+	if _, err := w.Append(Event{Kind: KindContribute, Name: "a", Amount: -1}); err == nil {
+		t.Fatal("invalid event should be rejected")
+	}
+	// Sequence not consumed by the failed append.
+	e, err := w.Append(Event{Kind: KindJoin, Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 1 {
+		t.Fatalf("seq = %d, want 1", e.Seq)
+	}
+}
+
+func TestWriterConcurrentAppends(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Append(Event{Kind: KindJoin, Name: "x"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// All 50 lines present with distinct, gap-free sequences. (The log
+	// itself has duplicate names; Read only checks sequencing.)
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 50 {
+		t.Fatalf("events = %d", len(events))
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	want := []Event{
+		{Kind: KindJoin, Name: "ada"},
+		{Kind: KindJoin, Name: "bo", Sponsor: "ada"},
+		{Kind: KindContribute, Name: "bo", Amount: 2.5},
+	}
+	for _, e := range want {
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %d", len(got))
+	}
+	if got[2].Amount != 2.5 || got[1].Sponsor != "ada" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadDetectsGapsAndGarbage(t *testing.T) {
+	gap := `{"seq":1,"kind":"join","name":"a"}
+{"seq":3,"kind":"join","name":"b"}`
+	if _, err := Read(strings.NewReader(gap)); err == nil {
+		t.Fatal("sequence gap should be detected")
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+	// Blank lines are tolerated.
+	ok := "{\"seq\":1,\"kind\":\"join\",\"name\":\"a\"}\n\n"
+	if _, err := Read(strings.NewReader(ok)); err != nil {
+		t.Fatalf("blank line rejected: %v", err)
+	}
+}
+
+func TestReplayBuildsTree(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindJoin, Name: "ada"},
+		{Seq: 2, Kind: KindJoin, Name: "bo", Sponsor: "ada"},
+		{Seq: 3, Kind: KindContribute, Name: "ada", Amount: 2},
+		{Seq: 4, Kind: KindContribute, Name: "bo", Amount: 3},
+		{Seq: 5, Kind: KindContribute, Name: "bo", Amount: 1},
+	}
+	st, err := Replay(nil, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq != 5 {
+		t.Fatalf("LastSeq = %d", st.LastSeq)
+	}
+	if got := st.Tree.Total(); got != 6 {
+		t.Fatalf("Total = %v", got)
+	}
+	bo := st.ByName["bo"]
+	if got := st.Tree.Contribution(bo); got != 4 {
+		t.Fatalf("bo = %v", got)
+	}
+	if st.Tree.Parent(bo) != st.ByName["ada"] {
+		t.Fatal("sponsorship lost")
+	}
+	if err := st.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		events []Event
+	}{
+		{"duplicate join", []Event{
+			{Seq: 1, Kind: KindJoin, Name: "a"},
+			{Seq: 2, Kind: KindJoin, Name: "a"},
+		}},
+		{"unknown sponsor", []Event{
+			{Seq: 1, Kind: KindJoin, Name: "a", Sponsor: "ghost"},
+		}},
+		{"unknown contributor", []Event{
+			{Seq: 1, Kind: KindContribute, Name: "ghost", Amount: 1},
+		}},
+		{"stale sequence", []Event{
+			{Seq: 1, Kind: KindJoin, Name: "a"},
+			{Seq: 1, Kind: KindJoin, Name: "b"},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Replay(nil, tc.events); err == nil {
+				t.Fatal("Replay should fail")
+			}
+		})
+	}
+}
+
+func TestSnapshotPlusSuffixEqualsFullReplay(t *testing.T) {
+	all := []Event{
+		{Seq: 1, Kind: KindJoin, Name: "a"},
+		{Seq: 2, Kind: KindContribute, Name: "a", Amount: 1},
+		{Seq: 3, Kind: KindJoin, Name: "b", Sponsor: "a"},
+		{Seq: 4, Kind: KindContribute, Name: "b", Amount: 2},
+	}
+	full, err := Replay(nil, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot after the first two events...
+	prefix, err := Replay(nil, all[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(prefix.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored tree.Tree
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	base, err := StateFromTree(&restored, prefix.LastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then replay the suffix on top.
+	recovered, err := Replay(base, all[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.Tree.Equal(full.Tree) {
+		t.Fatalf("snapshot+suffix != full replay:\n%s\nvs\n%s",
+			recovered.Tree.Render(), full.Tree.Render())
+	}
+}
+
+func TestStateFromTreeRejectsDuplicateNames(t *testing.T) {
+	tr := tree.New()
+	a := tr.MustAdd(tree.Root, 1)
+	b := tr.MustAdd(tree.Root, 1)
+	if err := tr.SetLabel(a, "same"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetLabel(b, "same"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StateFromTree(tr, 0); err == nil {
+		t.Fatal("duplicate names should be rejected")
+	}
+}

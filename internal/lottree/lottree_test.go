@@ -1,0 +1,302 @@
+package lottree
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func TestNewLuxorValidation(t *testing.T) {
+	tests := []struct {
+		beta, a float64
+		wantErr bool
+	}{
+		{0.5, 0.5, false},
+		{1, 0.9, false},
+		{0, 0.5, true},
+		{1.2, 0.5, true},
+		{0.5, 0, true},
+		{0.5, 1, true},
+	}
+	for _, tc := range tests {
+		_, err := NewLuxor(tc.beta, tc.a)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("NewLuxor(%v, %v) err = %v, wantErr %v", tc.beta, tc.a, err, tc.wantErr)
+		}
+		if err != nil && !errors.Is(err, core.ErrBadParams) {
+			t.Errorf("error should wrap ErrBadParams: %v", err)
+		}
+	}
+}
+
+func TestNewPachiraValidation(t *testing.T) {
+	tests := []struct {
+		beta, delta float64
+		wantErr     bool
+	}{
+		{0.5, 1, false},
+		{0, 0.5, false},
+		{1, 2, false},
+		{-0.1, 1, true},
+		{1.1, 1, true},
+		{0.5, 0, true},
+		{0.5, -1, true},
+	}
+	for _, tc := range tests {
+		_, err := NewPachira(tc.beta, tc.delta)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("NewPachira(%v, %v) err = %v, wantErr %v", tc.beta, tc.delta, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLuxorSharesSumAtMostOne(t *testing.T) {
+	l, err := NewLuxor(0.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range treegen.Corpus(21, 20, 60) {
+		s, err := l.Shares(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if got := s.Total(); !numeric.LessOrAlmostEqual(got, 1, numeric.Eps) {
+			t.Fatalf("tree %d: luxor shares sum to %v > 1", i, got)
+		}
+		for _, u := range tr.Nodes() {
+			if s.Of(u) < 0 {
+				t.Fatalf("negative share %v", s.Of(u))
+			}
+		}
+	}
+}
+
+func TestPachiraSharesSumAtMostOne(t *testing.T) {
+	p, err := NewPachira(0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range treegen.Corpus(22, 20, 60) {
+		s, err := p.Shares(tr)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if got := s.Total(); !numeric.LessOrAlmostEqual(got, 1, numeric.Eps) {
+			t.Fatalf("tree %d: pachira shares sum to %v > 1", i, got)
+		}
+	}
+}
+
+// TestPachiraSharesHandComputed validates a fully hand-evaluated case.
+//
+// Tree: r -> u(1) -> v(1). Total = 2. With beta = 0, delta = 1
+// (pi(x) = x^2): share(v) = (1/2)^2 = 1/4,
+// share(u) = 1^2 - (1/2)^2 = 3/4.
+func TestPachiraSharesHandComputed(t *testing.T) {
+	p, err := NewPachira(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Chain(1, 1))
+	s, err := p.Shares(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Of(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("share(u) = %v, want 0.75", got)
+	}
+	if got := s.Of(2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("share(v) = %v, want 0.25", got)
+	}
+}
+
+// TestLuxorSharesHandComputed validates a hand-evaluated Luxor case.
+//
+// Tree: r -> u(2) -> v(2). Total = 4. With beta = 1/2, a = 1/2, the
+// solicitation coefficient is (1-beta)(1-a)/a = 1/2:
+//
+//	share(v) = (0.5*2) / 4              = 0.25
+//	share(u) = (0.5*2 + 0.5*(0.5*2))/4  = 0.375
+func TestLuxorSharesHandComputed(t *testing.T) {
+	l, err := NewLuxor(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Chain(2, 2))
+	s, err := l.Shares(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Of(2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("share(v) = %v, want 0.25", got)
+	}
+	if got := s.Of(1); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("share(u) = %v, want 0.375", got)
+	}
+}
+
+func TestSharesOnEmptyAndZeroTrees(t *testing.T) {
+	l, _ := NewLuxor(0.5, 0.5)
+	p, _ := NewPachira(0.5, 1)
+	for _, m := range []Mechanism{l, p} {
+		s, err := m.Shares(tree.New())
+		if err != nil {
+			t.Fatalf("%s on empty tree: %v", m.Name(), err)
+		}
+		if got := s.Total(); got != 0 {
+			t.Fatalf("%s: empty tree shares = %v", m.Name(), got)
+		}
+		zero := tree.FromSpecs(tree.Spec{C: 0, Kids: []tree.Spec{{C: 0}}})
+		s, err = m.Shares(zero)
+		if err != nil {
+			t.Fatalf("%s on zero tree: %v", m.Name(), err)
+		}
+		if got := s.Total(); got != 0 {
+			t.Fatalf("%s: zero-contribution shares = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestLiftScalesByPhiTimesTotal(t *testing.T) {
+	p := core.Params{Phi: 0.5, FairShare: 0.05}
+	lm, err := NewLPachira(p, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.FromSpecs(tree.Chain(1, 1))
+	inner, _ := NewPachira(0.5, 1)
+	shares, err := inner.Shares(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lm.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range tr.Nodes() {
+		want := p.Phi * tr.Total() * shares.Of(u)
+		if got := r.Of(u); math.Abs(got-want) > 1e-12 {
+			t.Errorf("R(%d) = %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestLiftedBudgetOnCorpus(t *testing.T) {
+	params := core.DefaultParams()
+	lp, err := NewLPachira(params, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := NewLLuxor(params, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Mechanism{lp, ll} {
+		for i, tr := range treegen.Corpus(23, 15, 60) {
+			r, err := m.Rewards(tr)
+			if err != nil {
+				t.Fatalf("%s tree %d: %v", m.Name(), i, err)
+			}
+			if err := core.Audit(m, tr, r); err != nil {
+				t.Fatalf("tree %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestLPachiraFairnessFloor(t *testing.T) {
+	params := core.Params{Phi: 0.5, FairShare: 0.1}
+	m, err := NewLPachira(params, 0.3, 1) // beta >= phi/Phi = 0.2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range treegen.Corpus(24, 10, 40) {
+		r, err := m.Rewards(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range tr.Nodes() {
+			floor := params.FairShare * tr.Contribution(u)
+			if !numeric.LessOrAlmostEqual(floor, r.Of(u), numeric.Eps) {
+				t.Fatalf("R(%d) = %v below floor %v", u, r.Of(u), floor)
+			}
+		}
+	}
+}
+
+func TestNewLPachiraRejectsLowBeta(t *testing.T) {
+	params := core.Params{Phi: 0.5, FairShare: 0.2} // phi/Phi = 0.4
+	if _, err := NewLPachira(params, 0.3, 1); err == nil {
+		t.Fatal("beta below phi/Phi should be rejected")
+	}
+	if _, err := NewLLuxor(params, 0.3, 0.5); err == nil {
+		t.Fatal("beta below phi/Phi should be rejected")
+	}
+}
+
+func TestLiftedNames(t *testing.T) {
+	params := core.DefaultParams()
+	lp, _ := NewLPachira(params, 0.5, 1)
+	if !strings.HasPrefix(lp.Name(), "L-Pachira") {
+		t.Fatalf("Name = %q", lp.Name())
+	}
+	ll, _ := NewLLuxor(params, 0.5, 0.5)
+	if !strings.HasPrefix(ll.Name(), "L-Luxor") {
+		t.Fatalf("Name = %q", ll.Name())
+	}
+}
+
+// TestLPachiraDependsOnGlobalTotal is the structural reason L-Pachira
+// fails SL (Theorem 2): adding contribution OUTSIDE u's subtree changes
+// u's reward.
+func TestLPachiraDependsOnGlobalTotal(t *testing.T) {
+	params := core.DefaultParams()
+	m, err := NewLPachira(params, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 1}}})
+	rBefore, err := m.Rewards(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := before.Clone()
+	after.MustAdd(tree.Root, 10) // disjoint branch
+	rAfter, err := m.Rewards(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.AlmostEqual(rBefore.Of(2), rAfter.Of(2), numeric.Eps) {
+		t.Fatal("L-Pachira should violate SL: reward unchanged by outside growth")
+	}
+}
+
+// TestPachiraSplitPenalty spot-checks the Jensen argument behind USA: a
+// node of contribution 2 earns more as one node than as a 1+1 chain of
+// Sybils, all else equal.
+func TestPachiraSplitPenalty(t *testing.T) {
+	params := core.DefaultParams()
+	m, err := NewLPachira(params, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := tree.FromSpecs(tree.Spec{C: 2})
+	split := tree.FromSpecs(tree.Chain(1, 1))
+	rs, err := m.Rewards(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := m.Rewards(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.Of(1) + rp.Of(2); got > rs.Of(1)+1e-12 {
+		t.Fatalf("split reward %v exceeds single reward %v", got, rs.Of(1))
+	}
+}

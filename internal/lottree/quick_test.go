@@ -1,0 +1,155 @@
+package lottree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+)
+
+// randomTree generates arbitrary referral trees for share-invariant
+// checks.
+type randomTree struct {
+	T *tree.Tree
+}
+
+// Generate implements quick.Generator.
+func (randomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	t := tree.New()
+	n := 1 + r.Intn(size+1)
+	for i := 0; i < n; i++ {
+		parent := tree.NodeID(r.Intn(t.Len()))
+		t.MustAdd(parent, r.Float64()*5)
+	}
+	return reflect.ValueOf(randomTree{T: t})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(141))}
+}
+
+// TestQuickSharesAreDistribution: for arbitrary trees, both lottery
+// mechanisms hand out non-negative shares summing to at most one.
+func TestQuickSharesAreDistribution(t *testing.T) {
+	luxor, err := NewLuxor(0.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pachira, err := NewPachira(0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mechanism{luxor, pachira} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree) bool {
+				s, err := m.Shares(rt.T)
+				if err != nil {
+					return false
+				}
+				for _, v := range s {
+					if v < 0 || math.IsNaN(v) {
+						return false
+					}
+				}
+				return numeric.LessOrAlmostEqual(s.Total(), 1, numeric.Eps)
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickPachiraSharesExhaustTree: in Pachira the shares of all
+// participants telescope to sum exactly pi of each root-branch share;
+// with a single root branch holding everything they sum to pi(1) = 1.
+func TestQuickPachiraSharesExhaustTree(t *testing.T) {
+	pachira, err := NewPachira(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rt randomTree) bool {
+		total := rt.T.Total()
+		if total == 0 {
+			return true
+		}
+		s, err := pachira.Shares(rt.T)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		sums := rt.T.SubtreeSums()
+		for _, branch := range rt.T.Children(tree.Root) {
+			want += pachira.Pi(sums[branch] / total)
+		}
+		return numeric.AlmostEqual(s.Total(), want, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLiftedBudget: lifting any lottery mechanism keeps the budget
+// on arbitrary trees.
+func TestQuickLiftedBudget(t *testing.T) {
+	p := core.DefaultParams()
+	lp, err := NewLPachira(p, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := NewLLuxor(p, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Mechanism{lp, ll} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			f := func(rt randomTree) bool {
+				r, err := m.Rewards(rt.T)
+				if err != nil {
+					return false
+				}
+				return core.Audit(m, rt.T, r) == nil
+			}
+			if err := quick.Check(f, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickPachiraMergeBeatsSplit is the Jensen/USA structure at the
+// share level: merging a leaf child into its parent never lowers the
+// pair's combined share.
+func TestQuickPachiraMergeBeatsSplit(t *testing.T) {
+	pachira, err := NewPachira(0.3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawParent, rawChild uint8) bool {
+		cp := 0.1 + float64(rawParent)/32
+		cc := 0.1 + float64(rawChild)/32
+		split := tree.FromSpecs(tree.Spec{C: 5, Kids: []tree.Spec{
+			{C: cp, Kids: []tree.Spec{{C: cc}}},
+		}})
+		merged := tree.FromSpecs(tree.Spec{C: 5, Kids: []tree.Spec{{C: cp + cc}}})
+		ss, err := pachira.Shares(split)
+		if err != nil {
+			return false
+		}
+		sm, err := pachira.Shares(merged)
+		if err != nil {
+			return false
+		}
+		return numeric.LessOrAlmostEqual(ss.Of(2)+ss.Of(3), sm.Of(2), numeric.Eps)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package mlm implements the generalized multi-level-marketing view of
+// the Incentive Tree model (Sect. 2 of the paper): participants are
+// buyers, a participant's contribution is the total cost of goods it
+// purchased, and the seller returns a fraction of his income as rewards.
+// A buyer's effective payment is Pay(u) = C(u) - R(u) and his profit is
+// P(u) = R(u) - C(u).
+//
+// The package maintains a purchase ledger on top of a referral tree and
+// exposes the seller's books (income, reward liability, net revenue). The
+// unit-price special case of Emek et al. (every buyer purchases exactly
+// one item of unit price) is provided as a constructor, connecting this
+// model back to the one the paper generalizes.
+package mlm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// ErrUnknownBuyer reports an operation on a buyer id that was never
+// registered.
+var ErrUnknownBuyer = errors.New("mlm: unknown buyer")
+
+// Purchase is one ledger entry.
+type Purchase struct {
+	Buyer  tree.NodeID
+	Amount float64
+}
+
+// Market is a multi-level-marketing deployment: a referral tree fed by
+// purchases, evaluated under a reward mechanism.
+type Market struct {
+	mechanism core.Mechanism
+	tree      *tree.Tree
+	ledger    []Purchase
+}
+
+// NewMarket creates an empty market under the given mechanism.
+func NewMarket(m core.Mechanism) *Market {
+	return &Market{mechanism: m, tree: tree.New()}
+}
+
+// Join registers a new buyer solicited by sponsor (tree.Root for
+// organic/unsolicited joins). The buyer starts with zero purchases.
+func (mk *Market) Join(sponsor tree.NodeID, name string) (tree.NodeID, error) {
+	id, err := mk.tree.Add(sponsor, 0)
+	if err != nil {
+		return tree.None, fmt.Errorf("mlm: join: %w", err)
+	}
+	if name != "" {
+		if err := mk.tree.SetLabel(id, name); err != nil {
+			return tree.None, err
+		}
+	}
+	return id, nil
+}
+
+// Buy records a purchase of the given amount by an existing buyer,
+// increasing the buyer's contribution.
+func (mk *Market) Buy(buyer tree.NodeID, amount float64) error {
+	if !mk.tree.Exists(buyer) || buyer == tree.Root {
+		return fmt.Errorf("%w: %d", ErrUnknownBuyer, buyer)
+	}
+	if amount <= 0 {
+		return fmt.Errorf("mlm: purchase amount %v must be positive", amount)
+	}
+	if err := mk.tree.AddContribution(buyer, amount); err != nil {
+		return fmt.Errorf("mlm: buy: %w", err)
+	}
+	mk.ledger = append(mk.ledger, Purchase{Buyer: buyer, Amount: amount})
+	return nil
+}
+
+// Tree returns the underlying referral tree (read-only by convention).
+func (mk *Market) Tree() *tree.Tree { return mk.tree }
+
+// Ledger returns a copy of the purchase history.
+func (mk *Market) Ledger() []Purchase { return append([]Purchase(nil), mk.ledger...) }
+
+// Buyers returns the number of registered buyers.
+func (mk *Market) Buyers() int { return mk.tree.NumParticipants() }
+
+// Statement is a buyer's settled account.
+type Statement struct {
+	Buyer    tree.NodeID
+	Name     string
+	Spent    float64 // C(u): total purchases
+	Reward   float64 // R(u)
+	Payment  float64 // Pay(u) = C(u) - R(u)
+	Profit   float64 // P(u) = R(u) - C(u)
+	Sponsor  tree.NodeID
+	Recruits int // direct solicitees
+}
+
+// Books is the seller-side settlement of the whole market.
+type Books struct {
+	Income     float64 // total purchases = C(T)
+	Rewards    float64 // total reward liability = R(T)
+	Net        float64 // Income - Rewards
+	BudgetCap  float64 // Phi * C(T)
+	Statements []Statement
+}
+
+// Settle evaluates the mechanism on the current tree and returns the
+// complete books. The statements are ordered by buyer id.
+func (mk *Market) Settle() (Books, error) {
+	r, err := mk.mechanism.Rewards(mk.tree)
+	if err != nil {
+		return Books{}, fmt.Errorf("mlm: settle: %w", err)
+	}
+	if err := core.Audit(mk.mechanism, mk.tree, r); err != nil {
+		return Books{}, err
+	}
+	b := Books{
+		Income:    mk.tree.Total(),
+		Rewards:   r.Total(),
+		BudgetCap: mk.mechanism.Params().Phi * mk.tree.Total(),
+	}
+	b.Net = b.Income - b.Rewards
+	for _, u := range mk.tree.Nodes() {
+		b.Statements = append(b.Statements, Statement{
+			Buyer:    u,
+			Name:     mk.tree.Label(u),
+			Spent:    mk.tree.Contribution(u),
+			Reward:   r.Of(u),
+			Payment:  core.Payment(mk.tree, r, u),
+			Profit:   core.Profit(mk.tree, r, u),
+			Sponsor:  mk.tree.Parent(u),
+			Recruits: len(mk.tree.Children(u)),
+		})
+	}
+	return b, nil
+}
+
+// TopEarners returns the n statements with the highest reward,
+// ties broken by buyer id.
+func (b Books) TopEarners(n int) []Statement {
+	s := append([]Statement(nil), b.Statements...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Reward > s[j].Reward })
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// UnitPriceMarket builds the Emek et al. special case: a market whose
+// buyers each purchase exactly one item of unit price at join time.
+// The returned join function enforces the single-unit discipline.
+type UnitPriceMarket struct {
+	*Market
+}
+
+// NewUnitPriceMarket creates a unit-price market.
+func NewUnitPriceMarket(m core.Mechanism) *UnitPriceMarket {
+	return &UnitPriceMarket{Market: NewMarket(m)}
+}
+
+// JoinAndBuy registers a buyer and records its single unit purchase.
+func (mk *UnitPriceMarket) JoinAndBuy(sponsor tree.NodeID, name string) (tree.NodeID, error) {
+	id, err := mk.Join(sponsor, name)
+	if err != nil {
+		return tree.None, err
+	}
+	if err := mk.Buy(id, 1); err != nil {
+		return tree.None, err
+	}
+	return id, nil
+}
+
+// Buy rejects further purchases: in the unit-price model each buyer
+// purchases exactly one item.
+func (mk *UnitPriceMarket) Buy(buyer tree.NodeID, amount float64) error {
+	if mk.Tree().Contribution(buyer) > 0 {
+		return fmt.Errorf("mlm: unit-price model allows a single unit purchase per buyer")
+	}
+	return mk.Market.Buy(buyer, amount)
+}

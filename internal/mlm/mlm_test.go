@@ -1,0 +1,195 @@
+package mlm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tree"
+)
+
+func newMarket(t *testing.T) *Market {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMarket(m)
+}
+
+func TestJoinAndBuy(t *testing.T) {
+	mk := newMarket(t)
+	alice, err := mk.Join(tree.Root, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := mk.Join(alice, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Buy(alice, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Buy(bob, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Buy(bob, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := mk.Buyers(); got != 2 {
+		t.Fatalf("Buyers = %d", got)
+	}
+	if got := mk.Tree().Contribution(bob); got != 6 {
+		t.Fatalf("bob contribution = %v, want 6", got)
+	}
+	if got := len(mk.Ledger()); got != 3 {
+		t.Fatalf("ledger entries = %d, want 3", got)
+	}
+}
+
+func TestBuyErrors(t *testing.T) {
+	mk := newMarket(t)
+	if err := mk.Buy(tree.NodeID(5), 1); !errors.Is(err, ErrUnknownBuyer) {
+		t.Fatalf("unknown buyer err = %v", err)
+	}
+	if err := mk.Buy(tree.Root, 1); !errors.Is(err, ErrUnknownBuyer) {
+		t.Fatalf("root buyer err = %v", err)
+	}
+	alice, _ := mk.Join(tree.Root, "alice")
+	if err := mk.Buy(alice, 0); err == nil {
+		t.Fatal("zero purchase should be rejected")
+	}
+	if err := mk.Buy(alice, -2); err == nil {
+		t.Fatal("negative purchase should be rejected")
+	}
+}
+
+func TestJoinUnderMissingSponsor(t *testing.T) {
+	mk := newMarket(t)
+	if _, err := mk.Join(tree.NodeID(9), "x"); err == nil {
+		t.Fatal("join under missing sponsor should fail")
+	}
+}
+
+func TestSettleBooks(t *testing.T) {
+	mk := newMarket(t)
+	alice, _ := mk.Join(tree.Root, "alice")
+	bob, _ := mk.Join(alice, "bob")
+	if err := mk.Buy(alice, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Buy(bob, 6); err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Income != 16 {
+		t.Fatalf("Income = %v, want 16", b.Income)
+	}
+	if b.BudgetCap != 8 { // Phi = 0.5
+		t.Fatalf("BudgetCap = %v, want 8", b.BudgetCap)
+	}
+	if b.Rewards > b.BudgetCap {
+		t.Fatalf("Rewards %v exceed cap %v", b.Rewards, b.BudgetCap)
+	}
+	if math.Abs(b.Net-(b.Income-b.Rewards)) > 1e-12 {
+		t.Fatalf("Net = %v", b.Net)
+	}
+	if len(b.Statements) != 2 {
+		t.Fatalf("statements = %d", len(b.Statements))
+	}
+	st := b.Statements[0]
+	if st.Name != "alice" || st.Recruits != 1 || st.Sponsor != tree.Root {
+		t.Fatalf("alice statement = %+v", st)
+	}
+	if math.Abs(st.Payment-(st.Spent-st.Reward)) > 1e-12 {
+		t.Fatalf("Payment = %v", st.Payment)
+	}
+	if math.Abs(st.Profit+st.Payment) > 1e-12 {
+		t.Fatalf("Profit %v should be -Payment %v", st.Profit, st.Payment)
+	}
+}
+
+func TestSettleEmptyMarket(t *testing.T) {
+	mk := newMarket(t)
+	b, err := mk.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Income != 0 || b.Rewards != 0 || len(b.Statements) != 0 {
+		t.Fatalf("empty books = %+v", b)
+	}
+}
+
+func TestTopEarners(t *testing.T) {
+	mk := newMarket(t)
+	alice, _ := mk.Join(tree.Root, "alice")
+	bob, _ := mk.Join(alice, "bob")
+	carol, _ := mk.Join(bob, "carol")
+	for id, amt := range map[tree.NodeID]float64{alice: 1, bob: 5, carol: 3} {
+		if err := mk.Buy(id, amt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := mk.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := b.TopEarners(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].Reward < top[1].Reward {
+		t.Fatal("top earners not sorted")
+	}
+	if got := b.TopEarners(100); len(got) != 3 {
+		t.Fatalf("TopEarners(100) = %d entries", len(got))
+	}
+}
+
+func TestUnitPriceMarket(t *testing.T) {
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := NewUnitPriceMarket(m)
+	alice, err := mk.JoinAndBuy(tree.Root, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mk.Tree().Contribution(alice); got != 1 {
+		t.Fatalf("unit buyer contribution = %v, want 1", got)
+	}
+	if err := mk.Buy(alice, 1); err == nil {
+		t.Fatal("second purchase should be rejected in the unit-price model")
+	}
+	bob, err := mk.JoinAndBuy(alice, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Income != 2 {
+		t.Fatalf("Income = %v, want 2", b.Income)
+	}
+	_ = bob
+}
+
+func TestLedgerIsACopy(t *testing.T) {
+	mk := newMarket(t)
+	alice, _ := mk.Join(tree.Root, "alice")
+	if err := mk.Buy(alice, 2); err != nil {
+		t.Fatal(err)
+	}
+	l := mk.Ledger()
+	l[0].Amount = 999
+	if mk.Ledger()[0].Amount != 2 {
+		t.Fatal("ledger mutated through copy")
+	}
+}

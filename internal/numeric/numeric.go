@@ -1,0 +1,108 @@
+// Package numeric provides small floating-point utilities shared by the
+// mechanisms and property checkers: compensated summation, tolerant
+// comparison, numeric differentiation and series helpers.
+package numeric
+
+import "math"
+
+// Eps is the default absolute/relative tolerance used by the property
+// checkers when comparing rewards. Rewards are sums of products of
+// O(1)-magnitude terms, so 1e-9 leaves ample headroom above float64 noise
+// while still catching genuine violations.
+const Eps = 1e-9
+
+// AlmostEqual reports |a-b| <= tol*(1+max(|a|,|b|)), a combined
+// absolute/relative test.
+func AlmostEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := 1 + math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// LessOrAlmostEqual reports a <= b up to tolerance: a is either smaller or
+// within tol of b.
+func LessOrAlmostEqual(a, b, tol float64) bool {
+	return a <= b || AlmostEqual(a, b, tol)
+}
+
+// StrictlyGreater reports a > b by more than tolerance.
+func StrictlyGreater(a, b, tol float64) bool {
+	return a > b && !AlmostEqual(a, b, tol)
+}
+
+// KahanSum adds the values with compensated (Kahan) summation, which keeps
+// budget audits exact enough on trees with millions of nodes.
+func KahanSum(values []float64) float64 {
+	var sum, comp float64
+	for _, v := range values {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Accumulator is an incremental Kahan summation.
+type Accumulator struct {
+	sum, comp float64
+}
+
+// Add folds v into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	y := v - a.comp
+	t := a.sum + y
+	a.comp = (t - a.sum) - y
+	a.sum = t
+}
+
+// Sum returns the accumulated total.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Derivative estimates df/dx at x by the symmetric difference quotient
+// with step h.
+func Derivative(f func(float64) float64, x, h float64) float64 {
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// GeometricSeries returns sum_{i=0}^{n-1} a^i. For |a| < 1 and n < 0 it
+// returns the infinite-series limit 1/(1-a).
+func GeometricSeries(a float64, n int) float64 {
+	if n < 0 {
+		if math.Abs(a) >= 1 {
+			return math.Inf(1)
+		}
+		return 1 / (1 - a)
+	}
+	if a == 1 {
+		return float64(n)
+	}
+	return (1 - math.Pow(a, float64(n))) / (1 - a)
+}
+
+// Grid returns n evenly spaced values covering [lo, hi] inclusive.
+// n must be at least 2.
+func Grid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}

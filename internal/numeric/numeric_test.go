@@ -1,0 +1,175 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	tests := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{1e12, 1e12 + 1, 1e-9, true}, // relative part dominates
+		{0, 1e-12, 1e-9, true},       // absolute part dominates
+		{0, 1e-3, 1e-9, false},
+	}
+	for _, tc := range tests {
+		if got := AlmostEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestLessOrAlmostEqual(t *testing.T) {
+	if !LessOrAlmostEqual(1, 2, Eps) {
+		t.Error("1 <= 2 should hold")
+	}
+	if !LessOrAlmostEqual(2+1e-12, 2, Eps) {
+		t.Error("tiny overshoot should be tolerated")
+	}
+	if LessOrAlmostEqual(2.1, 2, Eps) {
+		t.Error("2.1 <= 2 should fail")
+	}
+}
+
+func TestStrictlyGreater(t *testing.T) {
+	if !StrictlyGreater(2, 1, Eps) {
+		t.Error("2 > 1 should hold")
+	}
+	if StrictlyGreater(1+1e-13, 1, Eps) {
+		t.Error("noise-level difference should not count as greater")
+	}
+	if StrictlyGreater(1, 2, Eps) {
+		t.Error("1 > 2 should fail")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + n*eps summed naively loses the small terms; Kahan keeps them.
+	n := 10_000_000
+	small := 1e-10
+	values := make([]float64, n+1)
+	values[0] = 1
+	for i := 1; i <= n; i++ {
+		values[i] = small
+	}
+	got := KahanSum(values)
+	want := 1 + float64(n)*small
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("KahanSum = %.15f, want %.15f", got, want)
+	}
+}
+
+func TestAccumulatorMatchesKahanSum(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = r.Float64() * math.Pow(10, float64(r.Intn(10)-5))
+	}
+	var acc Accumulator
+	for _, v := range values {
+		acc.Add(v)
+	}
+	if got, want := acc.Sum(), KahanSum(values); got != want {
+		t.Fatalf("Accumulator = %v, KahanSum = %v", got, want)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx x^2 at 3 is 6.
+	got := Derivative(func(x float64) float64 { return x * x }, 3, 1e-6)
+	if math.Abs(got-6) > 1e-6 {
+		t.Fatalf("Derivative = %v, want 6", got)
+	}
+	// d/dx sin at 0 is 1.
+	got = Derivative(math.Sin, 0, 1e-6)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("Derivative(sin, 0) = %v, want 1", got)
+	}
+}
+
+func TestGeometricSeries(t *testing.T) {
+	tests := []struct {
+		a    float64
+		n    int
+		want float64
+	}{
+		{0.5, 3, 1.75},
+		{0.5, -1, 2},
+		{1, 4, 4},
+		{2, 3, 7},
+		{0.9, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := GeometricSeries(tc.a, tc.n); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("GeometricSeries(%v, %d) = %v, want %v", tc.a, tc.n, got, tc.want)
+		}
+	}
+	if got := GeometricSeries(1.5, -1); !math.IsInf(got, 1) {
+		t.Errorf("divergent series = %v, want +Inf", got)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(g) != len(want) {
+		t.Fatalf("Grid len = %d, want %d", len(g), len(want))
+	}
+	for i := range g {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("Grid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	if got := Grid(3, 7, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Grid(n=1) = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+}
+
+func TestAlmostEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return AlmostEqual(a, b, Eps) == AlmostEqual(b, a, Eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKahanSumMatchesExactForSmallInputs(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		// Use modest magnitudes to make naive and Kahan agree exactly.
+		a, b, c = math.Mod(a, 100), math.Mod(b, 100), math.Mod(c, 100)
+		got := KahanSum([]float64{a, b, c})
+		naive := a + b + c
+		return AlmostEqual(got, naive, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package properties
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/sybil"
+	"incentivetree/internal/tree"
+)
+
+// attackScenarios is the falsification workload for USA/UGSA: the empty
+// tree and a small populated base; joiners with and without future
+// solicitees, including the many-mu-children shape from the paper's TDRM
+// counterexample (scaled down so the bounded search stays fast).
+func attackScenarios() []sybil.Scenario {
+	base := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}}})
+	// The many-children shape of the paper's TDRM counterexample: with the
+	// default TDRM parameters the violation needs k > 1/(a*b*lambda) = 25
+	// children of contribution mu = 1.
+	manyKids := make([]tree.Spec, 30)
+	for i := range manyKids {
+		manyKids[i] = tree.Spec{C: 1}
+	}
+	return []sybil.Scenario{
+		{Base: tree.New(), Parent: tree.Root, Contribution: 2},
+		{Base: tree.New(), Parent: tree.Root, Contribution: 1,
+			ChildTrees: []tree.Spec{{C: 1.5, Kids: []tree.Spec{{C: 0.5}}}}},
+		{Base: base, Parent: 2, Contribution: 2.5,
+			ChildTrees: []tree.Spec{{C: 1}, {C: 2}}},
+		{Base: tree.New(), Parent: tree.Root, Contribution: 0.5,
+			ChildTrees: manyKids},
+		// A single heavy solicitee: the shape that exposes topology-global
+		// mechanisms (L-Pachira with convex-enough pi) to generalized
+		// attacks via dR/dC > 1.
+		{Base: tree.New(), Parent: tree.Root, Contribution: 1,
+			ChildTrees: []tree.Spec{{C: 20}}},
+	}
+}
+
+// CheckUSA searches for a reward-increasing identity split at fixed total
+// contribution.
+func CheckUSA(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: USA, Mechanism: m.Name(), Holds: true}
+	for i, s := range attackScenarios() {
+		rep, err := sybil.BestRewardAttack(m, s, cfg.Sybil)
+		if err != nil {
+			return fail(v, fmt.Sprintf("scenario %d: %v", i, err))
+		}
+		v.Checks += rep.Evaluated
+		if sybil.ViolatesUSA(rep) {
+			return fail(v, fmt.Sprintf(
+				"scenario %d: split %v (parents %v) lifts reward from %.6g to %.6g",
+				i, rep.Best.Arrangement.Parts, rep.Best.Arrangement.ParentIdx,
+				rep.Baseline.Reward, rep.Best.Reward))
+		}
+	}
+	return v
+}
+
+// CheckUGSA searches for a profit-increasing generalized attack
+// (identities may also increase total contribution).
+func CheckUGSA(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: UGSA, Mechanism: m.Name(), Holds: true}
+	for i, s := range attackScenarios() {
+		rep, err := sybil.BestProfitAttack(m, s, cfg.GenSybil)
+		if err != nil {
+			return fail(v, fmt.Sprintf("scenario %d: %v", i, err))
+		}
+		v.Checks += rep.Evaluated
+		if sybil.ViolatesUGSA(rep) {
+			return fail(v, fmt.Sprintf(
+				"scenario %d: identities %v (parents %v, total C %.4g) lift profit from %.6g to %.6g",
+				i, rep.Best.Arrangement.Parts, rep.Best.Arrangement.ParentIdx,
+				rep.Best.Contribution, rep.Baseline.Profit(), rep.Best.Profit()))
+		}
+	}
+	return v
+}

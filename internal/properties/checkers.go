@@ -1,0 +1,201 @@
+package properties
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+// CheckBudget verifies R(T) <= Phi * C(T) (plus non-negativity) on the
+// corpus.
+func CheckBudget(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: Budget, Mechanism: m.Name(), Holds: true}
+	for i, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		r, err := m.Rewards(t)
+		if err != nil {
+			return fail(v, fmt.Sprintf("rewards error on tree %d: %v", i, err))
+		}
+		v.Checks++
+		if err := core.Audit(m, t, r); err != nil {
+			return fail(v, err.Error())
+		}
+	}
+	return v
+}
+
+// CheckCCI verifies that increasing a node's contribution strictly
+// increases its reward.
+func CheckCCI(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: CCI, Mechanism: m.Name(), Holds: true}
+	for ti, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		base, err := m.Rewards(t)
+		if err != nil {
+			return fail(v, fmt.Sprintf("rewards error: %v", err))
+		}
+		for _, u := range sampleNodes(t, cfg.NodeSample) {
+			if t.Contribution(u) == 0 {
+				continue // properties are quantified over x_p > 0 (Sect. 6)
+			}
+			for _, d := range cfg.Deltas {
+				mut := t.Clone()
+				if err := mut.AddContribution(u, d); err != nil {
+					return fail(v, fmt.Sprintf("perturbation error: %v", err))
+				}
+				r, err := m.Rewards(mut)
+				if err != nil {
+					return fail(v, fmt.Sprintf("rewards error: %v", err))
+				}
+				v.Checks++
+				if !numeric.StrictlyGreater(r.Of(u), base.Of(u), numeric.Eps) {
+					return fail(v, fmt.Sprintf(
+						"tree %d node %d: C +%v moved R from %v to %v (no strict increase)",
+						ti, u, d, base.Of(u), r.Of(u)))
+				}
+			}
+		}
+	}
+	return v
+}
+
+// CheckCSI verifies that soliciting a new participant strictly increases
+// the solicitor's reward.
+func CheckCSI(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: CSI, Mechanism: m.Name(), Holds: true}
+	for ti, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		base, err := m.Rewards(t)
+		if err != nil {
+			return fail(v, fmt.Sprintf("rewards error: %v", err))
+		}
+		for _, u := range sampleNodes(t, cfg.NodeSample) {
+			if t.Contribution(u) == 0 {
+				continue
+			}
+			mut := t.Clone()
+			if _, err := mut.Add(u, cfg.Joiner); err != nil {
+				return fail(v, fmt.Sprintf("join error: %v", err))
+			}
+			r, err := m.Rewards(mut)
+			if err != nil {
+				return fail(v, fmt.Sprintf("rewards error: %v", err))
+			}
+			v.Checks++
+			if !numeric.StrictlyGreater(r.Of(u), base.Of(u), numeric.Eps) {
+				return fail(v, fmt.Sprintf(
+					"tree %d node %d: new solicitee moved R from %v to %v (no strict increase)",
+					ti, u, base.Of(u), r.Of(u)))
+			}
+		}
+	}
+	return v
+}
+
+// CheckRPC verifies the fairness floor R(u) >= phi * C(u).
+func CheckRPC(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: RPC, Mechanism: m.Name(), Holds: true}
+	phi := m.Params().FairShare
+	for ti, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		r, err := m.Rewards(t)
+		if err != nil {
+			return fail(v, fmt.Sprintf("rewards error: %v", err))
+		}
+		for _, u := range t.Nodes() {
+			v.Checks++
+			floor := phi * t.Contribution(u)
+			if !numeric.LessOrAlmostEqual(floor, r.Of(u), numeric.Eps) {
+				return fail(v, fmt.Sprintf("tree %d node %d: R = %v below phi*C = %v",
+					ti, u, r.Of(u), floor))
+			}
+		}
+	}
+	return v
+}
+
+// CheckSL verifies Subtree Locality two ways: (1) growing or perturbing
+// the tree OUTSIDE T_u leaves R(u) unchanged; (2) R(u) computed on the
+// extracted subtree T_u alone equals R(u) in the full tree.
+func CheckSL(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: SL, Mechanism: m.Name(), Holds: true}
+	for ti, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		base, err := m.Rewards(t)
+		if err != nil {
+			return fail(v, fmt.Sprintf("rewards error: %v", err))
+		}
+		for _, u := range sampleNodes(t, cfg.NodeSample) {
+			// (1) Outside growth: a new branch under the imaginary root is
+			// outside T_u for every participant u.
+			mut := t.Clone()
+			if _, err := mut.Add(tree.Root, 13); err != nil {
+				return fail(v, fmt.Sprintf("perturbation error: %v", err))
+			}
+			r, err := m.Rewards(mut)
+			if err != nil {
+				return fail(v, fmt.Sprintf("rewards error: %v", err))
+			}
+			v.Checks++
+			if !numeric.AlmostEqual(r.Of(u), base.Of(u), numeric.Eps) {
+				return fail(v, fmt.Sprintf(
+					"tree %d node %d: outside growth moved R from %v to %v",
+					ti, u, base.Of(u), r.Of(u)))
+			}
+			// (2) Extraction: reward must be a function of T_u alone.
+			sub, err := t.Extract(u)
+			if err != nil {
+				return fail(v, fmt.Sprintf("extract error: %v", err))
+			}
+			rs, err := m.Rewards(sub)
+			if err != nil {
+				return fail(v, fmt.Sprintf("rewards error: %v", err))
+			}
+			v.Checks++
+			if !numeric.AlmostEqual(rs.Of(1), base.Of(u), numeric.Eps) {
+				return fail(v, fmt.Sprintf(
+					"tree %d node %d: R in full tree %v != R on extracted subtree %v",
+					ti, u, base.Of(u), rs.Of(1)))
+			}
+		}
+	}
+	return v
+}
+
+// CheckUSB verifies Unprofitable Solicitor Bypassing: a new participant's
+// reward does not depend on which node it joins under, so it has no
+// incentive to bypass its solicitor.
+func CheckUSB(m core.Mechanism, cfg Config) Verdict {
+	v := Verdict{Property: USB, Mechanism: m.Name(), Holds: true}
+	for ti, t := range treegen.Corpus(cfg.Seed, cfg.Corpus, cfg.TreeSize) {
+		var want float64
+		first := true
+		for _, parent := range append([]tree.NodeID{tree.Root}, sampleNodes(t, cfg.NodeSample)...) {
+			mut := t.Clone()
+			id, err := mut.Add(parent, cfg.Joiner)
+			if err != nil {
+				return fail(v, fmt.Sprintf("join error: %v", err))
+			}
+			r, err := m.Rewards(mut)
+			if err != nil {
+				return fail(v, fmt.Sprintf("rewards error: %v", err))
+			}
+			v.Checks++
+			if first {
+				want = r.Of(id)
+				first = false
+				continue
+			}
+			if !numeric.AlmostEqual(r.Of(id), want, numeric.Eps) {
+				return fail(v, fmt.Sprintf(
+					"tree %d: joining under %d yields %v, elsewhere %v (bypassing pays)",
+					ti, parent, r.Of(id), want))
+			}
+		}
+	}
+	return v
+}
+
+func fail(v Verdict, witness string) Verdict {
+	v.Holds = false
+	v.Witness = witness
+	return v
+}

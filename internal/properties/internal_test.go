@@ -1,0 +1,48 @@
+package properties
+
+import (
+	"testing"
+
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func TestSampleNodesAll(t *testing.T) {
+	tr := treegen.ChainTree(5, 1)
+	if got := sampleNodes(tr, 0); len(got) != 5 {
+		t.Fatalf("limit 0 should return all nodes, got %d", len(got))
+	}
+	if got := sampleNodes(tr, 10); len(got) != 5 {
+		t.Fatalf("limit above size should return all nodes, got %d", len(got))
+	}
+}
+
+func TestSampleNodesSpread(t *testing.T) {
+	tr := treegen.ChainTree(100, 1)
+	got := sampleNodes(tr, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[tree.NodeID]bool{}
+	for _, u := range got {
+		if seen[u] {
+			t.Fatalf("duplicate sample %d", u)
+		}
+		seen[u] = true
+		if !tr.Exists(u) || u == tree.Root {
+			t.Fatalf("invalid sample %d", u)
+		}
+	}
+	// Samples should span the id range, not cluster at the front.
+	if got[3] < 50 {
+		t.Fatalf("samples not spread: %v", got)
+	}
+}
+
+func TestFailHelper(t *testing.T) {
+	v := Verdict{Property: CCI, Mechanism: "m", Holds: true}
+	f := fail(v, "boom")
+	if f.Holds || f.Witness != "boom" {
+		t.Fatalf("fail() = %+v", f)
+	}
+}

@@ -1,0 +1,127 @@
+package properties
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"incentivetree/internal/core"
+)
+
+// Check runs the checker for a single property.
+func Check(p Property, m core.Mechanism, cfg Config) Verdict {
+	switch p {
+	case Budget:
+		return CheckBudget(m, cfg)
+	case CCI:
+		return CheckCCI(m, cfg)
+	case CSI:
+		return CheckCSI(m, cfg)
+	case RPC:
+		return CheckRPC(m, cfg)
+	case URO:
+		return CheckURO(m, cfg)
+	case PO:
+		return CheckPO(m, cfg)
+	case SL:
+		return CheckSL(m, cfg)
+	case USB:
+		return CheckUSB(m, cfg)
+	case USA:
+		return CheckUSA(m, cfg)
+	case UGSA:
+		return CheckUGSA(m, cfg)
+	default:
+		return Verdict{Property: p, Mechanism: m.Name(),
+			Witness: fmt.Sprintf("unknown property %d", int(p))}
+	}
+}
+
+// Row is the full verdict vector of one mechanism.
+type Row struct {
+	Mechanism string
+	Verdicts  map[Property]Verdict
+}
+
+// Matrix is the property matrix of Theorems 1, 2, 4 and 5: one row per
+// mechanism, one column per property.
+type Matrix struct {
+	Properties []Property
+	Rows       []Row
+}
+
+// Run evaluates every property against every mechanism.
+func Run(mechanisms []core.Mechanism, cfg Config) Matrix {
+	mat := Matrix{Properties: All()}
+	for _, m := range mechanisms {
+		row := Row{Mechanism: m.Name(), Verdicts: make(map[Property]Verdict, len(mat.Properties))}
+		for _, p := range mat.Properties {
+			row.Verdicts[p] = Check(p, m, cfg)
+		}
+		mat.Rows = append(mat.Rows, row)
+	}
+	return mat
+}
+
+// RunParallel is Run with every (mechanism, property) cell checked in
+// its own goroutine. Checkers only share the immutable config and their
+// mechanism (whose Rewards must be safe for concurrent use — all
+// mechanisms in this repository are stateless after construction), so
+// the cells are independent. Results are identical to Run.
+func RunParallel(mechanisms []core.Mechanism, cfg Config) Matrix {
+	mat := Matrix{Properties: All()}
+	mat.Rows = make([]Row, len(mechanisms))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, m := range mechanisms {
+		mat.Rows[i] = Row{Mechanism: m.Name(), Verdicts: make(map[Property]Verdict, len(mat.Properties))}
+		for _, p := range mat.Properties {
+			wg.Add(1)
+			go func(i int, m core.Mechanism, p Property) {
+				defer wg.Done()
+				v := Check(p, m, cfg)
+				mu.Lock()
+				mat.Rows[i].Verdicts[p] = v
+				mu.Unlock()
+			}(i, m, p)
+		}
+	}
+	wg.Wait()
+	return mat
+}
+
+// Render formats the matrix as a fixed-width text table with ✓/✗ cells.
+func (m Matrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s", "mechanism")
+	for _, p := range m.Properties {
+		fmt.Fprintf(&b, "%-9s", p)
+	}
+	b.WriteByte('\n')
+	for _, row := range m.Rows {
+		fmt.Fprintf(&b, "%-42s", row.Mechanism)
+		for _, p := range m.Properties {
+			cell := "✗"
+			if row.Verdicts[p].Holds {
+				cell = "✓"
+			}
+			fmt.Fprintf(&b, "%-9s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Failures returns every failing verdict with its witness, for detailed
+// reporting below the matrix.
+func (m Matrix) Failures() []Verdict {
+	var out []Verdict
+	for _, row := range m.Rows {
+		for _, p := range m.Properties {
+			if v := row.Verdicts[p]; !v.Holds {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package properties
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// opportunityShapes are the escalation constructions for PO/URO. The
+// property quantifies over arbitrary attached trees, so the checker tries
+// the two canonical growth channels and takes the best:
+//
+//   - direct: u solicits fanout unit-contribution children. This is the
+//     channel for mechanisms that harvest direct solicitation mass
+//     (Geometric, L-Luxor, TDRM) and the only unbounded channel for
+//     L-Pachira (whose reward through a single child saturates at
+//     Phi * pi'(1)).
+//   - grand: u solicits one child who solicits fanout children — the
+//     shape used by the paper's TDRM URO proof.
+type opportunityShape struct {
+	name  string
+	build func() (*tree.Tree, tree.NodeID)
+}
+
+func opportunityShapes(c float64, fanout int) []opportunityShape {
+	return []opportunityShape{
+		{"direct", func() (*tree.Tree, tree.NodeID) {
+			t := tree.New()
+			u := t.MustAdd(tree.Root, c)
+			for i := 0; i < fanout; i++ {
+				t.MustAdd(u, 1)
+			}
+			return t, u
+		}},
+		{"grand", func() (*tree.Tree, tree.NodeID) {
+			t := tree.New()
+			u := t.MustAdd(tree.Root, c)
+			v := t.MustAdd(u, 1)
+			for i := 0; i < fanout; i++ {
+				t.MustAdd(v, 1)
+			}
+			return t, u
+		}},
+	}
+}
+
+// CheckPO checks Profitable Opportunity: escalating attachments must at
+// some point push R(u) to at least C(u).
+func CheckPO(m core.Mechanism, cfg Config) Verdict {
+	return checkOpportunity(m, cfg, PO, 1)
+}
+
+// CheckURO checks Unbounded Reward Opportunity: escalating attachments
+// must push R(u) past UROFactor * C(u) (the bounded-search analogue of
+// "for every R there is an attachment exceeding it").
+func CheckURO(m core.Mechanism, cfg Config) Verdict {
+	return checkOpportunity(m, cfg, URO, cfg.UROFactor)
+}
+
+func checkOpportunity(m core.Mechanism, cfg Config, prop Property, factor float64) Verdict {
+	v := Verdict{Property: prop, Mechanism: m.Name()}
+	const c = 1.0
+	target := factor * c
+	best := 0.0
+	for _, fanout := range cfg.Ladder {
+		for _, shape := range opportunityShapes(c, fanout) {
+			t, u := shape.build()
+			r, err := m.Rewards(t)
+			if err != nil {
+				return fail(v, fmt.Sprintf("rewards error: %v", err))
+			}
+			v.Checks++
+			if got := r.Of(u); got > best {
+				best = got
+			}
+			if best >= target {
+				v.Holds = true
+				v.Witness = fmt.Sprintf("%s star of fanout %d lifts R(u) to %.4g >= target %.4g",
+					shape.name, fanout, best, target)
+				return v
+			}
+		}
+	}
+	return fail(v, fmt.Sprintf(
+		"ladder exhausted at fanout %d: best R(u) = %.4g < target %.4g (C(u) = %v)",
+		cfg.Ladder[len(cfg.Ladder)-1], best, target, c))
+}

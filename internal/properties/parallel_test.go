@@ -1,0 +1,43 @@
+package properties_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/properties"
+)
+
+// TestRunParallelMatchesSequential: the parallel matrix must be verdict-
+// identical to the sequential one (checkers are deterministic).
+func TestRunParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full matrix runs are second-scale")
+	}
+	mechs := suite(t)
+	cfg := properties.DefaultConfig()
+	seq := properties.Run(mechs, cfg)
+	par := properties.RunParallel(mechs, cfg)
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		if seq.Rows[i].Mechanism != par.Rows[i].Mechanism {
+			t.Fatalf("row %d mechanism mismatch", i)
+		}
+		for _, p := range seq.Properties {
+			a := seq.Rows[i].Verdicts[p]
+			b := par.Rows[i].Verdicts[p]
+			if a.Holds != b.Holds || a.Checks != b.Checks || a.Witness != b.Witness {
+				t.Errorf("%s/%s: sequential %+v != parallel %+v", a.Mechanism, p, a, b)
+			}
+		}
+	}
+}
+
+func TestRunParallelEmptyInput(t *testing.T) {
+	mat := properties.RunParallel(nil, properties.DefaultConfig())
+	if len(mat.Rows) != 0 {
+		t.Fatalf("rows = %d", len(mat.Rows))
+	}
+	_ = core.DefaultParams()
+}

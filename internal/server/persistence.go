@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"incentivetree/internal/journal"
+	"incentivetree/internal/tree"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithJournal attaches a write-ahead event log: every successful join
+// and contribution is appended to jw, so `snapshot + journal suffix`
+// reconstructs the deployment after a restart (see internal/journal).
+func WithJournal(jw *journal.Writer) Option {
+	return func(s *Server) { s.journal = jw }
+}
+
+// Snapshot is the wire format of a full state export.
+type Snapshot struct {
+	// LastSeq is the journal sequence number the snapshot includes
+	// (0 when no journal is attached).
+	LastSeq uint64 `json:"last_seq"`
+	// Tree is the full referral tree with labels and contributions.
+	Tree *tree.Tree `json:"tree"`
+}
+
+// SnapshotState exports the current deployment state.
+func (s *Server) SnapshotState() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone()}
+}
+
+// RestoreState replaces the deployment state with the snapshot. The
+// snapshot's participant names must be unique (they are the API keys).
+func (s *Server) RestoreState(snap Snapshot) error {
+	if snap.Tree == nil {
+		return fmt.Errorf("server: snapshot without tree")
+	}
+	if err := snap.Tree.Validate(); err != nil {
+		return fmt.Errorf("server: snapshot invalid: %w", err)
+	}
+	st, err := journal.StateFromTree(snap.Tree, snap.LastSeq)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree = st.Tree
+	s.byKey = st.ByName
+	s.lastSeq = st.LastSeq
+	return nil
+}
+
+// Recover rebuilds a server from a snapshot plus the journal events
+// recorded after it. Either part may be empty.
+func Recover(s *Server, snap *Snapshot, events []journal.Event) error {
+	base := (*journal.State)(nil)
+	if snap != nil {
+		if err := s.RestoreState(*snap); err != nil {
+			return err
+		}
+		st, err := journal.StateFromTree(s.tree, snap.LastSeq)
+		if err != nil {
+			return err
+		}
+		base = st
+	}
+	// Drop events already covered by the snapshot.
+	var suffix []journal.Event
+	last := uint64(0)
+	if base != nil {
+		last = base.LastSeq
+	}
+	for _, e := range events {
+		if e.Seq > last {
+			suffix = append(suffix, e)
+		}
+	}
+	st, err := journal.Replay(base, suffix)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree = st.Tree
+	s.byKey = st.ByName
+	s.lastSeq = st.LastSeq
+	return nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.SnapshotState())
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var snap Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed snapshot: " + err.Error()})
+		return
+	}
+	if err := s.RestoreState(snap); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"restored": true, "last_seq": snap.LastSeq})
+}
+
+// appendJournal records a successful state change; callers hold the
+// write lock. A journal failure is surfaced to the client (the write
+// already applied in memory, but the operator must know durability is
+// broken).
+func (s *Server) appendJournal(e journal.Event) error {
+	if s.journal == nil {
+		s.lastSeq++
+		return nil
+	}
+	persisted, err := s.journal.Append(e)
+	if err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	s.lastSeq = persisted.Seq
+	return nil
+}

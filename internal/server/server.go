@@ -1,0 +1,272 @@
+// Package server exposes an Incentive Tree deployment as an in-memory
+// JSON-over-HTTP referral service: participants join (optionally naming
+// their solicitor), record contributions, and query their reward under
+// the configured mechanism. This is the shape of the web campaign
+// deployments the paper's introduction describes (sign-up links,
+// referral codes, reward dashboards).
+//
+// Endpoints:
+//
+//	POST /v1/join        {"name": "...", "sponsor": "..."}   -> participant
+//	POST /v1/contribute  {"name": "...", "amount": 1.5}      -> participant
+//	GET  /v1/participants/{name}                             -> participant
+//	GET  /v1/rewards                                         -> reward table
+//	GET  /v1/tree                                            -> referral tree (nested JSON)
+//	GET  /v1/stats                                           -> tree statistics
+//	GET  /v1/healthz                                         -> 200 ok
+//
+// All state lives in memory behind a single RWMutex; reward evaluation is
+// O(n) per query, which is plenty for campaign-sized trees.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/journal"
+	"incentivetree/internal/tree"
+)
+
+// Server is the shared state behind the HTTP handler.
+type Server struct {
+	mech    core.Mechanism
+	journal *journal.Writer
+
+	mu      sync.RWMutex
+	tree    *tree.Tree
+	byKey   map[string]tree.NodeID
+	lastSeq uint64
+}
+
+// New creates an empty deployment under the mechanism.
+func New(m core.Mechanism, opts ...Option) *Server {
+	s := &Server{mech: m, tree: tree.New(), byKey: make(map[string]tree.NodeID)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Participant is the wire representation of one participant's state.
+type Participant struct {
+	Name         string  `json:"name"`
+	Sponsor      string  `json:"sponsor,omitempty"`
+	Contribution float64 `json:"contribution"`
+	Reward       float64 `json:"reward"`
+	Profit       float64 `json:"profit"`
+	Recruits     int     `json:"recruits"`
+}
+
+type joinRequest struct {
+	Name    string `json:"name"`
+	Sponsor string `json:"sponsor"`
+}
+
+type contributeRequest struct {
+	Name   string  `json:"name"`
+	Amount float64 `json:"amount"`
+}
+
+type rewardsResponse struct {
+	Mechanism    string        `json:"mechanism"`
+	Total        float64       `json:"total_contribution"`
+	TotalReward  float64       `json:"total_reward"`
+	Budget       float64       `json:"budget"`
+	Participants []Participant `json:"participants"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
+	mux.HandleFunc("POST /v1/contribute", s.handleContribute)
+	mux.HandleFunc("GET /v1/participants/{name}", s.handleParticipant)
+	mux.HandleFunc("GET /v1/rewards", s.handleRewards)
+	mux.HandleFunc("GET /v1/tree", s.handleTree)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// Join registers a participant programmatically (used by the daemon's
+// seeding flag and by tests).
+func (s *Server) Join(name, sponsor string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.joinLocked(name, sponsor)
+}
+
+func (s *Server) joinLocked(name, sponsor string) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return errors.New("name must not be empty")
+	}
+	if _, dup := s.byKey[name]; dup {
+		return fmt.Errorf("participant %q already exists", name)
+	}
+	parent := tree.Root
+	if sponsor != "" {
+		p, ok := s.byKey[sponsor]
+		if !ok {
+			return fmt.Errorf("unknown sponsor %q", sponsor)
+		}
+		parent = p
+	}
+	id, err := s.tree.Add(parent, 0)
+	if err != nil {
+		return err
+	}
+	if err := s.tree.SetLabel(id, name); err != nil {
+		return err
+	}
+	s.byKey[name] = id
+	return s.appendJournal(journal.Event{Kind: journal.KindJoin, Name: name, Sponsor: sponsor})
+}
+
+// Contribute records work done by an existing participant.
+func (s *Server) Contribute(name string, amount float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if amount <= 0 {
+		return fmt.Errorf("amount %v must be positive", amount)
+	}
+	id, ok := s.byKey[name]
+	if !ok {
+		return fmt.Errorf("unknown participant %q", name)
+	}
+	if err := s.tree.AddContribution(id, amount); err != nil {
+		return err
+	}
+	return s.appendJournal(journal.Event{Kind: journal.KindContribute, Name: name, Amount: amount})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed JSON: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	err := s.joinLocked(req.Name, req.Sponsor)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	p, err := s.participant(req.Name)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, p)
+}
+
+func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
+	var req contributeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed JSON: " + err.Error()})
+		return
+	}
+	if err := s.Contribute(req.Name, req.Amount); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	p, err := s.participant(req.Name)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleParticipant(w http.ResponseWriter, r *http.Request) {
+	p, err := s.participant(r.PathValue("name"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// participant evaluates the mechanism and returns one participant's view.
+func (s *Server) participant(name string) (Participant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byKey[name]
+	if !ok {
+		return Participant{}, fmt.Errorf("unknown participant %q", name)
+	}
+	rewards, err := s.mech.Rewards(s.tree)
+	if err != nil {
+		return Participant{}, err
+	}
+	return s.viewLocked(id, rewards), nil
+}
+
+func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
+	sponsor := ""
+	if p := s.tree.Parent(id); p != tree.Root {
+		sponsor = s.tree.Label(p)
+	}
+	return Participant{
+		Name:         s.tree.Label(id),
+		Sponsor:      sponsor,
+		Contribution: s.tree.Contribution(id),
+		Reward:       rewards.Of(id),
+		Profit:       core.Profit(s.tree, rewards, id),
+		Recruits:     len(s.tree.Children(id)),
+	}
+}
+
+func (s *Server) handleRewards(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rewards, err := s.mech.Rewards(s.tree)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp := rewardsResponse{
+		Mechanism:   s.mech.Name(),
+		Total:       s.tree.Total(),
+		TotalReward: rewards.Total(),
+		Budget:      s.mech.Params().Phi * s.tree.Total(),
+	}
+	for _, u := range s.tree.Nodes() {
+		resp.Participants = append(resp.Participants, s.viewLocked(u, rewards))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.tree)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.tree.ComputeStats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable mid-response;
+	// the types marshalled here cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}

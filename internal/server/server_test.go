@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := getJSON(t, ts.URL+"/v1/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestJoinContributeAndQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "alice"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("join status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "bob", "sponsor": "alice"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sponsored join status = %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/contribute", map[string]any{"name": "bob", "amount": 4.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("contribute status = %d", resp.StatusCode)
+	}
+	var bob Participant
+	if err := json.NewDecoder(resp.Body).Decode(&bob); err != nil {
+		t.Fatal(err)
+	}
+	if bob.Contribution != 4 || bob.Sponsor != "alice" {
+		t.Fatalf("bob = %+v", bob)
+	}
+	if bob.Reward <= 0 {
+		t.Fatalf("bob reward = %v", bob.Reward)
+	}
+
+	var alice Participant
+	getJSON(t, ts.URL+"/v1/participants/alice", &alice)
+	if alice.Recruits != 1 {
+		t.Fatalf("alice = %+v", alice)
+	}
+	// Alice earns from bob's contribution via bubble-up.
+	if alice.Reward <= 0 {
+		t.Fatalf("alice reward = %v", alice.Reward)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	tests := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"empty name", map[string]string{"name": ""}, http.StatusBadRequest},
+		{"unknown sponsor", map[string]string{"name": "x", "sponsor": "ghost"}, http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp := postJSON(t, ts.URL+"/v1/join", tc.body); resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	// Duplicate join.
+	postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "dup"})
+	if resp := postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "dup"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate join status = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/join", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed join status = %d", resp.StatusCode)
+	}
+}
+
+func TestContributeErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "alice"})
+	tests := []struct {
+		name string
+		body any
+	}{
+		{"unknown participant", map[string]any{"name": "ghost", "amount": 1.0}},
+		{"zero amount", map[string]any{"name": "alice", "amount": 0.0}},
+		{"negative amount", map[string]any{"name": "alice", "amount": -2.0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp := postJSON(t, ts.URL+"/v1/contribute", tc.body); resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestParticipantNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/v1/participants/nobody", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRewardsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.Join("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("bob", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("alice", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("bob", 3); err != nil {
+		t.Fatal(err)
+	}
+	var resp rewardsResponse
+	getJSON(t, ts.URL+"/v1/rewards", &resp)
+	if resp.Total != 5 {
+		t.Fatalf("total = %v", resp.Total)
+	}
+	if len(resp.Participants) != 2 {
+		t.Fatalf("participants = %d", len(resp.Participants))
+	}
+	if resp.TotalReward > resp.Budget+1e-9 {
+		t.Fatalf("reward %v over budget %v", resp.TotalReward, resp.Budget)
+	}
+	if resp.Mechanism == "" {
+		t.Fatal("mechanism name missing")
+	}
+}
+
+func TestTreeAndStatsEndpoints(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.Join("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	var treeResp struct {
+		Participants []json.RawMessage `json:"participants"`
+	}
+	getJSON(t, ts.URL+"/v1/tree", &treeResp)
+	if len(treeResp.Participants) != 1 {
+		t.Fatalf("tree participants = %d", len(treeResp.Participants))
+	}
+	var stats struct {
+		Participants int
+		Total        float64
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Participants != 1 || stats.Total != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestConcurrentJoinsAndReads(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.Join("seed", ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("user%d", i)
+			if err := s.Join(name, "seed"); err != nil {
+				t.Errorf("join %s: %v", name, err)
+				return
+			}
+			if err := s.Contribute(name, 1); err != nil {
+				t.Errorf("contribute %s: %v", name, err)
+			}
+			getJSON(t, ts.URL+"/v1/rewards", nil)
+		}(i)
+	}
+	wg.Wait()
+	var resp rewardsResponse
+	getJSON(t, ts.URL+"/v1/rewards", &resp)
+	if len(resp.Participants) != 21 {
+		t.Fatalf("participants = %d, want 21", len(resp.Participants))
+	}
+	if resp.Total != 20 {
+		t.Fatalf("total = %v, want 20", resp.Total)
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim is a discrete-round growth simulator for Incentive Tree
+// deployments: the workload the paper's introduction motivates
+// (crowdsourcing campaigns, network-effect bootstrapping) and its
+// conclusion alludes to ("the effect of our mechanisms in practical
+// deployments").
+//
+// The behavioural model is deliberately simple and fully documented:
+// every round, each participant attempts a number of referrals; an
+// invitation is accepted with a probability that grows with the
+// inviter's current reward (people recruit harder, and are more
+// persuasive, when the mechanism is actually paying them — the premise
+// of CSI). A configurable fraction of joiners are Sybil attackers who
+// join as a chain of identities splitting their contribution, which lets
+// experiments measure how much of the reward pool each mechanism leaks
+// to multi-identity strategies.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Rounds is the number of simulation rounds.
+	Rounds int
+	// Organic is the number of unsolicited joiners per round.
+	Organic int
+	// InviteTries is the number of referral attempts per participant per
+	// round.
+	InviteTries int
+	// BaseAccept is the acceptance probability of an invitation from a
+	// participant with zero reward.
+	BaseAccept float64
+	// RewardPull scales how strongly an inviter's reward raises
+	// acceptance: p = clamp(BaseAccept * (1 + RewardPull * R(u) / (1 + R(u))), 0, 1).
+	RewardPull float64
+	// Contribution draws each joiner's contribution. Defaults to
+	// Uniform(0.5, 2) when nil.
+	Contribution treegen.ContributionDist
+	// SybilFraction is the probability that a joiner is an attacker.
+	SybilFraction float64
+	// SybilSplit is the number of chained identities an attacker uses.
+	SybilSplit int
+	// MaxParticipants caps tree growth (0 means 10000).
+	MaxParticipants int
+}
+
+// DefaultConfig returns a small, laptop-fast campaign.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		Rounds:          25,
+		Organic:         2,
+		InviteTries:     1,
+		BaseAccept:      0.12,
+		RewardPull:      2.0,
+		SybilFraction:   0,
+		SybilSplit:      3,
+		MaxParticipants: 1500,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("sim: Rounds must be positive")
+	}
+	if c.BaseAccept < 0 || c.BaseAccept > 1 {
+		return fmt.Errorf("sim: BaseAccept = %v outside [0,1]", c.BaseAccept)
+	}
+	if c.SybilFraction < 0 || c.SybilFraction > 1 {
+		return fmt.Errorf("sim: SybilFraction = %v outside [0,1]", c.SybilFraction)
+	}
+	if c.SybilFraction > 0 && c.SybilSplit < 2 {
+		return fmt.Errorf("sim: SybilSplit = %d, need >= 2 when attackers are present", c.SybilSplit)
+	}
+	return nil
+}
+
+// person is one human participant; attackers own several identities.
+type person struct {
+	ids   []tree.NodeID
+	sybil bool
+}
+
+// contribution returns the person's total contribution in t.
+func (p person) contribution(t *tree.Tree) float64 {
+	s := 0.0
+	for _, id := range p.ids {
+		s += t.Contribution(id)
+	}
+	return s
+}
+
+// reward returns the person's total reward.
+func (p person) reward(r core.Rewards) float64 {
+	s := 0.0
+	for _, id := range p.ids {
+		s += r.Of(id)
+	}
+	return s
+}
+
+// RoundMetrics is the per-round time series entry.
+type RoundMetrics struct {
+	Round        int
+	Participants int     // persons (not identities)
+	Identities   int     // tree nodes
+	Total        float64 // C(T)
+	Rewards      float64 // R(T)
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Mechanism string
+	Series    []RoundMetrics
+	// Final aggregates.
+	Participants int
+	Identities   int
+	Total        float64
+	Rewards      float64
+	MaxDepth     int
+	RewardGini   float64
+	// Sybil accounting: mean reward-per-contribution for each group
+	// (zero when a group is empty).
+	SybilYield  float64
+	HonestYield float64
+}
+
+// SybilAdvantage is the attackers' reward-per-contribution relative to
+// honest participants (1 = no advantage; 0/0 cases return 0).
+func (r Result) SybilAdvantage() float64 {
+	if r.HonestYield == 0 {
+		return 0
+	}
+	return r.SybilYield / r.HonestYield
+}
+
+// Run simulates one campaign under the mechanism.
+func Run(m core.Mechanism, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Contribution == nil {
+		cfg.Contribution = treegen.Uniform(0.5, 2)
+	}
+	if cfg.MaxParticipants == 0 {
+		cfg.MaxParticipants = 10000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := tree.New()
+	var people []person
+
+	join := func(parent tree.NodeID) error {
+		c := cfg.Contribution(rng)
+		if cfg.SybilFraction > 0 && rng.Float64() < cfg.SybilFraction {
+			p := person{sybil: true}
+			for i := 0; i < cfg.SybilSplit; i++ {
+				id, err := t.Add(parent, c/float64(cfg.SybilSplit))
+				if err != nil {
+					return err
+				}
+				p.ids = append(p.ids, id)
+				parent = id // chain the identities
+			}
+			people = append(people, p)
+			return nil
+		}
+		id, err := t.Add(parent, c)
+		if err != nil {
+			return err
+		}
+		people = append(people, person{ids: []tree.NodeID{id}})
+		return nil
+	}
+
+	res := Result{Mechanism: m.Name()}
+	var rewards core.Rewards
+	for round := 1; round <= cfg.Rounds; round++ {
+		var err error
+		rewards, err = m.Rewards(t)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: round %d: %w", round, err)
+		}
+		// Organic arrivals.
+		for i := 0; i < cfg.Organic && len(people) < cfg.MaxParticipants; i++ {
+			if err := join(tree.Root); err != nil {
+				return Result{}, err
+			}
+		}
+		// Referrals, driven by current rewards. Iterate over a snapshot:
+		// joiners this round do not invite until the next round.
+		snapshot := len(people)
+		for pi := 0; pi < snapshot && len(people) < cfg.MaxParticipants; pi++ {
+			p := people[pi]
+			ru := p.reward(rewards)
+			accept := numeric.Clamp(cfg.BaseAccept*(1+cfg.RewardPull*ru/(1+ru)), 0, 1)
+			// Attackers funnel recruits under their deepest identity,
+			// honest participants under their single identity.
+			parent := p.ids[len(p.ids)-1]
+			for try := 0; try < cfg.InviteTries; try++ {
+				if rng.Float64() < accept && len(people) < cfg.MaxParticipants {
+					if err := join(parent); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+		}
+		res.Series = append(res.Series, RoundMetrics{
+			Round:        round,
+			Participants: len(people),
+			Identities:   t.NumParticipants(),
+			Total:        t.Total(),
+			Rewards:      rewards.Total(),
+		})
+	}
+
+	final, err := m.Rewards(t)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Participants = len(people)
+	res.Identities = t.NumParticipants()
+	res.Total = t.Total()
+	res.Rewards = final.Total()
+	res.MaxDepth = t.ComputeStats().MaxDepth
+	perPerson := make([]float64, 0, len(people))
+	var sybilR, sybilC, honestR, honestC float64
+	for _, p := range people {
+		r := p.reward(final)
+		c := p.contribution(t)
+		perPerson = append(perPerson, r)
+		if p.sybil {
+			sybilR += r
+			sybilC += c
+		} else {
+			honestR += r
+			honestC += c
+		}
+	}
+	res.RewardGini = tree.Gini(perPerson)
+	if sybilC > 0 {
+		res.SybilYield = sybilR / sybilC
+	}
+	if honestC > 0 {
+		res.HonestYield = honestR / honestC
+	}
+	return res, nil
+}
+
+// Compare runs the same campaign configuration under several mechanisms.
+func Compare(mechs []core.Mechanism, cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(mechs))
+	for _, m := range mechs {
+		r, err := Run(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

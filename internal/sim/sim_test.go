@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tdrm"
+)
+
+func geoMech(t *testing.T) core.Mechanism {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(geoMech(t), DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants == 0 {
+		t.Fatal("no participants joined")
+	}
+	if res.Participants != res.Identities {
+		t.Fatalf("honest-only run: %d persons vs %d identities", res.Participants, res.Identities)
+	}
+	if len(res.Series) != DefaultConfig(1).Rounds {
+		t.Fatalf("series length = %d", len(res.Series))
+	}
+	if res.Total <= 0 || res.Rewards <= 0 {
+		t.Fatalf("totals = %v / %v", res.Total, res.Rewards)
+	}
+	if res.Rewards > core.DefaultParams().Phi*res.Total+1e-9 {
+		t.Fatalf("simulated rewards %v exceed budget", res.Rewards)
+	}
+	if res.RewardGini < 0 || res.RewardGini >= 1 {
+		t.Fatalf("Gini = %v", res.RewardGini)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(geoMech(t), DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(geoMech(t), DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Participants != b.Participants || a.Total != b.Total || a.Rewards != b.Rewards {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := Run(geoMech(t), DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Participants == c.Participants && a.Total == c.Total {
+		t.Fatal("different seeds produced identical campaigns (suspicious)")
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	res, err := Run(geoMech(t), DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Participants < res.Series[i-1].Participants {
+			t.Fatal("participants decreased")
+		}
+		if res.Series[i].Total < res.Series[i-1].Total {
+			t.Fatal("total contribution decreased")
+		}
+	}
+}
+
+func TestSybilAccounting(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.SybilFraction = 0.4
+	cfg.SybilSplit = 3
+	res, err := Run(geoMech(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identities <= res.Participants {
+		t.Fatalf("attackers should inflate identities: %d ids for %d persons",
+			res.Identities, res.Participants)
+	}
+	if res.SybilYield == 0 {
+		t.Fatal("no sybil yield recorded despite 40% attackers")
+	}
+	// Under the Geometric mechanism chained identities harvest their own
+	// bubble-up, so attackers out-earn honest participants per unit
+	// contributed.
+	if adv := res.SybilAdvantage(); adv <= 1 {
+		t.Fatalf("geometric sybil advantage = %v, want > 1", adv)
+	}
+}
+
+func TestTDRMNeutralizesSybils(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.SybilFraction = 0.4
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TDRM satisfies USA: splitting cannot pay more than joining whole,
+	// so the attackers' yield cannot meaningfully exceed the honest one.
+	if adv := res.SybilAdvantage(); adv > 1.05 {
+		t.Fatalf("TDRM sybil advantage = %v, want <= ~1", adv)
+	}
+}
+
+func TestMaxParticipantsCap(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MaxParticipants = 20
+	cfg.Rounds = 50
+	cfg.Organic = 5
+	res, err := Run(geoMech(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants > 20 {
+		t.Fatalf("cap exceeded: %d", res.Participants)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := geoMech(t)
+	bad := []Config{
+		{Rounds: 0},
+		{Rounds: 5, BaseAccept: -0.1},
+		{Rounds: 5, BaseAccept: 1.5},
+		{Rounds: 5, BaseAccept: 0.1, SybilFraction: 2},
+		{Rounds: 5, BaseAccept: 0.1, SybilFraction: 0.5, SybilSplit: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(m, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	m1 := geoMech(t)
+	m2, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Compare([]core.Mechanism{m1, m2}, DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Mechanism == rs[1].Mechanism {
+		t.Fatal("mechanism names collide")
+	}
+}
+
+func TestRewardPullGrowsCampaigns(t *testing.T) {
+	// A mechanism that pays rewards should recruit more than a campaign
+	// where invitations are never sweetened (RewardPull = 0), on average
+	// over seeds. Use several seeds to keep the test robust.
+	grown, flat := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.RewardPull = 4
+		a, err := Run(geoMech(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.RewardPull = 0
+		b, err := Run(geoMech(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown += a.Participants
+		flat += b.Participants
+	}
+	if grown <= flat {
+		t.Fatalf("reward-driven campaigns recruited %d <= flat %d", grown, flat)
+	}
+}

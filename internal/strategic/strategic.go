@@ -1,0 +1,168 @@
+// Package strategic models participants as rational contribution
+// choosers, turning the paper's marginal-incentive axioms (CCI, and the
+// dR/dx < 1 condition behind UGSA) into observable behaviour.
+//
+// Each participant u has a private per-unit value v(u) for contributing
+// (consumer surplus on purchased goods, enjoyment or side-benefit of the
+// crowd task) and picks its contribution level from a grid to maximize
+//
+//	U_u(c) = v(u)*c + R_u(c) - c,
+//
+// where R_u(c) is u's reward when it contributes c and everyone else
+// stays fixed. Best-response dynamics iterate this choice across all
+// participants until a fixed point: an equilibrium contribution profile
+// for the mechanism. Comparing equilibria across mechanisms measures how
+// much contribution each reward schedule actually elicits — the
+// deployment question behind the paper's axioms.
+package strategic
+
+import (
+	"errors"
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// Config bounds the dynamics.
+type Config struct {
+	// Grid is the menu of contribution levels agents choose from; must
+	// be non-empty with non-negative entries.
+	Grid []float64
+	// MaxRounds caps the best-response sweeps.
+	MaxRounds int
+	// Tol is the utility improvement below which an agent keeps its
+	// current level (prevents float-noise oscillation).
+	Tol float64
+}
+
+// DefaultConfig uses a coarse grid of five levels up to 4.0.
+func DefaultConfig() Config {
+	return Config{
+		Grid:      []float64{0, 0.5, 1, 2, 4},
+		MaxRounds: 30,
+		Tol:       1e-9,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Grid) == 0 {
+		return errors.New("strategic: empty contribution grid")
+	}
+	for _, g := range c.Grid {
+		if g < 0 {
+			return fmt.Errorf("strategic: negative grid level %v", g)
+		}
+	}
+	if c.MaxRounds <= 0 {
+		return errors.New("strategic: MaxRounds must be positive")
+	}
+	return nil
+}
+
+// Utility returns U_u(c) for the CURRENT tree state: the intrinsic value
+// plus profit at u's present contribution.
+func Utility(t *tree.Tree, r core.Rewards, u tree.NodeID, value float64) float64 {
+	c := t.Contribution(u)
+	return value*c + r.Of(u) - c
+}
+
+// BestContribution evaluates the mechanism for every grid level of u's
+// contribution (others fixed) and returns the utility-maximizing level
+// and its utility. The input tree is not modified.
+func BestContribution(m core.Mechanism, t *tree.Tree, u tree.NodeID, value float64, cfg Config) (float64, float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, 0, err
+	}
+	if !t.Exists(u) || u == tree.Root {
+		return 0, 0, fmt.Errorf("strategic: no such participant %d", u)
+	}
+	work := t.Clone()
+	bestC, bestU := 0.0, 0.0
+	first := true
+	for _, c := range cfg.Grid {
+		if err := work.SetContribution(u, c); err != nil {
+			return 0, 0, err
+		}
+		r, err := m.Rewards(work)
+		if err != nil {
+			return 0, 0, err
+		}
+		util := value*c + r.Of(u) - c
+		if first || util > bestU+cfg.Tol {
+			bestC, bestU = c, util
+			first = false
+		}
+	}
+	return bestC, bestU, nil
+}
+
+// Equilibrium is the outcome of best-response dynamics.
+type Equilibrium struct {
+	Mechanism string
+	// Rounds is the number of full sweeps executed.
+	Rounds int
+	// Converged reports whether a fixed point was reached within
+	// MaxRounds.
+	Converged bool
+	// Tree is the final contribution profile.
+	Tree *tree.Tree
+	// Total is the equilibrium total contribution C(T).
+	Total float64
+	// Participation is the fraction of agents contributing a positive
+	// amount.
+	Participation float64
+	// Welfare is the summed equilibrium utility over all agents.
+	Welfare float64
+}
+
+// BestResponse runs synchronous-sweep best-response dynamics from the
+// given tree: in id order, every participant moves to its best grid
+// level; sweeps repeat until nobody moves. Values maps each participant
+// to its per-unit intrinsic value (missing entries default to 0). The
+// input tree is not modified.
+func BestResponse(m core.Mechanism, t *tree.Tree, values map[tree.NodeID]float64, cfg Config) (Equilibrium, error) {
+	if err := cfg.validate(); err != nil {
+		return Equilibrium{}, err
+	}
+	work := t.Clone()
+	eq := Equilibrium{Mechanism: m.Name(), Tree: work}
+	for eq.Rounds = 1; eq.Rounds <= cfg.MaxRounds; eq.Rounds++ {
+		moved := false
+		for _, u := range work.Nodes() {
+			best, _, err := BestContribution(m, work, u, values[u], cfg)
+			if err != nil {
+				return Equilibrium{}, err
+			}
+			if best != work.Contribution(u) {
+				if err := work.SetContribution(u, best); err != nil {
+					return Equilibrium{}, err
+				}
+				moved = true
+			}
+		}
+		if !moved {
+			eq.Converged = true
+			break
+		}
+	}
+	if eq.Rounds > cfg.MaxRounds {
+		eq.Rounds = cfg.MaxRounds
+	}
+	r, err := m.Rewards(work)
+	if err != nil {
+		return Equilibrium{}, err
+	}
+	eq.Total = work.Total()
+	contributors := 0
+	for _, u := range work.Nodes() {
+		if work.Contribution(u) > 0 {
+			contributors++
+		}
+		eq.Welfare += Utility(work, r, u, values[u])
+	}
+	if n := work.NumParticipants(); n > 0 {
+		eq.Participation = float64(contributors) / float64(n)
+	}
+	return eq, nil
+}

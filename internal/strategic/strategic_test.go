@@ -1,0 +1,185 @@
+package strategic
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tree"
+)
+
+func geoMech(t *testing.T) core.Mechanism {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	bad := []Config{
+		{Grid: nil, MaxRounds: 5},
+		{Grid: []float64{-1}, MaxRounds: 5},
+		{Grid: []float64{1}, MaxRounds: 0},
+	}
+	for i, cfg := range bad {
+		if _, _, err := BestContribution(m, tr, 1, 0.5, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+		if _, err := BestResponse(m, tr, nil, cfg); err == nil {
+			t.Errorf("config %d should be rejected by BestResponse", i)
+		}
+	}
+}
+
+func TestBestContributionThreshold(t *testing.T) {
+	// Under the Geometric mechanism a lone participant's reward is b*c,
+	// so utility is (v + b - 1)*c: corner solutions at the grid ends with
+	// threshold v = 1 - b = 2/3.
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	cfg := DefaultConfig()
+
+	low, _, err := BestContribution(m, tr, 1, 0.5, cfg) // below threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != 0 {
+		t.Fatalf("low-value agent contributes %v, want 0", low)
+	}
+	high, _, err := BestContribution(m, tr, 1, 0.9, cfg) // above threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high != 4 {
+		t.Fatalf("high-value agent contributes %v, want grid max 4", high)
+	}
+}
+
+func TestBestContributionDoesNotMutate(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1.5})
+	if _, _, err := BestContribution(m, tr, 1, 0.9, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Contribution(1); got != 1.5 {
+		t.Fatalf("input tree mutated: C = %v", got)
+	}
+}
+
+func TestBestContributionErrors(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	if _, _, err := BestContribution(m, tr, tree.Root, 0.5, DefaultConfig()); err == nil {
+		t.Fatal("root is not a participant")
+	}
+	if _, _, err := BestContribution(m, tr, tree.NodeID(7), 0.5, DefaultConfig()); err == nil {
+		t.Fatal("missing node should fail")
+	}
+}
+
+func TestBestResponseConvergesAndIsFixedPoint(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 1}, {C: 1}}})
+	values := map[tree.NodeID]float64{1: 0.9, 2: 0.5, 3: 0.8}
+	cfg := DefaultConfig()
+	eq, err := BestResponse(m, tr, values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Converged {
+		t.Fatalf("dynamics did not converge in %d rounds", eq.Rounds)
+	}
+	// Fixed point: nobody wants to move.
+	for _, u := range eq.Tree.Nodes() {
+		best, _, err := BestContribution(m, eq.Tree, u, values[u], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != eq.Tree.Contribution(u) {
+			t.Fatalf("node %d would deviate from %v to %v", u, eq.Tree.Contribution(u), best)
+		}
+	}
+	if eq.Total != eq.Tree.Total() {
+		t.Fatalf("Total = %v, tree says %v", eq.Total, eq.Tree.Total())
+	}
+	if eq.Participation < 0 || eq.Participation > 1 {
+		t.Fatalf("Participation = %v", eq.Participation)
+	}
+}
+
+func TestBestResponseInputUntouched(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 2}}})
+	before := tr.Clone()
+	if _, err := BestResponse(m, tr, map[tree.NodeID]float64{1: 0.9, 2: 0.9}, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(before) {
+		t.Fatal("BestResponse mutated its input tree")
+	}
+}
+
+func TestHigherValuesRaiseEquilibriumTotal(t *testing.T) {
+	m := geoMech(t)
+	tr := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 1}, {C: 1}}})
+	lowValues := map[tree.NodeID]float64{1: 0.2, 2: 0.2, 3: 0.2}
+	highValues := map[tree.NodeID]float64{1: 0.9, 2: 0.9, 3: 0.9}
+	low, err := BestResponse(m, tr, lowValues, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := BestResponse(m, tr, highValues, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Total <= low.Total {
+		t.Fatalf("high-value equilibrium %v not above low-value %v", high.Total, low.Total)
+	}
+}
+
+// TestCDRMElicitsMidValueAgents: CDRM's marginal reward approaches Phi
+// when the agent sits above a large subtree, so agents with
+// 1-Phi < 1-v < b-threshold contribute under CDRM but not under the
+// Geometric schedule whose slope is only b.
+func TestCDRMElicitsMidValueAgents(t *testing.T) {
+	p := core.DefaultParams() // Phi = 0.5; geometric slope b = 1/3
+	rec, err := cdrm.DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := geoMech(t)
+	// u sits above a heavy established subtree (large y), with a value
+	// between the two thresholds: 1 - Phi = 0.5 < ... < 1 - b = 2/3.
+	tr := tree.FromSpecs(tree.Spec{C: 0, Kids: []tree.Spec{{C: 40}}})
+	const v = 0.58
+	cfg := DefaultConfig()
+	cRec, _, err := BestContribution(rec, tr, 1, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cGeo, _, err := BestContribution(geo, tr, 1, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cRec == 0 {
+		t.Fatal("CDRM should elicit contribution from the mid-value agent")
+	}
+	if cGeo != 0 {
+		t.Fatalf("Geometric slope b=1/3 should not elicit v=0.58, got %v", cGeo)
+	}
+}
+
+func TestUtilityAccessor(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 2})
+	r := core.Rewards{0, 0.5}
+	// U = 0.7*2 + 0.5 - 2 = -0.1
+	if got := Utility(tr, r, 1, 0.7); math.Abs(got-(-0.1)) > 1e-12 {
+		t.Fatalf("Utility = %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package sybil
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+// TestEpsilonChainMatchesTDRMTransform is the cross-module invariant
+// behind Theorem 4: manually joining as the EpsilonChain arrangement
+// yields exactly the same total reward as joining as a single node and
+// letting TDRM's reward computation tree do the splitting.
+func TestEpsilonChainMatchesTDRMTransform(t *testing.T) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{0.4, 1, 1.7, 2, 3.25, 7} {
+		s := Scenario{
+			Base:         tree.FromSpecs(tree.Spec{C: 1}),
+			Parent:       1,
+			Contribution: c,
+			ChildTrees:   []tree.Spec{{C: 1.5}, {C: 0.5, Kids: []tree.Spec{{C: 2}}}},
+		}
+		single, err := Execute(m, s, Single(c, len(s.ChildTrees)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual, err := Execute(m, s, EpsilonChain(c, m.Mu(), len(s.ChildTrees)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(single.Reward-manual.Reward) > 1e-9 {
+			t.Fatalf("C=%v: single join %v != manual epsilon-chain %v",
+				c, single.Reward, manual.Reward)
+		}
+	}
+}
+
+// TestRestrictedAssignmentEnumeration pins the reduced child-assignment
+// mode used for large solicitation lists.
+func TestRestrictedAssignmentEnumeration(t *testing.T) {
+	kids := make([]tree.Spec, 5)
+	for i := range kids {
+		kids[i] = tree.Spec{C: 1}
+	}
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2, ChildTrees: kids}
+	o := SearchOptions{
+		MaxIdentities:       2,
+		Grains:              2,
+		ContributionFactors: []float64{1},
+		MaxAssignEnum:       3, // 5 children > 3: restricted mode
+	}
+	n := 0
+	seenAssignments := map[string]bool{}
+	err := Enumerate(s, o, func(a Arrangement) error {
+		n++
+		key := ""
+		for _, idx := range a.ChildAssign {
+			key += string(rune('0' + idx))
+		}
+		seenAssignments[key] = true
+		return a.Validate(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: 1 comp * 1 parent * 1 assign (all-to-0; round robin also
+	// degenerates to all-to-0 but is emitted separately) ... count only
+	// matters loosely; what we pin is the assignment *set* for k=2:
+	// all-to-0, all-to-1, round-robin.
+	want := map[string]bool{"00000": true, "11111": true, "01010": true}
+	for k := range want {
+		if !seenAssignments[k] {
+			t.Fatalf("restricted mode missing assignment %q (saw %v)", k, seenAssignments)
+		}
+	}
+	for k := range seenAssignments {
+		if !want[k] {
+			t.Fatalf("unexpected assignment %q in restricted mode", k)
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing enumerated")
+	}
+}
+
+// TestFullAssignmentEnumerationBelowLimit: with few children the full
+// k^s assignment space is explored.
+func TestFullAssignmentEnumerationBelowLimit(t *testing.T) {
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2,
+		ChildTrees: []tree.Spec{{C: 1}, {C: 1}}}
+	o := SearchOptions{
+		MaxIdentities:       2,
+		Grains:              2,
+		ContributionFactors: []float64{1},
+		MaxAssignEnum:       3,
+	}
+	assignments := map[string]bool{}
+	err := Enumerate(s, o, func(a Arrangement) error {
+		if len(a.Parts) == 2 {
+			key := ""
+			for _, idx := range a.ChildAssign {
+				key += string(rune('0' + idx))
+			}
+			assignments[key] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"00", "01", "10", "11"} {
+		if !assignments[want] {
+			t.Fatalf("full mode missing assignment %q (saw %v)", want, assignments)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sybil
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+)
+
+// SearchOptions bounds the exhaustive attack enumeration.
+type SearchOptions struct {
+	// MaxIdentities is the largest identity count k tried (>= 1).
+	MaxIdentities int
+	// Grains is the resolution of the contribution split: each identity
+	// receives an integer number of C/Grains units (>= MaxIdentities).
+	Grains int
+	// ContributionFactors are the multipliers of the scenario
+	// contribution tried for generalized (UGSA) attacks. Factor 1 must
+	// be present for plain USA search; factors > 1 model buying more.
+	ContributionFactors []float64
+	// MaxAssignEnum bounds full child-assignment enumeration: with more
+	// than MaxAssignEnum child subtrees the k^s assignment space is
+	// replaced by the "all children under one identity" assignments
+	// (optimal per the paper's Lemma 4) plus a round-robin spread.
+	MaxAssignEnum int
+}
+
+// DefaultSearch bounds the search to the attack shapes the paper's
+// lemmas identify as candidates, at a grid fine enough to reproduce all
+// of its counterexamples.
+func DefaultSearch() SearchOptions {
+	return SearchOptions{
+		MaxIdentities:       4,
+		Grains:              4,
+		ContributionFactors: []float64{1},
+		MaxAssignEnum:       3,
+	}
+}
+
+// GeneralizedSearch extends DefaultSearch with contribution increases for
+// UGSA falsification.
+func GeneralizedSearch() SearchOptions {
+	o := DefaultSearch()
+	o.ContributionFactors = []float64{1, 1.25, 1.5, 2, 4}
+	return o
+}
+
+func (o SearchOptions) validate() error {
+	if o.MaxIdentities < 1 {
+		return fmt.Errorf("sybil: MaxIdentities = %d, need >= 1", o.MaxIdentities)
+	}
+	if o.Grains < o.MaxIdentities {
+		return fmt.Errorf("sybil: Grains = %d below MaxIdentities = %d", o.Grains, o.MaxIdentities)
+	}
+	if len(o.ContributionFactors) == 0 {
+		return fmt.Errorf("sybil: no contribution factors")
+	}
+	return nil
+}
+
+// compositions enumerates all ways to write total as k positive integer
+// parts (order matters), invoking fn with each.
+func compositions(total, k int, fn func([]int)) {
+	parts := make([]int, k)
+	var rec func(idx, remaining int)
+	rec = func(idx, remaining int) {
+		if idx == k-1 {
+			if remaining >= 1 {
+				parts[idx] = remaining
+				fn(parts)
+			}
+			return
+		}
+		for v := 1; v <= remaining-(k-1-idx); v++ {
+			parts[idx] = v
+			rec(idx+1, remaining-v)
+		}
+	}
+	if k >= 1 && total >= k {
+		rec(0, total)
+	}
+}
+
+// parentVectors enumerates all topologies of k identities: ParentIdx[0]
+// is always -1 (the first identity attaches under the scenario parent);
+// later identities attach under the scenario parent or any earlier
+// identity.
+func parentVectors(k int, fn func([]int)) {
+	vec := make([]int, k)
+	vec[0] = -1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			fn(vec)
+			return
+		}
+		for p := -1; p < i; p++ {
+			vec[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(1)
+}
+
+// assignments enumerates functions from s children to k identities: all
+// k^s of them when s <= limit, otherwise the k "all under one identity"
+// assignments (optimal per Lemma 4) plus a round-robin spread.
+func assignments(s, k, limit int, fn func([]int)) {
+	vec := make([]int, s)
+	if s > limit {
+		for idx := 0; idx < k; idx++ {
+			for j := range vec {
+				vec[j] = idx
+			}
+			fn(vec)
+		}
+		if k > 1 {
+			for j := range vec {
+				vec[j] = j % k
+			}
+			fn(vec)
+		}
+		return
+	}
+	var rec func(j int)
+	rec = func(j int) {
+		if j == s {
+			fn(vec)
+			return
+		}
+		for idx := 0; idx < k; idx++ {
+			vec[j] = idx
+			rec(j + 1)
+		}
+	}
+	rec(0)
+}
+
+// Enumerate invokes fn with every arrangement within the option bounds
+// for the given scenario. Arrangements share backing arrays; fn must not
+// retain them (Execute copies what it needs).
+func Enumerate(s Scenario, o SearchOptions, fn func(Arrangement) error) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	nc := len(s.ChildTrees)
+	var err error
+	for _, factor := range o.ContributionFactors {
+		total := s.Contribution * factor
+		for k := 1; k <= o.MaxIdentities; k++ {
+			compositions(o.Grains, k, func(grains []int) {
+				if err != nil {
+					return
+				}
+				parts := make([]float64, k)
+				for i, g := range grains {
+					parts[i] = total * float64(g) / float64(o.Grains)
+				}
+				parentVectors(k, func(parents []int) {
+					if err != nil {
+						return
+					}
+					assignments(nc, k, o.MaxAssignEnum, func(assign []int) {
+						if err != nil {
+							return
+						}
+						a := Arrangement{
+							Parts:       append([]float64(nil), parts...),
+							ParentIdx:   append([]int(nil), parents...),
+							ChildAssign: append([]int(nil), assign...),
+						}
+						err = fn(a)
+					})
+				})
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return err
+}
+
+// Report is the result of an attack search.
+type Report struct {
+	// Baseline is the honest single-identity outcome.
+	Baseline Outcome
+	// Best is the best attack found (including the baseline itself).
+	Best Outcome
+	// Evaluated counts the arrangements tried.
+	Evaluated int
+}
+
+// RewardGain is Best.Reward - Baseline.Reward (the USA violation margin).
+func (r Report) RewardGain() float64 { return r.Best.Reward - r.Baseline.Reward }
+
+// ProfitGain is Best.Profit() - Baseline.Profit() (the UGSA violation
+// margin).
+func (r Report) ProfitGain() float64 { return r.Best.Profit() - r.Baseline.Profit() }
+
+// BestRewardAttack searches for the arrangement maximizing total REWARD
+// at fixed total contribution (the USA attack model). A strictly positive
+// RewardGain in the returned report is a USA violation witness.
+func BestRewardAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, error) {
+	o.ContributionFactors = []float64{1}
+	return search(m, s, o, func(candidate, best Outcome) bool {
+		return candidate.Reward > best.Reward
+	})
+}
+
+// BestProfitAttack searches for the arrangement maximizing PROFIT with
+// contribution increases allowed (the UGSA attack model). A strictly
+// positive ProfitGain in the returned report is a UGSA violation witness.
+func BestProfitAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, error) {
+	return search(m, s, o, func(candidate, best Outcome) bool {
+		return candidate.Profit() > best.Profit()
+	})
+}
+
+func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate, best Outcome) bool) (Report, error) {
+	baseline, err := Execute(m, s, Single(s.Contribution, len(s.ChildTrees)))
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Baseline: baseline, Best: baseline}
+	err = Enumerate(s, o, func(a Arrangement) error {
+		out, err := Execute(m, s, a)
+		if err != nil {
+			return err
+		}
+		rep.Evaluated++
+		if better(out, rep.Best) {
+			rep.Best = out
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// ViolatesUSA reports whether the search found a reward-increasing split.
+func ViolatesUSA(rep Report) bool {
+	return numeric.StrictlyGreater(rep.Best.Reward, rep.Baseline.Reward, numeric.Eps)
+}
+
+// ViolatesUGSA reports whether the search found a profit-increasing
+// generalized attack.
+func ViolatesUGSA(rep Report) bool {
+	return numeric.StrictlyGreater(rep.Best.Profit(), rep.Baseline.Profit(), numeric.Eps)
+}

@@ -1,0 +1,205 @@
+// Package sybil implements multi-identity (Sybil) attacks against
+// Incentive Tree mechanisms and a bounded exhaustive search for the best
+// attack, used to falsify (or fail to falsify) the USA and UGSA
+// properties.
+//
+// The paper's attack model (Sect. 3.2): a participant u about to join a
+// referral tree with contribution C may instead join as a set of
+// identities u_1, ..., u_k, arbitrarily connected, splitting C (USA) or
+// even increasing it (UGSA) among them; any child u later solicits can be
+// attached under any identity. The appendix lemmas show that optimal
+// attacks have small canonical shapes (chains and epsilon-chains), so a
+// bounded enumeration over identity counts, contribution splits, identity
+// topologies and child assignments finds the violations the paper
+// exhibits while remaining exact on its witnesses.
+package sybil
+
+import (
+	"fmt"
+	"math"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// Scenario describes a join decision: a participant with the given
+// contribution is about to join Base under Parent, and will afterwards
+// solicit the given child subtrees (each of which attaches under one of
+// the participant's identities).
+type Scenario struct {
+	// Base is the existing referral tree. It is never mutated.
+	Base *tree.Tree
+	// Parent is the node the participant was solicited by.
+	Parent tree.NodeID
+	// Contribution is the participant's intended total contribution C.
+	Contribution float64
+	// ChildTrees are the subtrees of the participant's future solicitees.
+	ChildTrees []tree.Spec
+}
+
+// Arrangement is one concrete multi-identity join plan.
+type Arrangement struct {
+	// Parts are the contributions of the k identities; Parts[i] >= 0 and
+	// sum(Parts) is the attacker's total contribution.
+	Parts []float64
+	// ParentIdx[i] is the index of identity i's parent among the
+	// identities, or -1 to attach under the scenario parent.
+	// ParentIdx[i] < i, so identities are added in topological order.
+	ParentIdx []int
+	// ChildAssign[j] is the identity index the j-th child subtree
+	// attaches to.
+	ChildAssign []int
+}
+
+// Single returns the trivial arrangement: one identity holding
+// everything, all children under it.
+func Single(c float64, numChildren int) Arrangement {
+	return Arrangement{
+		Parts:       []float64{c},
+		ParentIdx:   []int{-1},
+		ChildAssign: make([]int, numChildren),
+	}
+}
+
+// ChainSplit splits c into k equal parts arranged in a downward chain
+// with all children under the deepest identity — the classic attack that
+// defeats the Geometric mechanism (Sect. 4.1).
+func ChainSplit(c float64, k, numChildren int) Arrangement {
+	a := Arrangement{
+		Parts:       make([]float64, k),
+		ParentIdx:   make([]int, k),
+		ChildAssign: make([]int, numChildren),
+	}
+	for i := 0; i < k; i++ {
+		a.Parts[i] = c / float64(k)
+		a.ParentIdx[i] = i - 1 // identity 0 attaches to the scenario parent
+	}
+	for j := range a.ChildAssign {
+		a.ChildAssign[j] = k - 1
+	}
+	return a
+}
+
+// StarSplit splits c into k equal sibling identities, children under the
+// first.
+func StarSplit(c float64, k, numChildren int) Arrangement {
+	a := Arrangement{
+		Parts:       make([]float64, k),
+		ParentIdx:   make([]int, k),
+		ChildAssign: make([]int, numChildren),
+	}
+	for i := 0; i < k; i++ {
+		a.Parts[i] = c / float64(k)
+		a.ParentIdx[i] = -1
+	}
+	return a
+}
+
+// EpsilonChain splits c the way TDRM's reward computation tree would:
+// remainder at the head, mu-sized blocks below, children under the tail.
+func EpsilonChain(c, mu float64, numChildren int) Arrangement {
+	k := 1
+	if c > 0 {
+		k = int(math.Ceil(c / mu))
+	}
+	a := Arrangement{
+		Parts:       make([]float64, k),
+		ParentIdx:   make([]int, k),
+		ChildAssign: make([]int, numChildren),
+	}
+	for i := 0; i < k; i++ {
+		a.Parts[i] = mu
+		a.ParentIdx[i] = i - 1
+	}
+	a.Parts[0] = c - float64(k-1)*mu
+	for j := range a.ChildAssign {
+		a.ChildAssign[j] = k - 1
+	}
+	return a
+}
+
+// Validate checks structural sanity of an arrangement against a scenario.
+func (a Arrangement) Validate(s Scenario) error {
+	if len(a.Parts) == 0 {
+		return fmt.Errorf("sybil: arrangement has no identities")
+	}
+	if len(a.Parts) != len(a.ParentIdx) {
+		return fmt.Errorf("sybil: %d parts, %d parent indices", len(a.Parts), len(a.ParentIdx))
+	}
+	if len(a.ChildAssign) != len(s.ChildTrees) {
+		return fmt.Errorf("sybil: %d child assignments for %d child trees",
+			len(a.ChildAssign), len(s.ChildTrees))
+	}
+	for i, p := range a.ParentIdx {
+		if p >= i || p < -1 {
+			return fmt.Errorf("sybil: identity %d has invalid parent index %d", i, p)
+		}
+	}
+	for j, idx := range a.ChildAssign {
+		if idx < 0 || idx >= len(a.Parts) {
+			return fmt.Errorf("sybil: child %d assigned to invalid identity %d", j, idx)
+		}
+	}
+	for i, c := range a.Parts {
+		if c < 0 || math.IsNaN(c) {
+			return fmt.Errorf("sybil: identity %d has invalid contribution %v", i, c)
+		}
+	}
+	return nil
+}
+
+// Total returns the arrangement's total contribution.
+func (a Arrangement) Total() float64 {
+	t := 0.0
+	for _, c := range a.Parts {
+		t += c
+	}
+	return t
+}
+
+// Outcome is the result of executing an arrangement under a mechanism.
+type Outcome struct {
+	Arrangement Arrangement
+	// Reward is the total reward collected by all identities.
+	Reward float64
+	// Contribution is the total contribution spent by all identities.
+	Contribution float64
+}
+
+// Profit returns reward minus contribution.
+func (o Outcome) Profit() float64 { return o.Reward - o.Contribution }
+
+// Execute joins the scenario's base tree according to the arrangement and
+// evaluates the mechanism, returning the attacker's aggregate outcome.
+func Execute(m core.Mechanism, s Scenario, a Arrangement) (Outcome, error) {
+	if err := a.Validate(s); err != nil {
+		return Outcome{}, err
+	}
+	t := s.Base.Clone()
+	ids := make([]tree.NodeID, len(a.Parts))
+	for i, c := range a.Parts {
+		parent := s.Parent
+		if a.ParentIdx[i] >= 0 {
+			parent = ids[a.ParentIdx[i]]
+		}
+		id, err := t.Add(parent, c)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
+		}
+		ids[i] = id
+	}
+	for j, spec := range s.ChildTrees {
+		if _, err := t.AttachSpec(ids[a.ChildAssign[j]], spec); err != nil {
+			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
+		}
+	}
+	r, err := m.Rewards(t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Arrangement: a, Contribution: a.Total()}
+	for _, id := range ids {
+		out.Reward += r.Of(id)
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package sybil
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+func geo(t *testing.T) core.Mechanism {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func leafScenario(c float64) Scenario {
+	return Scenario{Base: tree.New(), Parent: tree.Root, Contribution: c}
+}
+
+func TestSingleArrangement(t *testing.T) {
+	a := Single(3, 2)
+	if err := a.Validate(Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 3,
+		ChildTrees: []tree.Spec{{C: 1}, {C: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+}
+
+func TestChainSplitShape(t *testing.T) {
+	a := ChainSplit(4, 4, 1)
+	if len(a.Parts) != 4 {
+		t.Fatalf("parts = %v", a.Parts)
+	}
+	for i, p := range a.ParentIdx {
+		if p != i-1 {
+			t.Fatalf("ParentIdx[%d] = %d, want %d", i, p, i-1)
+		}
+	}
+	if a.ChildAssign[0] != 3 {
+		t.Fatalf("children should attach to the deepest identity, got %d", a.ChildAssign[0])
+	}
+	if a.Total() != 4 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+}
+
+func TestStarSplitShape(t *testing.T) {
+	a := StarSplit(2, 4, 0)
+	for _, p := range a.ParentIdx {
+		if p != -1 {
+			t.Fatalf("star identities must attach to the scenario parent, got %d", p)
+		}
+	}
+}
+
+func TestEpsilonChainShape(t *testing.T) {
+	a := EpsilonChain(2.5, 1, 1)
+	if len(a.Parts) != 3 {
+		t.Fatalf("parts = %v", a.Parts)
+	}
+	if math.Abs(a.Parts[0]-0.5) > 1e-12 {
+		t.Fatalf("head part = %v, want 0.5", a.Parts[0])
+	}
+	if a.Parts[1] != 1 || a.Parts[2] != 1 {
+		t.Fatalf("tail parts = %v", a.Parts[1:])
+	}
+	if a.ChildAssign[0] != 2 {
+		t.Fatalf("children should hang under the tail")
+	}
+	if got := EpsilonChain(0, 1, 0); len(got.Parts) != 1 || got.Parts[0] != 0 {
+		t.Fatalf("zero-contribution epsilon chain = %+v", got)
+	}
+}
+
+func TestArrangementValidate(t *testing.T) {
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2,
+		ChildTrees: []tree.Spec{{C: 1}}}
+	tests := []struct {
+		name string
+		a    Arrangement
+	}{
+		{"empty", Arrangement{}},
+		{"length mismatch", Arrangement{Parts: []float64{1, 1}, ParentIdx: []int{-1}, ChildAssign: []int{0}}},
+		{"child assign mismatch", Arrangement{Parts: []float64{2}, ParentIdx: []int{-1}}},
+		{"forward parent", Arrangement{Parts: []float64{1, 1}, ParentIdx: []int{-1, 1}, ChildAssign: []int{0}}},
+		{"bad parent", Arrangement{Parts: []float64{1}, ParentIdx: []int{-2}, ChildAssign: []int{0}}},
+		{"bad child assign", Arrangement{Parts: []float64{2}, ParentIdx: []int{-1}, ChildAssign: []int{5}}},
+		{"negative part", Arrangement{Parts: []float64{-1}, ParentIdx: []int{-1}, ChildAssign: []int{0}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.a.Validate(s); err == nil {
+				t.Fatal("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestExecuteBuildsExpectedTree(t *testing.T) {
+	m := geo(t)
+	s := Scenario{
+		Base:         tree.FromSpecs(tree.Spec{C: 1}),
+		Parent:       1,
+		Contribution: 2,
+		ChildTrees:   []tree.Spec{{C: 3}},
+	}
+	out, err := Execute(m, s, Single(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Contribution != 2 {
+		t.Fatalf("Contribution = %v", out.Contribution)
+	}
+	// Base must not be mutated.
+	if s.Base.NumParticipants() != 1 {
+		t.Fatalf("base mutated: %d participants", s.Base.NumParticipants())
+	}
+	// Reward equals the mechanism's reward of a hand-built tree.
+	want := tree.FromSpecs(tree.Spec{C: 1, Kids: []tree.Spec{{C: 2, Kids: []tree.Spec{{C: 3}}}}})
+	r, err := m.Rewards(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Reward-r.Of(2)) > 1e-12 {
+		t.Fatalf("Reward = %v, want %v", out.Reward, r.Of(2))
+	}
+}
+
+func TestExecuteChainAgainstGeometric(t *testing.T) {
+	// Under Geometric, a 2-identity chain split of C=2 earns strictly more
+	// than a single join: the head collects the tail's bubble-up.
+	m := geo(t)
+	s := leafScenario(2)
+	single, err := Execute(m, s, Single(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := Execute(m, s, ChainSplit(2, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Reward <= single.Reward {
+		t.Fatalf("chain split reward %v should beat single %v", chain.Reward, single.Reward)
+	}
+	if got := chain.Profit(); math.Abs(got-(chain.Reward-2)) > 1e-12 {
+		t.Fatalf("Profit = %v", got)
+	}
+}
+
+func TestEnumerateCountsAndValidity(t *testing.T) {
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2,
+		ChildTrees: []tree.Spec{{C: 1}}}
+	o := SearchOptions{MaxIdentities: 3, Grains: 3, ContributionFactors: []float64{1}, MaxAssignEnum: 3}
+	n := 0
+	err := Enumerate(s, o, func(a Arrangement) error {
+		if err := a.Validate(s); err != nil {
+			return err
+		}
+		if math.Abs(a.Total()-2) > 1e-12 {
+			t.Fatalf("arrangement total = %v, want 2", a.Total())
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: 1 comp * 1 parent * 1 assign = 1
+	// k=2: 1 comp ([1,2],[2,1]) -> 2 comps * 2 parents * 2 assigns = 8
+	// k=3: 1 comp * 6 parents * 3 assigns = 18
+	if n != 1+8+18 {
+		t.Fatalf("enumerated %d arrangements, want 27", n)
+	}
+}
+
+func TestEnumerateOptionValidation(t *testing.T) {
+	s := leafScenario(1)
+	bad := []SearchOptions{
+		{MaxIdentities: 0, Grains: 4, ContributionFactors: []float64{1}},
+		{MaxIdentities: 4, Grains: 2, ContributionFactors: []float64{1}},
+		{MaxIdentities: 2, Grains: 4},
+	}
+	for i, o := range bad {
+		if err := Enumerate(s, o, func(Arrangement) error { return nil }); err == nil {
+			t.Fatalf("options %d should be rejected", i)
+		}
+	}
+}
+
+func TestBestRewardAttackFindsGeometricViolation(t *testing.T) {
+	rep, err := BestRewardAttack(geo(t), leafScenario(2), DefaultSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ViolatesUSA(rep) {
+		t.Fatal("search should find a USA violation for Geometric")
+	}
+	if rep.RewardGain() <= 0 {
+		t.Fatalf("RewardGain = %v", rep.RewardGain())
+	}
+	if rep.Evaluated == 0 {
+		t.Fatal("no arrangements evaluated")
+	}
+	// The winning attack against Geometric is a chain.
+	best := rep.Best.Arrangement
+	if len(best.Parts) < 2 {
+		t.Fatalf("best attack uses %d identities, expected a split", len(best.Parts))
+	}
+}
+
+func TestTDRMSurvivesRewardSearch(t *testing.T) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []Scenario{
+		leafScenario(2),
+		{Base: tree.New(), Parent: tree.Root, Contribution: 1.7,
+			ChildTrees: []tree.Spec{{C: 1}, {C: 2.5, Kids: []tree.Spec{{C: 1}}}}},
+	}
+	for i, s := range scenarios {
+		rep, err := BestRewardAttack(m, s, DefaultSearch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ViolatesUSA(rep) {
+			t.Fatalf("scenario %d: TDRM USA violated, gain %v by %+v",
+				i, rep.RewardGain(), rep.Best.Arrangement)
+		}
+	}
+}
+
+func TestCDRMSurvivesProfitSearch(t *testing.T) {
+	m, err := cdrm.DefaultReciprocal(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 1.5,
+		ChildTrees: []tree.Spec{{C: 2}}}
+	rep, err := BestProfitAttack(m, s, GeneralizedSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ViolatesUGSA(rep) {
+		t.Fatalf("CDRM UGSA violated, gain %v by %+v", rep.ProfitGain(), rep.Best.Arrangement)
+	}
+}
+
+func TestTDRMFailsProfitSearch(t *testing.T) {
+	// The paper's UGSA counterexample: small own contribution, many
+	// mu-sized children. The generalized search must find the violation.
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := make([]tree.Spec, 30)
+	for i := range kids {
+		kids[i] = tree.Spec{C: m.Mu()}
+	}
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: m.Mu() / 2,
+		ChildTrees: kids}
+	o := SearchOptions{MaxIdentities: 1, Grains: 1, ContributionFactors: []float64{1, 2}}
+	rep, err := BestProfitAttack(m, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ViolatesUGSA(rep) {
+		t.Fatal("generalized search should reproduce the TDRM UGSA counterexample")
+	}
+}
+
+func TestExecuteRejectsInvalidArrangement(t *testing.T) {
+	if _, err := Execute(geo(t), leafScenario(1), Arrangement{}); err == nil {
+		t.Fatal("invalid arrangement should be rejected")
+	}
+}

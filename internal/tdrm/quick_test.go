@@ -1,0 +1,150 @@
+package tdrm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tree"
+)
+
+// randomTree generates arbitrary referral trees for RCT invariant checks.
+type randomTree struct {
+	T *tree.Tree
+}
+
+// Generate implements quick.Generator.
+func (randomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	t := tree.New()
+	n := 1 + r.Intn(size+1)
+	for i := 0; i < n; i++ {
+		parent := tree.NodeID(r.Intn(t.Len()))
+		t.MustAdd(parent, r.Float64()*6)
+	}
+	return reflect.ValueOf(randomTree{T: t})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1618))}
+}
+
+// TestQuickRCTInvariants: for arbitrary trees and caps, the transform
+// validates, conserves contribution, produces only epsilon-chains, and
+// its node count equals sum(max(1, ceil(C(u)/mu))).
+func TestQuickRCTInvariants(t *testing.T) {
+	f := func(rt randomTree, rawMu uint8) bool {
+		mu := 0.25 + float64(rawMu)/64 // [0.25, 4.25)
+		rct, err := Transform(rt.T, mu)
+		if err != nil {
+			return false
+		}
+		if err := rct.Validate(rt.T, mu); err != nil {
+			return false
+		}
+		wantNodes := 0
+		for _, u := range rt.T.Nodes() {
+			wantNodes += ChainLength(rt.T.Contribution(u), mu)
+			if !rct.IsEpsilonChain(u, mu) {
+				return false
+			}
+		}
+		if rct.T.NumParticipants() != wantNodes {
+			return false
+		}
+		return math.Abs(rct.T.Total()-rt.T.Total()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRCTPreservesAncestry: ancestry in the referral tree maps to
+// ancestry of the corresponding chains.
+func TestQuickRCTPreservesAncestry(t *testing.T) {
+	f := func(rt randomTree, pick uint8) bool {
+		if rt.T.NumParticipants() == 0 {
+			return true
+		}
+		u := tree.NodeID(1 + int(pick)%rt.T.NumParticipants())
+		rct, err := Transform(rt.T, 1)
+		if err != nil {
+			return false
+		}
+		for _, p := range rt.T.Ancestors(u) {
+			if p == tree.Root {
+				continue
+			}
+			// p's tail must be an ancestor of u's head in the RCT.
+			if !rct.T.IsAncestor(rct.Tail(p), rct.Head(u)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRewardsDecomposition: the participant rewards are exactly the
+// per-chain sums of the RCT node rewards, and the fairness term
+// contributes phi*C(u) per participant.
+func TestQuickRewardsDecomposition(t *testing.T) {
+	p := core.DefaultParams()
+	m, err := Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rt randomTree) bool {
+		rct, err := Transform(rt.T, m.Mu())
+		if err != nil {
+			return false
+		}
+		nodeRewards := m.NodeRewards(rct)
+		total, err := m.Rewards(rt.T)
+		if err != nil {
+			return false
+		}
+		for _, u := range rt.T.Nodes() {
+			sum := 0.0
+			for _, w := range rct.Chains[u] {
+				sum += nodeRewards[w]
+			}
+			if !numeric.AlmostEqual(sum, total.Of(u), 1e-9) {
+				return false
+			}
+			// Reward is at least the fairness term.
+			if total.Of(u) < p.FairShare*rt.T.Contribution(u)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMuMonotoneNodeCount: a larger cap never increases the RCT
+// size.
+func TestQuickMuMonotoneNodeCount(t *testing.T) {
+	f := func(rt randomTree, rawMu uint8) bool {
+		mu := 0.25 + float64(rawMu)/64
+		small, err := Transform(rt.T, mu)
+		if err != nil {
+			return false
+		}
+		large, err := Transform(rt.T, mu*2)
+		if err != nil {
+			return false
+		}
+		return large.T.NumParticipants() <= small.T.NumParticipants()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

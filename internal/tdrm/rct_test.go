@@ -1,0 +1,199 @@
+package tdrm
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func TestChainLength(t *testing.T) {
+	tests := []struct {
+		c, mu float64
+		want  int
+	}{
+		{0, 1, 1},
+		{0.5, 1, 1},
+		{1, 1, 1},
+		{1.0001, 1, 2},
+		{2, 1, 2},
+		{2.5, 1, 3},
+		{10, 2.5, 4},
+	}
+	for _, tc := range tests {
+		if got := ChainLength(tc.c, tc.mu); got != tc.want {
+			t.Errorf("ChainLength(%v, %v) = %d, want %d", tc.c, tc.mu, got, tc.want)
+		}
+	}
+}
+
+func TestTransformSplitsLargeContribution(t *testing.T) {
+	// Participant with C = 2.5 and mu = 1 becomes the chain
+	// head(0.5) -> 1 -> 1 (remainder at the head, Fig. 3).
+	tr := tree.FromSpecs(tree.Spec{C: 2.5})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	ch := rct.Chains[1]
+	if len(ch) != 3 {
+		t.Fatalf("chain length = %d, want 3", len(ch))
+	}
+	wants := []float64{0.5, 1, 1}
+	for i, w := range ch {
+		if got := rct.T.Contribution(w); math.Abs(got-wants[i]) > 1e-12 {
+			t.Errorf("chain[%d] C = %v, want %v", i, got, wants[i])
+		}
+	}
+	// Chain is connected head -> tail under the root.
+	if got := rct.T.Parent(ch[0]); got != tree.Root {
+		t.Errorf("head parent = %d, want Root", got)
+	}
+	if got := rct.T.Parent(ch[1]); got != ch[0] {
+		t.Errorf("middle parent = %d, want head", got)
+	}
+	if got := rct.T.Parent(ch[2]); got != ch[1] {
+		t.Errorf("tail parent = %d, want middle", got)
+	}
+}
+
+func TestTransformExactMultiple(t *testing.T) {
+	// C = 3, mu = 1: remainder is exactly mu (epsilon in (0, mu]).
+	tr := tree.FromSpecs(tree.Spec{C: 3})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := rct.Chains[1]
+	if len(ch) != 3 {
+		t.Fatalf("chain length = %d, want 3", len(ch))
+	}
+	for i, w := range ch {
+		if got := rct.T.Contribution(w); got != 1 {
+			t.Errorf("chain[%d] C = %v, want 1", i, got)
+		}
+	}
+}
+
+func TestTransformSmallAndZeroContributions(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 0.3, Kids: []tree.Spec{{C: 0}}})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rct.Chains[1]); got != 1 {
+		t.Fatalf("small contribution chain length = %d, want 1", got)
+	}
+	if got := len(rct.Chains[2]); got != 1 {
+		t.Fatalf("zero contribution chain length = %d, want 1", got)
+	}
+	if got := rct.T.Contribution(rct.Head(2)); got != 0 {
+		t.Fatalf("zero participant's RCT node carries %v", got)
+	}
+}
+
+func TestTransformChildAttachesToTail(t *testing.T) {
+	// u (C=2.2, chain of 3) solicits v (C=1): v's head must hang below
+	// u's TAIL, not its head.
+	tr := tree.FromSpecs(tree.Spec{C: 2.2, Kids: []tree.Spec{{C: 1}}})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rct.T.Parent(rct.Head(2)), rct.Tail(1); got != want {
+		t.Fatalf("v's head parent = %d, want u's tail %d", got, want)
+	}
+	if rct.Head(1) == rct.Tail(1) {
+		t.Fatal("u's chain should have distinct head and tail")
+	}
+}
+
+// TestTransformFig3Shape reproduces the structure of Fig. 3: a referral
+// tree with mixed contributions maps to a reward computation tree in
+// which every participant is an epsilon-chain and the solicitation
+// structure is preserved between chain tails and heads.
+func TestTransformFig3Shape(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 3.5, Label: "p", Kids: []tree.Spec{
+		{C: 1.2, Label: "q"},
+		{C: 0.4, Label: "s", Kids: []tree.Spec{{C: 2, Label: "w"}}},
+	}})
+	mu := 1.0
+	rct, err := Transform(tr, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rct.Validate(tr, mu); err != nil {
+		t.Fatal(err)
+	}
+	// 4 + 2 + 1 + 2 = 9 RCT nodes.
+	if got := rct.T.NumParticipants(); got != 9 {
+		t.Fatalf("RCT nodes = %d, want 9", got)
+	}
+	for _, u := range tr.Nodes() {
+		if !rct.IsEpsilonChain(u, mu) {
+			t.Errorf("chain of %d is not an epsilon-chain", u)
+		}
+	}
+	// Totals are conserved.
+	if got, want := rct.T.Total(), tr.Total(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RCT total = %v, want %v", got, want)
+	}
+	// q and s attach below p's tail.
+	for _, v := range []tree.NodeID{2, 3} {
+		if got := rct.T.Parent(rct.Head(v)); got != rct.Tail(1) {
+			t.Errorf("child %d head parent = %d, want p's tail %d", v, got, rct.Tail(1))
+		}
+	}
+}
+
+func TestTransformValidatesOnCorpus(t *testing.T) {
+	for i, tr := range treegen.Corpus(31, 20, 50) {
+		rct, err := Transform(tr, 1.5)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if err := rct.Validate(tr, 1.5); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	if _, err := Transform(tr, 0); err == nil {
+		t.Fatal("mu = 0 should be rejected")
+	}
+	if _, err := Transform(tr, -1); err == nil {
+		t.Fatal("mu < 0 should be rejected")
+	}
+	var empty tree.Tree
+	if _, err := Transform(&empty, 1); err == nil {
+		t.Fatal("rootless tree should be rejected")
+	}
+}
+
+func TestRCTLabels(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 2, Label: "alice"})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rct.T.Label(rct.Head(1)); got != "alice/1" {
+		t.Fatalf("head label = %q", got)
+	}
+	if got := rct.T.Label(rct.Tail(1)); got != "alice/2" {
+		t.Fatalf("tail label = %q", got)
+	}
+}
+
+func TestIsEpsilonChainUnknownNode(t *testing.T) {
+	tr := tree.FromSpecs(tree.Spec{C: 1})
+	rct, err := Transform(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rct.IsEpsilonChain(tree.NodeID(42), 1) {
+		t.Fatal("unknown participant should not be an epsilon-chain")
+	}
+}

@@ -1,0 +1,142 @@
+package tdrm
+
+import (
+	"fmt"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/tree"
+)
+
+// Mechanism is the TDRM mechanism of Algorithm 4. Construct with New.
+type Mechanism struct {
+	params core.Params
+	lambda float64 // quadratic-term scale, lambda < Phi - phi
+	mu     float64 // contribution cap simulated by the RCT
+	a      float64 // geometric decay
+	b      float64 // bubble fraction, a + b < 1
+}
+
+// New validates the Theorem 4 parameter regime: 0 < lambda < Phi - phi,
+// mu > 0, 0 < a < 1, b > 0 and a + b < 1 (the paper states b < 1 - a; the
+// budget proof uses sum_i a^i * b < 1).
+func New(p core.Params, lambda, mu, a, b float64) (*Mechanism, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !(lambda > 0 && lambda < p.Phi-p.FairShare) {
+		return nil, fmt.Errorf("%w: lambda = %v, need 0 < lambda < Phi-phi = %v",
+			core.ErrBadParams, lambda, p.Phi-p.FairShare)
+	}
+	if !(mu > 0) {
+		return nil, fmt.Errorf("%w: mu = %v, need mu > 0", core.ErrBadParams, mu)
+	}
+	if !(a > 0 && a < 1) {
+		return nil, fmt.Errorf("%w: a = %v, need 0 < a < 1", core.ErrBadParams, a)
+	}
+	if !(b > 0 && a+b < 1) {
+		return nil, fmt.Errorf("%w: b = %v, need b > 0 and a+b < 1 (a = %v)",
+			core.ErrBadParams, b, a)
+	}
+	return &Mechanism{params: p, lambda: lambda, mu: mu, a: a, b: b}, nil
+}
+
+// Default returns the TDRM instance used across the experiments:
+// lambda at 80% of its admissible ceiling, unit contribution cap, and
+// a = b = 1/3.
+func Default(p core.Params) (*Mechanism, error) {
+	return New(p, 0.8*(p.Phi-p.FairShare), 1, 1.0/3.0, 1.0/3.0)
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string {
+	return fmt.Sprintf("TDRM(lambda=%.3g,mu=%.3g,a=%.3g,b=%.3g)", m.lambda, m.mu, m.a, m.b)
+}
+
+// Params implements core.Mechanism.
+func (m *Mechanism) Params() core.Params { return m.params }
+
+// Lambda returns the quadratic-term scale.
+func (m *Mechanism) Lambda() float64 { return m.lambda }
+
+// Mu returns the contribution cap simulated by the RCT.
+func (m *Mechanism) Mu() float64 { return m.mu }
+
+// A returns the geometric decay parameter.
+func (m *Mechanism) A() float64 { return m.a }
+
+// B returns the bubble fraction.
+func (m *Mechanism) B() float64 { return m.b }
+
+// NodeRewards computes R'(w) for every node w of an already-transformed
+// reward computation tree:
+//
+//	R'(w) = (lambda/mu) * C'(w) * sum_{x in T'_w} a^dep_w(x) * b * C'(x)
+//	        + phi * C'(w).
+//
+// The weighted subtree sum S(w) = C'(w) + a * sum_children S is computed
+// bottom-up in O(n), as in the geometric mechanism.
+func (m *Mechanism) NodeRewards(r *RCT) core.Rewards {
+	t := r.T
+	s := make([]float64, t.Len())
+	for id := t.Len() - 1; id >= 1; id-- {
+		w := tree.NodeID(id)
+		s[w] += t.Contribution(w)
+		s[t.Parent(w)] += m.a * s[w]
+	}
+	out := make(core.Rewards, t.Len())
+	scale := m.lambda * m.b / m.mu
+	for id := 1; id < t.Len(); id++ {
+		w := tree.NodeID(id)
+		c := t.Contribution(w)
+		out[w] = scale*c*s[w] + m.params.FairShare*c
+	}
+	return out
+}
+
+// Rewards implements core.Mechanism: transform the referral tree into its
+// RCT, compute per-chain-node rewards, and fold each chain back onto its
+// participant.
+func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
+	rct, err := Transform(t, m.mu)
+	if err != nil {
+		return nil, err
+	}
+	nr := m.NodeRewards(rct)
+	out := make(core.Rewards, t.Len())
+	for id := 1; id < t.Len(); id++ {
+		u := tree.NodeID(id)
+		for _, w := range rct.Chains[u] {
+			out[u] += nr[w]
+		}
+	}
+	return out, nil
+}
+
+// Preliminary is the budget-violating quadratic mechanism of Algorithm 3,
+// kept for the Sect. 5 narrative and for tests demonstrating why the RCT
+// construction is necessary:
+//
+//	R(u) = C(u) * sum_{v in T_u} a^dep_u(v) * b * C(v).
+//
+// It satisfies the USA-achieving quadratic structure but exceeds any
+// linear budget once contributions grow, so it is NOT a core.Mechanism.
+type Preliminary struct {
+	// A is the geometric decay, B the bubble fraction.
+	A, B float64
+}
+
+// Rewards evaluates Algorithm 3 on t.
+func (p Preliminary) Rewards(t *tree.Tree) core.Rewards {
+	s := make([]float64, t.Len())
+	for id := t.Len() - 1; id >= 1; id-- {
+		u := tree.NodeID(id)
+		s[u] += t.Contribution(u)
+		s[t.Parent(u)] += p.A * s[u]
+	}
+	out := make(core.Rewards, t.Len())
+	for id := 1; id < t.Len(); id++ {
+		u := tree.NodeID(id)
+		out[u] = t.Contribution(u) * p.B * s[u]
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// nodeJSON is the nested wire format of a participant.
+type nodeJSON struct {
+	Label string     `json:"label,omitempty"`
+	C     float64    `json:"c"`
+	Kids  []nodeJSON `json:"kids,omitempty"`
+}
+
+// treeJSON is the wire format of a whole referral tree: the imaginary root
+// is implicit, only its children (the independent joiners) are listed.
+type treeJSON struct {
+	Participants []nodeJSON `json:"participants"`
+}
+
+// MarshalJSON encodes the tree in a nested participant format. The
+// imaginary root is implicit.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	var enc treeJSON
+	for _, k := range t.children[Root] {
+		enc.Participants = append(enc.Participants, t.toJSON(k))
+	}
+	return json.Marshal(enc)
+}
+
+func (t *Tree) toJSON(u NodeID) nodeJSON {
+	n := nodeJSON{Label: t.label[u], C: t.contrib[u]}
+	for _, k := range t.children[u] {
+		n.Kids = append(n.Kids, t.toJSON(k))
+	}
+	return n
+}
+
+// UnmarshalJSON decodes the nested participant format produced by
+// MarshalJSON and validates the result. NodeIDs are assigned in DFS
+// preorder of the nested document, so a round trip preserves structure,
+// labels and contributions but may renumber ids of trees that were built
+// out of preorder.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var dec treeJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return fmt.Errorf("tree: decode: %w", err)
+	}
+	fresh := New()
+	for _, n := range dec.Participants {
+		if err := fresh.fromJSON(Root, n); err != nil {
+			return err
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return err
+	}
+	*t = *fresh
+	return nil
+}
+
+func (t *Tree) fromJSON(parent NodeID, n nodeJSON) error {
+	id, err := t.Add(parent, n.C)
+	if err != nil {
+		return err
+	}
+	if n.Label != "" {
+		t.label[id] = n.Label
+	}
+	for _, k := range n.Kids {
+		if err := t.fromJSON(id, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOT renders the tree in Graphviz dot syntax, one node per participant
+// annotated with its contribution. Useful for inspecting example and
+// counterexample trees.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph referral {\n  rankdir=TB;\n")
+	t.Walk(Root, func(n NodeID) bool {
+		if n == Root {
+			fmt.Fprintf(&b, "  n0 [label=\"r\", shape=point];\n")
+		} else {
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\nC=%.4g\"];\n", n, t.label[n], t.contrib[n])
+		}
+		return true
+	})
+	t.Walk(Root, func(n NodeID) bool {
+		if n != Root {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", t.parent[n], n)
+		}
+		return true
+	})
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Render draws the tree as indented ASCII, one node per line with its
+// contribution, deterministic across runs. The imaginary root is drawn as
+// "r".
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var rec func(u NodeID, prefix string, last bool)
+	rec = func(u NodeID, prefix string, last bool) {
+		if u == Root {
+			b.WriteString("r\n")
+		} else {
+			connector := "├── "
+			if last {
+				connector = "└── "
+			}
+			fmt.Fprintf(&b, "%s%s%s (C=%.4g)\n", prefix, connector, t.label[u], t.contrib[u])
+			if last {
+				prefix += "    "
+			} else {
+				prefix += "│   "
+			}
+		}
+		kids := t.children[u]
+		for i, k := range kids {
+			rec(k, prefix, i == len(kids)-1)
+		}
+	}
+	rec(Root, "", true)
+	return b.String()
+}
+
+// CanonicalString returns a string that is identical for structurally
+// isomorphic trees with equal contributions, regardless of child order or
+// insertion order. It is used to deduplicate enumerated Sybil arrangements.
+func (t *Tree) CanonicalString() string {
+	var canon func(u NodeID) string
+	canon = func(u NodeID) string {
+		kids := make([]string, 0, len(t.children[u]))
+		for _, k := range t.children[u] {
+			kids = append(kids, canon(k))
+		}
+		sort.Strings(kids)
+		return fmt.Sprintf("(%.9g%s)", t.contrib[u], strings.Join(kids, ""))
+	}
+	return canon(Root)
+}

@@ -1,0 +1,100 @@
+package tree
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := FromSpecs(
+		Spec{C: 1.5, Label: "a", Kids: []Spec{
+			{C: 2, Label: "b"},
+			{C: 0, Label: "c", Kids: []Spec{{C: 7, Label: "d"}}},
+		}},
+		Spec{C: 3, Label: "e"},
+	)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var round Tree
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !orig.Equal(&round) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", orig.Render(), round.Render())
+	}
+	if round.Label(4) != orig.Label(4) {
+		t.Fatalf("label mismatch: %q vs %q", round.Label(4), orig.Label(4))
+	}
+}
+
+func TestJSONEmptyTree(t *testing.T) {
+	data, err := json.Marshal(New())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var round Tree
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if round.NumParticipants() != 0 {
+		t.Fatalf("empty tree round trip got %d participants", round.NumParticipants())
+	}
+}
+
+func TestUnmarshalRejectsNegative(t *testing.T) {
+	var tr Tree
+	err := json.Unmarshal([]byte(`{"participants":[{"c":-3}]}`), &tr)
+	if err == nil {
+		t.Fatal("Unmarshal should reject negative contributions")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{`), &tr); err == nil {
+		t.Fatal("Unmarshal should reject malformed JSON")
+	}
+}
+
+func TestDOTContainsNodesAndEdges(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Label: "p", Kids: []Spec{{C: 2, Label: "q"}}})
+	dot := tr.DOT()
+	for _, want := range []string{"digraph", "n1 ->", "C=2", `"p`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Label: "a", Kids: []Spec{{C: 2, Label: "b"}, {C: 3, Label: "c"}}})
+	got := tr.Render()
+	for _, want := range []string{"r\n", "a (C=1)", "b (C=2)", "c (C=3)", "└── c"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Render missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCanonicalStringOrderInsensitive(t *testing.T) {
+	a := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 2}, {C: 3}}})
+	b := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 3}, {C: 2}}})
+	if a.CanonicalString() != b.CanonicalString() {
+		t.Fatalf("canonical strings differ:\n%s\n%s", a.CanonicalString(), b.CanonicalString())
+	}
+	c := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 2, Kids: []Spec{{C: 3}}}}})
+	if a.CanonicalString() == c.CanonicalString() {
+		t.Fatal("structurally different trees should have different canonical strings")
+	}
+}
+
+func TestCanonicalStringContributionSensitive(t *testing.T) {
+	a := FromSpecs(Spec{C: 1})
+	b := FromSpecs(Spec{C: 2})
+	if a.CanonicalString() == b.CanonicalString() {
+		t.Fatal("different contributions must change the canonical string")
+	}
+}

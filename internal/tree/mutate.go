@@ -1,0 +1,86 @@
+package tree
+
+import "fmt"
+
+// Graft copies the subtree of src rooted at srcNode under parent in t,
+// returning the id that srcNode received in t. The source tree is not
+// modified. Grafting the imaginary root of src copies all of src's
+// participants (the root itself is skipped and its children are attached
+// directly under parent); in that case the returned id is parent.
+func (t *Tree) Graft(parent NodeID, src *Tree, srcNode NodeID) (NodeID, error) {
+	if err := t.check(parent); err != nil {
+		return None, err
+	}
+	if err := src.check(srcNode); err != nil {
+		return None, err
+	}
+	if srcNode == Root {
+		for _, k := range src.children[Root] {
+			if _, err := t.Graft(parent, src, k); err != nil {
+				return None, err
+			}
+		}
+		return parent, nil
+	}
+	return t.graft(parent, src, srcNode), nil
+}
+
+func (t *Tree) graft(parent NodeID, src *Tree, srcNode NodeID) NodeID {
+	id := t.MustAdd(parent, src.contrib[srcNode])
+	t.label[id] = src.label[srcNode]
+	for _, k := range src.children[srcNode] {
+		t.graft(id, src, k)
+	}
+	return id
+}
+
+// Detach returns a new tree equal to t with the subtree T_u removed, along
+// with a standalone copy of the removed subtree (whose root is the single
+// child of the imaginary root). NodeIDs in both results are renumbered.
+func (t *Tree) Detach(u NodeID) (rest, removed *Tree, err error) {
+	if err := t.check(u); err != nil {
+		return nil, nil, err
+	}
+	if u == Root {
+		return nil, nil, fmt.Errorf("tree: cannot detach the imaginary root")
+	}
+	removed = New()
+	if _, err := removed.Graft(Root, t, u); err != nil {
+		return nil, nil, err
+	}
+	rest = New()
+	idMap := map[NodeID]NodeID{Root: Root}
+	t.Walk(Root, func(n NodeID) bool {
+		if n == Root {
+			return true
+		}
+		if n == u {
+			return true // u stays unmapped, so its whole subtree is skipped below
+		}
+		p, ok := idMap[t.parent[n]]
+		if !ok {
+			return true // ancestor was skipped: n is inside the removed subtree
+		}
+		nid := rest.MustAdd(p, t.contrib[n])
+		rest.label[nid] = t.label[n]
+		idMap[n] = nid
+		return true
+	})
+	return rest, removed, nil
+}
+
+// Extract returns a standalone copy of the subtree T_u: a fresh tree whose
+// imaginary root has u's copy as its only child.
+func (t *Tree) Extract(u NodeID) (*Tree, error) {
+	if err := t.check(u); err != nil {
+		return nil, err
+	}
+	if u == Root {
+		return t.Clone(), nil
+	}
+	out := New()
+	if _, err := out.Graft(Root, t, u); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

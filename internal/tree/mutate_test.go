@@ -1,0 +1,145 @@
+package tree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGraftSubtree(t *testing.T) {
+	dst := FromSpecs(Spec{C: 1})
+	src := FromSpecs(Spec{C: 2, Label: "x", Kids: []Spec{{C: 3, Label: "y"}}})
+	id, err := dst.Graft(1, src, 1)
+	if err != nil {
+		t.Fatalf("Graft: %v", err)
+	}
+	if got := dst.Contribution(id); got != 2 {
+		t.Fatalf("grafted C = %v, want 2", got)
+	}
+	if got := dst.Label(id); got != "x" {
+		t.Fatalf("grafted label = %q, want x", got)
+	}
+	if got := dst.SubtreeSum(1); got != 6 {
+		t.Fatalf("SubtreeSum = %v, want 6", got)
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatalf("Validate after graft: %v", err)
+	}
+	// Source unchanged.
+	if src.NumParticipants() != 2 {
+		t.Fatalf("source mutated: %d participants", src.NumParticipants())
+	}
+}
+
+func TestGraftWholeForest(t *testing.T) {
+	dst := FromSpecs(Spec{C: 1})
+	src := FromSpecs(Spec{C: 2}, Spec{C: 3})
+	id, err := dst.Graft(1, src, Root)
+	if err != nil {
+		t.Fatalf("Graft root: %v", err)
+	}
+	if id != 1 {
+		t.Fatalf("Graft root returned %d, want parent 1", id)
+	}
+	if got := len(dst.Children(1)); got != 2 {
+		t.Fatalf("children after forest graft = %d, want 2", got)
+	}
+	if got := dst.Total(); got != 6 {
+		t.Fatalf("Total = %v, want 6", got)
+	}
+}
+
+func TestGraftErrors(t *testing.T) {
+	dst := New()
+	src := New()
+	if _, err := dst.Graft(NodeID(9), src, Root); err == nil {
+		t.Fatal("Graft under missing parent should error")
+	}
+	if _, err := dst.Graft(Root, src, NodeID(9)); err == nil {
+		t.Fatal("Graft of missing source node should error")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	// r -> a(1) -> {b(2) -> d(4), c(3)}
+	tr := FromSpecs(Spec{C: 1, Kids: []Spec{
+		{C: 2, Kids: []Spec{{C: 4}}},
+		{C: 3},
+	}})
+	rest, removed, err := tr.Detach(2) // remove b's subtree
+	if err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if got := rest.Total(); got != 4 { // a + c
+		t.Fatalf("rest Total = %v, want 4", got)
+	}
+	if got := removed.Total(); got != 6 { // b + d
+		t.Fatalf("removed Total = %v, want 6", got)
+	}
+	if err := rest.Validate(); err != nil {
+		t.Fatalf("rest invalid: %v", err)
+	}
+	if err := removed.Validate(); err != nil {
+		t.Fatalf("removed invalid: %v", err)
+	}
+	// Original untouched.
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("original Total = %v, want 10", got)
+	}
+}
+
+func TestDetachRootFails(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1})
+	if _, _, err := tr.Detach(Root); err == nil {
+		t.Fatal("Detach(Root) should error")
+	}
+	if _, _, err := tr.Detach(NodeID(5)); err == nil {
+		t.Fatal("Detach(missing) should error")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 2, Kids: []Spec{{C: 3}}}}})
+	sub, err := tr.Extract(2)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if got := sub.NumParticipants(); got != 2 {
+		t.Fatalf("extracted participants = %d, want 2", got)
+	}
+	if got := sub.Total(); got != 5 {
+		t.Fatalf("extracted Total = %v, want 5", got)
+	}
+	if got := sub.Parent(1); got != Root {
+		t.Fatalf("extracted root parent = %d, want Root", got)
+	}
+}
+
+func TestExtractRootClones(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1}, Spec{C: 2})
+	cp, err := tr.Extract(Root)
+	if err != nil {
+		t.Fatalf("Extract(Root): %v", err)
+	}
+	if !tr.Equal(cp) {
+		t.Fatal("Extract(Root) should clone the whole tree")
+	}
+	if _, err := tr.Extract(NodeID(8)); err == nil {
+		t.Fatal("Extract(missing) should error")
+	}
+}
+
+func TestDetachPreservesContributionTotal(t *testing.T) {
+	tr := FromSpecs(
+		Spec{C: 1.25, Kids: []Spec{{C: 2.5}, {C: 0.75, Kids: []Spec{{C: 4}}}}},
+		Spec{C: 3},
+	)
+	for _, u := range tr.Nodes() {
+		rest, removed, err := tr.Detach(u)
+		if err != nil {
+			t.Fatalf("Detach(%d): %v", u, err)
+		}
+		if got, want := rest.Total()+removed.Total(), tr.Total(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Detach(%d): totals %v + %v != %v", u, rest.Total(), removed.Total(), want)
+		}
+	}
+}

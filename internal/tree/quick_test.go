@@ -1,0 +1,201 @@
+package tree
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree wraps a Tree with a quick.Generator implementation so that
+// testing/quick can drive the structural invariants below with arbitrary
+// trees.
+type randomTree struct {
+	T *Tree
+}
+
+// Generate implements quick.Generator: a tree with up to size+1
+// participants, random attachment, contributions in [0, 10).
+func (randomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	t := New()
+	n := 1 + r.Intn(size+1)
+	for i := 0; i < n; i++ {
+		parent := NodeID(r.Intn(t.Len()))
+		c := float64(r.Intn(1000)) / 100 // includes exact zeros
+		t.MustAdd(parent, c)
+	}
+	return reflect.ValueOf(randomTree{T: t})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(2718))}
+}
+
+func TestQuickGeneratedTreesValidate(t *testing.T) {
+	f := func(rt randomTree) bool {
+		return rt.T.Validate() == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	// Decoding renumbers ids in DFS preorder, so the invariant is
+	// structural identity (canonical string), not id equality.
+	f := func(rt randomTree) bool {
+		data, err := json.Marshal(rt.T)
+		if err != nil {
+			return false
+		}
+		var round Tree
+		if err := json.Unmarshal(data, &round); err != nil {
+			return false
+		}
+		return rt.T.CanonicalString() == round.CanonicalString() &&
+			round.NumParticipants() == rt.T.NumParticipants() &&
+			math.Abs(round.Total()-rt.T.Total()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtreeSumsConsistent(t *testing.T) {
+	f := func(rt randomTree) bool {
+		sums := rt.T.SubtreeSums()
+		// Root sum equals Total, and every node's batched sum equals the
+		// per-node walk.
+		if math.Abs(sums[Root]-rt.T.Total()) > 1e-9 {
+			return false
+		}
+		for _, u := range rt.T.Nodes() {
+			if math.Abs(sums[u]-rt.T.SubtreeSum(u)) > 1e-9 {
+				return false
+			}
+			// A parent's sum dominates each child's.
+			if p := rt.T.Parent(u); sums[p] < sums[u]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDepthProfileCountsEveryone(t *testing.T) {
+	f := func(rt randomTree) bool {
+		total := 0
+		for _, n := range rt.T.DepthProfile() {
+			total += n
+		}
+		return total == rt.T.NumParticipants()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	f := func(rt randomTree) bool {
+		cp := rt.T.Clone()
+		if !rt.T.Equal(cp) {
+			return false
+		}
+		cp.MustAdd(Root, 1)
+		return cp.Len() == rt.T.Len()+1 && rt.T.Validate() == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetachConservesContribution(t *testing.T) {
+	f := func(rt randomTree, pick uint8) bool {
+		if rt.T.NumParticipants() == 0 {
+			return true
+		}
+		u := NodeID(1 + int(pick)%rt.T.NumParticipants())
+		rest, removed, err := rt.T.Detach(u)
+		if err != nil {
+			return false
+		}
+		if rest.Validate() != nil || removed.Validate() != nil {
+			return false
+		}
+		return math.Abs(rest.Total()+removed.Total()-rt.T.Total()) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAncestryIsConsistent(t *testing.T) {
+	f := func(rt randomTree, pick uint8) bool {
+		if rt.T.NumParticipants() == 0 {
+			return true
+		}
+		u := NodeID(1 + int(pick)%rt.T.NumParticipants())
+		// Depth equals the length of the ancestor path, and DepthFrom
+		// telescopes along it.
+		anc := rt.T.Ancestors(u)
+		if rt.T.Depth(u) != len(anc) {
+			return false
+		}
+		for i, p := range anc {
+			if rt.T.DepthFrom(p, u) != i+1 {
+				return false
+			}
+			if !rt.T.IsAncestor(p, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCanonicalStringIsChildOrderInvariant(t *testing.T) {
+	// Rebuilding a tree with every node's children reversed must not
+	// change its canonical string.
+	f := func(rt randomTree) bool {
+		rev := New()
+		idMap := map[NodeID]NodeID{Root: Root}
+		var rec func(u NodeID)
+		rec = func(u NodeID) {
+			kids := rt.T.Children(u)
+			for i := len(kids) - 1; i >= 0; i-- {
+				k := kids[i]
+				idMap[k] = rev.MustAdd(idMap[u], rt.T.Contribution(k))
+				rec(k)
+			}
+		}
+		rec(Root)
+		return rt.T.CanonicalString() == rev.CanonicalString()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGraftPreservesSource(t *testing.T) {
+	f := func(a, b randomTree) bool {
+		beforeLen := b.T.Len()
+		dst := a.T.Clone()
+		if _, err := dst.Graft(Root, b.T, Root); err != nil {
+			return false
+		}
+		return dst.Validate() == nil &&
+			b.T.Len() == beforeLen &&
+			math.Abs(dst.Total()-(a.T.Total()+b.T.Total())) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

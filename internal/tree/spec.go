@@ -1,0 +1,91 @@
+package tree
+
+// Spec is a declarative nested description of a referral tree, convenient
+// for table-driven tests and for the worked examples from the paper's
+// figures.
+//
+//	t := tree.FromSpecs(
+//		tree.Spec{C: 1, Kids: []tree.Spec{{C: 2}, {C: 3}}},
+//	)
+//
+// builds a tree whose imaginary root has one child of contribution 1 with
+// two children of contributions 2 and 3.
+type Spec struct {
+	C     float64 // contribution of this participant
+	Label string  // optional label (defaults to u<id>)
+	Kids  []Spec  // solicited children
+}
+
+// FromSpecs builds a tree whose imaginary root has one child per given
+// spec. It panics on invalid contributions; specs are construction-time
+// literals, so an error return would only move the failure further from
+// its cause.
+func FromSpecs(specs ...Spec) *Tree {
+	t := New()
+	for _, s := range specs {
+		addSpec(t, Root, s)
+	}
+	return t
+}
+
+func addSpec(t *Tree, parent NodeID, s Spec) NodeID {
+	id := t.MustAdd(parent, s.C)
+	if s.Label != "" {
+		if err := t.SetLabel(id, s.Label); err != nil {
+			panic(err)
+		}
+	}
+	for _, k := range s.Kids {
+		addSpec(t, id, k)
+	}
+	return id
+}
+
+// AttachSpec grafts a spec subtree under parent and returns the id of the
+// spec's root node.
+func (t *Tree) AttachSpec(parent NodeID, s Spec) (NodeID, error) {
+	if err := t.check(parent); err != nil {
+		return None, err
+	}
+	return addSpec(t, parent, s), nil
+}
+
+// ToSpec converts the subtree T_u back into a Spec, which round-trips
+// through FromSpecs/AttachSpec (labels included).
+func (t *Tree) ToSpec(u NodeID) (Spec, error) {
+	if err := t.check(u); err != nil {
+		return Spec{}, err
+	}
+	return t.toSpec(u), nil
+}
+
+func (t *Tree) toSpec(u NodeID) Spec {
+	s := Spec{C: t.contrib[u], Label: t.label[u]}
+	for _, k := range t.children[u] {
+		s.Kids = append(s.Kids, t.toSpec(k))
+	}
+	return s
+}
+
+// Chain returns a spec describing a downward chain with the given
+// contributions, first element topmost.
+func Chain(contribs ...float64) Spec {
+	if len(contribs) == 0 {
+		return Spec{}
+	}
+	s := Spec{C: contribs[len(contribs)-1]}
+	for i := len(contribs) - 2; i >= 0; i-- {
+		s = Spec{C: contribs[i], Kids: []Spec{s}}
+	}
+	return s
+}
+
+// Star returns a spec describing a root of contribution c with one leaf
+// child per element of kids.
+func Star(c float64, kids ...float64) Spec {
+	s := Spec{C: c}
+	for _, k := range kids {
+		s.Kids = append(s.Kids, Spec{C: k})
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFromSpecsShape(t *testing.T) {
+	tr := FromSpecs(
+		Spec{C: 1, Kids: []Spec{{C: 2}, {C: 3}}},
+		Spec{C: 4},
+	)
+	if got := tr.NumParticipants(); got != 4 {
+		t.Fatalf("participants = %d, want 4", got)
+	}
+	if got := tr.Children(Root); len(got) != 2 {
+		t.Fatalf("root children = %v, want 2 entries", got)
+	}
+	if got := tr.Parent(2); got != 1 {
+		t.Fatalf("Parent(2) = %d, want 1", got)
+	}
+	if got := tr.Contribution(4); got != 4 {
+		t.Fatalf("Contribution(4) = %v, want 4", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFromSpecsLabels(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Label: "p", Kids: []Spec{{C: 2, Label: "q"}}})
+	if tr.Label(1) != "p" || tr.Label(2) != "q" {
+		t.Fatalf("labels = %q, %q", tr.Label(1), tr.Label(2))
+	}
+}
+
+func TestChainSpec(t *testing.T) {
+	tr := FromSpecs(Chain(3, 2, 1))
+	if got := tr.NumParticipants(); got != 3 {
+		t.Fatalf("participants = %d, want 3", got)
+	}
+	// Chain is top-down: first value at depth 1.
+	for i, want := range []float64{3, 2, 1} {
+		id := NodeID(i + 1)
+		if got := tr.Contribution(id); got != want {
+			t.Errorf("C(%d) = %v, want %v", id, got, want)
+		}
+		if got := tr.Depth(id); got != i+1 {
+			t.Errorf("Depth(%d) = %d, want %d", id, got, i+1)
+		}
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	s := Chain()
+	if s.C != 0 || len(s.Kids) != 0 {
+		t.Fatalf("Chain() = %+v, want zero spec", s)
+	}
+}
+
+func TestStarSpec(t *testing.T) {
+	tr := FromSpecs(Star(5, 1, 2, 3))
+	if got := len(tr.Children(1)); got != 3 {
+		t.Fatalf("hub children = %d, want 3", got)
+	}
+	if got := tr.Contribution(1); got != 5 {
+		t.Fatalf("hub C = %v, want 5", got)
+	}
+}
+
+func TestToSpecRoundTrip(t *testing.T) {
+	orig := FromSpecs(
+		Spec{C: 1.5, Label: "a", Kids: []Spec{
+			{C: 2, Label: "b", Kids: []Spec{{C: 0.5, Label: "c"}}},
+			{C: 3, Label: "d"},
+		}},
+	)
+	spec, err := orig.ToSpec(1)
+	if err != nil {
+		t.Fatalf("ToSpec: %v", err)
+	}
+	round := FromSpecs(spec)
+	if !orig.Equal(round) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", orig.Render(), round.Render())
+	}
+	if round.Label(3) != "c" {
+		t.Fatalf("label lost in round trip: %q", round.Label(3))
+	}
+}
+
+func TestToSpecErrors(t *testing.T) {
+	tr := New()
+	if _, err := tr.ToSpec(NodeID(3)); err == nil {
+		t.Fatal("ToSpec(missing) should error")
+	}
+}
+
+func TestAttachSpec(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1})
+	id, err := tr.AttachSpec(1, Star(2, 3, 4))
+	if err != nil {
+		t.Fatalf("AttachSpec: %v", err)
+	}
+	if got := tr.Parent(id); got != 1 {
+		t.Fatalf("attached parent = %d, want 1", got)
+	}
+	if got := tr.SubtreeSum(1); got != 10 {
+		t.Fatalf("SubtreeSum = %v, want 10", got)
+	}
+	if _, err := tr.AttachSpec(NodeID(66), Spec{C: 1}); err == nil {
+		t.Fatal("AttachSpec under missing parent should error")
+	}
+}
+
+func TestFromSpecsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSpecs should panic on negative contribution")
+		}
+	}()
+	FromSpecs(Spec{C: -1})
+}
+
+func TestSpecPreservesChildOrder(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 10}, {C: 20}, {C: 30}}})
+	var kids []float64
+	for _, k := range tr.Children(1) {
+		kids = append(kids, tr.Contribution(k))
+	}
+	if !reflect.DeepEqual(kids, []float64{10, 20, 30}) {
+		t.Fatalf("child order = %v", kids)
+	}
+}

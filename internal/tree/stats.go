@@ -1,0 +1,96 @@
+package tree
+
+import "sort"
+
+// Stats summarizes the shape and weight of a referral tree. All values
+// refer to real participants only (the imaginary root is excluded).
+type Stats struct {
+	Participants int     // number of nodes excluding the root
+	Total        float64 // C(T)
+	MaxDepth     int     // deepest participant (root children have depth 1)
+	Leaves       int     // participants without children
+	MaxFanout    int     // largest number of children of any participant
+	MeanFanout   float64 // mean children per internal participant
+	MinC         float64 // smallest participant contribution
+	MaxC         float64 // largest participant contribution
+	MeanC        float64 // mean participant contribution
+}
+
+// ComputeStats scans the tree once and returns its summary.
+func (t *Tree) ComputeStats() Stats {
+	s := Stats{}
+	if t.Len() <= 1 {
+		return s
+	}
+	s.Participants = t.NumParticipants()
+	depths := t.Depths()
+	internal := 0
+	internalKids := 0
+	first := true
+	for id := 1; id < t.Len(); id++ {
+		u := NodeID(id)
+		c := t.contrib[u]
+		s.Total += c
+		if depths[u] > s.MaxDepth {
+			s.MaxDepth = depths[u]
+		}
+		nk := len(t.children[u])
+		if nk == 0 {
+			s.Leaves++
+		} else {
+			internal++
+			internalKids += nk
+		}
+		if nk > s.MaxFanout {
+			s.MaxFanout = nk
+		}
+		if first || c < s.MinC {
+			s.MinC = c
+		}
+		if first || c > s.MaxC {
+			s.MaxC = c
+		}
+		first = false
+	}
+	if internal > 0 {
+		s.MeanFanout = float64(internalKids) / float64(internal)
+	}
+	s.MeanC = s.Total / float64(s.Participants)
+	return s
+}
+
+// DepthProfile returns, for each depth d >= 1, the number of participants
+// at that depth. Index 0 of the result corresponds to depth 1.
+func (t *Tree) DepthProfile() []int {
+	depths := t.Depths()
+	var prof []int
+	for id := 1; id < t.Len(); id++ {
+		d := depths[id] - 1
+		for len(prof) <= d {
+			prof = append(prof, 0)
+		}
+		prof[d]++
+	}
+	return prof
+}
+
+// Gini returns the Gini coefficient of the given per-participant values
+// (e.g. rewards), a standard inequality measure in [0, 1). It returns 0
+// for empty input or an all-zero vector.
+func Gini(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	var cum, total float64
+	for i, x := range v {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(v))
+	return (2*cum)/(n*total) - (n+1)/n
+}

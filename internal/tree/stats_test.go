@@ -1,0 +1,104 @@
+package tree
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	tr := FromSpecs(
+		Spec{C: 5, Kids: []Spec{
+			{C: 2, Kids: []Spec{{C: 1}}},
+			{C: 3},
+		}},
+		Spec{C: 4},
+	)
+	s := tr.ComputeStats()
+	if s.Participants != 5 {
+		t.Errorf("Participants = %d, want 5", s.Participants)
+	}
+	if s.Total != 15 {
+		t.Errorf("Total = %v, want 15", s.Total)
+	}
+	if s.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", s.MaxDepth)
+	}
+	if s.Leaves != 3 {
+		t.Errorf("Leaves = %d, want 3", s.Leaves)
+	}
+	if s.MaxFanout != 2 {
+		t.Errorf("MaxFanout = %d, want 2", s.MaxFanout)
+	}
+	if want := 1.5; s.MeanFanout != want { // internal nodes: a (2 kids), b (1 kid)
+		t.Errorf("MeanFanout = %v, want %v", s.MeanFanout, want)
+	}
+	if s.MinC != 1 || s.MaxC != 5 {
+		t.Errorf("MinC, MaxC = %v, %v, want 1, 5", s.MinC, s.MaxC)
+	}
+	if s.MeanC != 3 {
+		t.Errorf("MeanC = %v, want 3", s.MeanC)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := New().ComputeStats()
+	if s.Participants != 0 || s.Total != 0 || s.MaxDepth != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestDepthProfile(t *testing.T) {
+	tr := FromSpecs(
+		Spec{C: 1, Kids: []Spec{{C: 1}, {C: 1, Kids: []Spec{{C: 1}}}}},
+		Spec{C: 1},
+	)
+	got := tr.DepthProfile()
+	want := []int{2, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DepthProfile = %v, want %v", got, want)
+	}
+}
+
+func TestDepthProfileEmpty(t *testing.T) {
+	if got := New().DepthProfile(); len(got) != 0 {
+		t.Fatalf("DepthProfile(empty) = %v", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"perfect equality", []float64{5, 5, 5, 5}, 0},
+		{"total inequality 2", []float64{0, 10}, 0.5},
+		{"known case", []float64{1, 2, 3, 4}, 0.25},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Gini(tc.values); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Gini(%v) = %v, want %v", tc.values, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Gini(in)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Fatalf("Gini mutated its input: %v", in)
+	}
+}
+
+func TestGiniScaleInvariant(t *testing.T) {
+	a := Gini([]float64{1, 2, 3, 10})
+	b := Gini([]float64{10, 20, 30, 100})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Gini not scale invariant: %v vs %v", a, b)
+	}
+}

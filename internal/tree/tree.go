@@ -1,0 +1,294 @@
+// Package tree implements the weighted referral tree that Incentive Tree
+// mechanisms operate on.
+//
+// Participants of the system are nodes; a node's weight is its contribution
+// C(u) >= 0. The solicitation history induces a forest; following the
+// paper's model section, the forest is wrapped into a single tree T by an
+// imaginary root r with C(r) = 0 whose children are the independent
+// joiners. The imaginary root always has id Root.
+//
+// A Tree is a mutable, append-mostly structure: nodes are added under a
+// parent and never renumbered, which keeps NodeIDs stable across the
+// perturbations used by property checkers (add node, raise contribution,
+// graft subtree).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node within a single Tree. IDs are dense: the
+// imaginary root is Root (0) and subsequent nodes get 1, 2, ... in join
+// order. IDs from one tree are meaningless in another.
+type NodeID int
+
+// Root is the id of the imaginary root r with C(r) = 0.
+const Root NodeID = 0
+
+// None is returned where no node applies (e.g. the parent of Root).
+const None NodeID = -1
+
+var (
+	// ErrNoSuchNode reports an id outside the tree.
+	ErrNoSuchNode = errors.New("tree: no such node")
+	// ErrNegativeContribution reports an attempt to set C(u) < 0.
+	ErrNegativeContribution = errors.New("tree: contribution must be non-negative")
+	// ErrRootContribution reports an attempt to give the imaginary root a
+	// positive contribution.
+	ErrRootContribution = errors.New("tree: imaginary root must have zero contribution")
+	// ErrNotAFloat reports a NaN or infinite contribution.
+	ErrNotAFloat = errors.New("tree: contribution must be a finite number")
+)
+
+// Tree is a weighted referral tree. The zero value is not usable; call New.
+type Tree struct {
+	parent   []NodeID
+	children [][]NodeID
+	contrib  []float64
+	label    []string
+}
+
+// New returns a tree containing only the imaginary root.
+func New() *Tree {
+	return &Tree{
+		parent:   []NodeID{None},
+		children: [][]NodeID{nil},
+		contrib:  []float64{0},
+		label:    []string{"r"},
+	}
+}
+
+// Len reports the number of nodes including the imaginary root.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// NumParticipants reports the number of real participants, i.e. all nodes
+// except the imaginary root.
+func (t *Tree) NumParticipants() int { return t.Len() - 1 }
+
+// Exists reports whether id denotes a node of t.
+func (t *Tree) Exists(id NodeID) bool { return id >= 0 && int(id) < t.Len() }
+
+func (t *Tree) check(id NodeID) error {
+	if !t.Exists(id) {
+		return fmt.Errorf("%w: %d", ErrNoSuchNode, id)
+	}
+	return nil
+}
+
+func checkContribution(c float64) error {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("%w: %v", ErrNotAFloat, c)
+	}
+	if c < 0 {
+		return fmt.Errorf("%w: %v", ErrNegativeContribution, c)
+	}
+	return nil
+}
+
+// Add appends a new participant with contribution c as a child of parent
+// and returns its id. Joining independently of any solicitation is
+// modelled by parent == Root.
+func (t *Tree) Add(parent NodeID, c float64) (NodeID, error) {
+	if err := t.check(parent); err != nil {
+		return None, err
+	}
+	if err := checkContribution(c); err != nil {
+		return None, err
+	}
+	id := NodeID(t.Len())
+	t.parent = append(t.parent, parent)
+	t.children = append(t.children, nil)
+	t.contrib = append(t.contrib, c)
+	t.label = append(t.label, fmt.Sprintf("u%d", id))
+	t.children[parent] = append(t.children[parent], id)
+	return id, nil
+}
+
+// MustAdd is Add for construction code where the arguments are known to be
+// valid; it panics on error.
+func (t *Tree) MustAdd(parent NodeID, c float64) NodeID {
+	id, err := t.Add(parent, c)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Contribution returns C(u).
+func (t *Tree) Contribution(id NodeID) float64 {
+	if !t.Exists(id) {
+		return 0
+	}
+	return t.contrib[id]
+}
+
+// SetContribution updates C(u). The imaginary root must remain at zero.
+func (t *Tree) SetContribution(id NodeID, c float64) error {
+	if err := t.check(id); err != nil {
+		return err
+	}
+	if err := checkContribution(c); err != nil {
+		return err
+	}
+	if id == Root && c != 0 {
+		return ErrRootContribution
+	}
+	t.contrib[id] = c
+	return nil
+}
+
+// AddContribution increases C(u) by delta (the CCI perturbation). Delta
+// may be negative as long as the result stays non-negative.
+func (t *Tree) AddContribution(id NodeID, delta float64) error {
+	return t.SetContribution(id, t.Contribution(id)+delta)
+}
+
+// Parent returns the parent of id, or None for the root.
+func (t *Tree) Parent(id NodeID) NodeID {
+	if !t.Exists(id) {
+		return None
+	}
+	return t.parent[id]
+}
+
+// Children returns the children of id in join order. The returned slice is
+// owned by the tree; callers must not mutate it.
+func (t *Tree) Children(id NodeID) []NodeID {
+	if !t.Exists(id) {
+		return nil
+	}
+	return t.children[id]
+}
+
+// Label returns the human-readable label of a node (defaults to "u<id>").
+func (t *Tree) Label(id NodeID) string {
+	if !t.Exists(id) {
+		return ""
+	}
+	return t.label[id]
+}
+
+// SetLabel attaches a human-readable label to a node.
+func (t *Tree) SetLabel(id NodeID, s string) error {
+	if err := t.check(id); err != nil {
+		return err
+	}
+	t.label[id] = s
+	return nil
+}
+
+// Depth returns dep_r(u): the number of edges between the imaginary root
+// and u. Depth(Root) == 0.
+func (t *Tree) Depth(id NodeID) int {
+	if !t.Exists(id) {
+		return -1
+	}
+	d := 0
+	for id != Root {
+		id = t.parent[id]
+		d++
+	}
+	return d
+}
+
+// DepthFrom returns dep_p(u), the distance from ancestor p down to u, or
+// -1 when u is not in T_p (the paper uses -inf; -1 is our sentinel).
+func (t *Tree) DepthFrom(p, u NodeID) int {
+	if !t.Exists(p) || !t.Exists(u) {
+		return -1
+	}
+	d := 0
+	for u != p {
+		if u == Root {
+			return -1
+		}
+		u = t.parent[u]
+		d++
+	}
+	return d
+}
+
+// IsAncestor reports whether p is an ancestor of u or p == u.
+func (t *Tree) IsAncestor(p, u NodeID) bool { return t.DepthFrom(p, u) >= 0 }
+
+// Clone returns a deep copy of t. NodeIDs are preserved.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		parent:   append([]NodeID(nil), t.parent...),
+		children: make([][]NodeID, len(t.children)),
+		contrib:  append([]float64(nil), t.contrib...),
+		label:    append([]string(nil), t.label...),
+	}
+	for i, kids := range t.children {
+		if len(kids) > 0 {
+			c.children[i] = append([]NodeID(nil), kids...)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two trees have identical structure, contributions
+// and ids. Labels are ignored.
+func (t *Tree) Equal(o *Tree) bool {
+	if t.Len() != o.Len() {
+		return false
+	}
+	for i := range t.parent {
+		if t.parent[i] != o.parent[i] || t.contrib[i] != o.contrib[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariants of the tree: parent pointers
+// and child lists agree, the root is the unique parentless node with zero
+// contribution, contributions are finite and non-negative, and the parent
+// relation is acyclic (guaranteed by construction, re-checked for
+// defence in depth after deserialization).
+func (t *Tree) Validate() error {
+	if t.Len() == 0 {
+		return errors.New("tree: empty (missing imaginary root)")
+	}
+	if t.parent[Root] != None {
+		return errors.New("tree: root has a parent")
+	}
+	if t.contrib[Root] != 0 {
+		return ErrRootContribution
+	}
+	for id := 1; id < t.Len(); id++ {
+		p := t.parent[id]
+		if p == None {
+			return fmt.Errorf("tree: node %d has no parent", id)
+		}
+		if !t.Exists(p) {
+			return fmt.Errorf("tree: node %d has dangling parent %d", id, p)
+		}
+		if p >= NodeID(id) {
+			return fmt.Errorf("tree: node %d has non-topological parent %d", id, p)
+		}
+		if err := checkContribution(t.contrib[id]); err != nil {
+			return fmt.Errorf("node %d: %w", id, err)
+		}
+		found := false
+		for _, k := range t.children[p] {
+			if k == NodeID(id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tree: node %d missing from child list of %d", id, p)
+		}
+	}
+	n := 0
+	for _, kids := range t.children {
+		n += len(kids)
+	}
+	if n != t.Len()-1 {
+		return fmt.Errorf("tree: %d child links for %d nodes", n, t.Len())
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package tree
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewHasOnlyRoot(t *testing.T) {
+	tr := New()
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1", got)
+	}
+	if got := tr.NumParticipants(); got != 0 {
+		t.Fatalf("NumParticipants() = %d, want 0", got)
+	}
+	if got := tr.Parent(Root); got != None {
+		t.Fatalf("Parent(Root) = %d, want None", got)
+	}
+	if got := tr.Contribution(Root); got != 0 {
+		t.Fatalf("Contribution(Root) = %v, want 0", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestAddAssignsSequentialIDs(t *testing.T) {
+	tr := New()
+	a, err := tr.Add(Root, 1)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	b, err := tr.Add(a, 2)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d, want 1, 2", a, b)
+	}
+	if got := tr.Parent(b); got != a {
+		t.Fatalf("Parent(%d) = %d, want %d", b, got, a)
+	}
+	if kids := tr.Children(a); len(kids) != 1 || kids[0] != b {
+		t.Fatalf("Children(%d) = %v, want [%d]", a, kids, b)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		parent  NodeID
+		c       float64
+		wantErr error
+	}{
+		{"missing parent", NodeID(99), 1, ErrNoSuchNode},
+		{"negative parent", None, 1, ErrNoSuchNode},
+		{"negative contribution", Root, -0.5, ErrNegativeContribution},
+		{"NaN contribution", Root, math.NaN(), ErrNotAFloat},
+		{"Inf contribution", Root, math.Inf(1), ErrNotAFloat},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := New()
+			if _, err := tr.Add(tc.parent, tc.c); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Add(%d, %v) err = %v, want %v", tc.parent, tc.c, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestZeroContributionIsAllowed(t *testing.T) {
+	tr := New()
+	if _, err := tr.Add(Root, 0); err != nil {
+		t.Fatalf("Add with C=0: %v", err)
+	}
+}
+
+func TestSetContribution(t *testing.T) {
+	tr := New()
+	u := tr.MustAdd(Root, 1)
+	if err := tr.SetContribution(u, 5); err != nil {
+		t.Fatalf("SetContribution: %v", err)
+	}
+	if got := tr.Contribution(u); got != 5 {
+		t.Fatalf("Contribution = %v, want 5", got)
+	}
+	if err := tr.SetContribution(u, -1); !errors.Is(err, ErrNegativeContribution) {
+		t.Fatalf("negative set err = %v", err)
+	}
+	if err := tr.SetContribution(Root, 1); !errors.Is(err, ErrRootContribution) {
+		t.Fatalf("root set err = %v", err)
+	}
+	if err := tr.SetContribution(Root, 0); err != nil {
+		t.Fatalf("root set to 0 err = %v", err)
+	}
+	if err := tr.SetContribution(NodeID(42), 1); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("missing node set err = %v", err)
+	}
+}
+
+func TestAddContribution(t *testing.T) {
+	tr := New()
+	u := tr.MustAdd(Root, 2)
+	if err := tr.AddContribution(u, 3); err != nil {
+		t.Fatalf("AddContribution: %v", err)
+	}
+	if got := tr.Contribution(u); got != 5 {
+		t.Fatalf("Contribution = %v, want 5", got)
+	}
+	if err := tr.AddContribution(u, -10); !errors.Is(err, ErrNegativeContribution) {
+		t.Fatalf("underflow err = %v", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tr := FromSpecs(Chain(1, 1, 1)) // root -> 1 -> 2 -> 3
+	wants := map[NodeID]int{Root: 0, 1: 1, 2: 2, 3: 3}
+	for id, want := range wants {
+		if got := tr.Depth(id); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if got := tr.Depth(NodeID(99)); got != -1 {
+		t.Errorf("Depth(missing) = %d, want -1", got)
+	}
+}
+
+func TestDepthFrom(t *testing.T) {
+	// root -> a(1) -> b(2) -> c(3); root -> d(4)
+	tr := FromSpecs(Chain(1, 1, 1), Spec{C: 1})
+	tests := []struct {
+		p, u NodeID
+		want int
+	}{
+		{1, 3, 2},
+		{1, 1, 0},
+		{2, 3, 1},
+		{3, 1, -1}, // u above p
+		{1, 4, -1}, // disjoint branches
+		{Root, 4, 1},
+	}
+	for _, tc := range tests {
+		if got := tr.DepthFrom(tc.p, tc.u); got != tc.want {
+			t.Errorf("DepthFrom(%d, %d) = %d, want %d", tc.p, tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := FromSpecs(Chain(1, 1), Spec{C: 1})
+	if !tr.IsAncestor(1, 2) {
+		t.Error("1 should be ancestor of 2")
+	}
+	if !tr.IsAncestor(2, 2) {
+		t.Error("node should be its own ancestor (dep 0)")
+	}
+	if tr.IsAncestor(2, 1) {
+		t.Error("2 is not an ancestor of 1")
+	}
+	if tr.IsAncestor(1, 3) {
+		t.Error("disjoint branches")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := FromSpecs(Star(1, 2, 3))
+	cp := tr.Clone()
+	if !tr.Equal(cp) {
+		t.Fatal("clone not equal to original")
+	}
+	cp.MustAdd(1, 7)
+	if err := cp.SetContribution(2, 99); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("original length changed: %d", tr.Len())
+	}
+	if tr.Contribution(2) != 2 {
+		t.Fatalf("original contribution changed: %v", tr.Contribution(2))
+	}
+	if tr.Equal(cp) {
+		t.Fatal("trees should differ after mutation")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSpecs(Star(1, 2, 3))
+	b := FromSpecs(Star(1, 2, 3))
+	if !a.Equal(b) {
+		t.Fatal("identical specs should be Equal")
+	}
+	c := FromSpecs(Star(1, 3, 2)) // same multiset, different id order
+	if a.Equal(c) {
+		t.Fatal("Equal is id-sensitive; differently ordered trees must differ")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := FromSpecs(Star(1, 2))
+	tr.contrib[Root] = 5
+	if err := tr.Validate(); !errors.Is(err, ErrRootContribution) {
+		t.Fatalf("Validate err = %v, want ErrRootContribution", err)
+	}
+	tr = FromSpecs(Star(1, 2))
+	tr.contrib[2] = math.NaN()
+	if err := tr.Validate(); !errors.Is(err, ErrNotAFloat) {
+		t.Fatalf("Validate err = %v, want ErrNotAFloat", err)
+	}
+	tr = FromSpecs(Star(1, 2))
+	tr.parent[2] = 2 // self-parent, also non-topological
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate should reject self-parent")
+	}
+	tr = FromSpecs(Star(1, 2))
+	tr.children[1] = nil // break child list
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate should reject missing child link")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	tr := New()
+	u := tr.MustAdd(Root, 1)
+	if got := tr.Label(u); got != "u1" {
+		t.Fatalf("default label = %q, want u1", got)
+	}
+	if err := tr.SetLabel(u, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Label(u); got != "alice" {
+		t.Fatalf("label = %q, want alice", got)
+	}
+	if err := tr.SetLabel(NodeID(9), "x"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("SetLabel missing err = %v", err)
+	}
+}
+
+func TestAccessorsOnMissingNodes(t *testing.T) {
+	tr := New()
+	if got := tr.Contribution(NodeID(5)); got != 0 {
+		t.Errorf("Contribution(missing) = %v", got)
+	}
+	if got := tr.Parent(NodeID(5)); got != None {
+		t.Errorf("Parent(missing) = %v", got)
+	}
+	if got := tr.Children(NodeID(5)); got != nil {
+		t.Errorf("Children(missing) = %v", got)
+	}
+	if got := tr.Label(NodeID(5)); got != "" {
+		t.Errorf("Label(missing) = %q", got)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd should panic on invalid parent")
+		}
+	}()
+	New().MustAdd(NodeID(77), 1)
+}

@@ -1,0 +1,165 @@
+package tree
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fig3Tree builds a small mixed tree reused across walk tests:
+//
+//	r
+//	└── a (C=5)
+//	    ├── b (C=2)
+//	    │   └── d (C=1)
+//	    └── c (C=3)
+func fig3Tree() *Tree {
+	return FromSpecs(Spec{C: 5, Label: "a", Kids: []Spec{
+		{C: 2, Label: "b", Kids: []Spec{{C: 1, Label: "d"}}},
+		{C: 3, Label: "c"},
+	}})
+}
+
+func TestWalkPreorder(t *testing.T) {
+	tr := fig3Tree()
+	var got []NodeID
+	tr.Walk(Root, func(n NodeID) bool {
+		got = append(got, n)
+		return true
+	})
+	want := []NodeID{0, 1, 2, 3, 4} // r, a, b, d, c
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Walk order = %v, want %v", got, want)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := fig3Tree()
+	count := 0
+	tr.Walk(Root, func(n NodeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("visited %d nodes, want 2", count)
+	}
+}
+
+func TestWalkMissingNode(t *testing.T) {
+	tr := fig3Tree()
+	called := false
+	tr.Walk(NodeID(42), func(NodeID) bool { called = true; return true })
+	if called {
+		t.Fatal("Walk on missing node should not call fn")
+	}
+}
+
+func TestWalkDepth(t *testing.T) {
+	tr := fig3Tree()
+	got := map[NodeID]int{}
+	tr.WalkDepth(1, func(n NodeID, d int) bool {
+		got[n] = d
+		return true
+	})
+	want := map[NodeID]int{1: 0, 2: 1, 3: 2, 4: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WalkDepth = %v, want %v", got, want)
+	}
+}
+
+func TestWalkDepthEarlyStop(t *testing.T) {
+	tr := fig3Tree()
+	n := 0
+	tr.WalkDepth(Root, func(NodeID, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("visited %d, want 1", n)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := fig3Tree()
+	if got, want := tr.Subtree(2), []NodeID{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Subtree(2) = %v, want %v", got, want)
+	}
+	if got := tr.SubtreeSize(1); got != 4 {
+		t.Fatalf("SubtreeSize(1) = %d, want 4", got)
+	}
+}
+
+func TestSubtreeSumAndTotal(t *testing.T) {
+	tr := fig3Tree()
+	tests := []struct {
+		u    NodeID
+		want float64
+	}{
+		{Root, 11},
+		{1, 11},
+		{2, 3},
+		{3, 1},
+		{4, 3},
+	}
+	for _, tc := range tests {
+		if got := tr.SubtreeSum(tc.u); got != tc.want {
+			t.Errorf("SubtreeSum(%d) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+	if got := tr.Total(); got != 11 {
+		t.Fatalf("Total = %v, want 11", got)
+	}
+}
+
+func TestDescendantSum(t *testing.T) {
+	tr := fig3Tree()
+	if got := tr.DescendantSum(1); got != 6 {
+		t.Fatalf("DescendantSum(a) = %v, want 6", got)
+	}
+	if got := tr.DescendantSum(4); got != 0 {
+		t.Fatalf("DescendantSum(leaf) = %v, want 0", got)
+	}
+}
+
+func TestSubtreeSumsMatchesPerNodeSums(t *testing.T) {
+	tr := fig3Tree()
+	sums := tr.SubtreeSums()
+	for id := 0; id < tr.Len(); id++ {
+		u := NodeID(id)
+		if got, want := sums[u], tr.SubtreeSum(u); math.Abs(got-want) > 1e-12 {
+			t.Errorf("SubtreeSums[%d] = %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestDepthsMatchesPerNodeDepth(t *testing.T) {
+	tr := fig3Tree()
+	depths := tr.Depths()
+	for id := 0; id < tr.Len(); id++ {
+		u := NodeID(id)
+		if got, want := depths[u], tr.Depth(u); got != want {
+			t.Errorf("Depths[%d] = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr := fig3Tree()
+	if got, want := tr.Ancestors(3), []NodeID{2, 1, Root}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ancestors(d) = %v, want %v", got, want)
+	}
+	if got := tr.Ancestors(Root); got != nil {
+		t.Fatalf("Ancestors(Root) = %v, want nil", got)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tr := fig3Tree()
+	if got, want := tr.Leaves(Root), []NodeID{3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Leaves = %v, want %v", got, want)
+	}
+}
+
+func TestNodes(t *testing.T) {
+	tr := fig3Tree()
+	if got, want := tr.Nodes(), []NodeID{1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,212 @@
+// Package treegen generates random referral trees and contribution
+// distributions for property checking, experiments and benchmarks.
+//
+// All randomness flows through an injected *rand.Rand so that every
+// experiment in the repository is reproducible from its seed.
+package treegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"incentivetree/internal/tree"
+)
+
+// ContributionDist draws a participant contribution.
+type ContributionDist func(r *rand.Rand) float64
+
+// Constant returns a distribution that always yields c.
+func Constant(c float64) ContributionDist {
+	return func(*rand.Rand) float64 { return c }
+}
+
+// Uniform returns a distribution over [lo, hi).
+func Uniform(lo, hi float64) ContributionDist {
+	return func(r *rand.Rand) float64 { return lo + r.Float64()*(hi-lo) }
+}
+
+// Exponential returns an exponential distribution with the given mean.
+func Exponential(mean float64) ContributionDist {
+	return func(r *rand.Rand) float64 { return r.ExpFloat64() * mean }
+}
+
+// Pareto returns a Pareto distribution with scale xm and shape alpha,
+// modelling the heavy-tailed contributions common in crowdsourcing
+// deployments (a few participants do most of the work).
+func Pareto(xm, alpha float64) ContributionDist {
+	return func(r *rand.Rand) float64 {
+		u := 1 - r.Float64() // (0, 1]
+		return xm / math.Pow(u, 1/alpha)
+	}
+}
+
+// LogNormal returns a log-normal distribution with the given parameters of
+// the underlying normal.
+func LogNormal(mu, sigma float64) ContributionDist {
+	return func(r *rand.Rand) float64 { return math.Exp(mu + sigma*r.NormFloat64()) }
+}
+
+// Config controls random tree generation.
+type Config struct {
+	// N is the number of participants to generate.
+	N int
+	// Contrib draws each participant's contribution. Defaults to
+	// Uniform(0.1, 10) when nil.
+	Contrib ContributionDist
+	// Attach selects the parent for the next joiner given the current
+	// tree. Defaults to UniformAttach when nil.
+	Attach AttachPolicy
+}
+
+// AttachPolicy selects the parent of the next participant to join.
+type AttachPolicy func(r *rand.Rand, t *tree.Tree) tree.NodeID
+
+// UniformAttach joins under a uniformly random existing node (including
+// the imaginary root, i.e. independent joins are possible).
+func UniformAttach(r *rand.Rand, t *tree.Tree) tree.NodeID {
+	return tree.NodeID(r.Intn(t.Len()))
+}
+
+// PreferentialAttach joins under an existing participant with probability
+// proportional to 1 + its current number of children, yielding the
+// heavy-tailed fanouts seen in viral recruitment campaigns.
+func PreferentialAttach(r *rand.Rand, t *tree.Tree) tree.NodeID {
+	total := 0
+	for id := 0; id < t.Len(); id++ {
+		total += 1 + len(t.Children(tree.NodeID(id)))
+	}
+	pick := r.Intn(total)
+	for id := 0; id < t.Len(); id++ {
+		pick -= 1 + len(t.Children(tree.NodeID(id)))
+		if pick < 0 {
+			return tree.NodeID(id)
+		}
+	}
+	return tree.Root
+}
+
+// DeepAttach biases joins toward recently joined nodes, producing deep,
+// chain-like trees (the regime where geometric bubble-up decays matter).
+func DeepAttach(r *rand.Rand, t *tree.Tree) tree.NodeID {
+	n := t.Len()
+	// Quadratic bias toward large ids (recent joiners).
+	i := int(math.Sqrt(r.Float64()) * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return tree.NodeID(i)
+}
+
+// Random generates a random referral tree from cfg using r.
+func Random(r *rand.Rand, cfg Config) *tree.Tree {
+	contrib := cfg.Contrib
+	if contrib == nil {
+		contrib = Uniform(0.1, 10)
+	}
+	attach := cfg.Attach
+	if attach == nil {
+		attach = UniformAttach
+	}
+	t := tree.New()
+	for i := 0; i < cfg.N; i++ {
+		t.MustAdd(attach(r, t), contrib(r))
+	}
+	return t
+}
+
+// GaltonWatson generates a branching-process tree: starting from seeds
+// independent joiners, every participant solicits Binomial(maxKids, p)
+// children, each of whom contributes according to contrib. Generation
+// stops at maxNodes participants.
+func GaltonWatson(r *rand.Rand, seeds, maxKids int, p float64, maxNodes int, contrib ContributionDist) *tree.Tree {
+	if contrib == nil {
+		contrib = Uniform(0.1, 10)
+	}
+	t := tree.New()
+	queue := make([]tree.NodeID, 0, seeds)
+	for i := 0; i < seeds && t.NumParticipants() < maxNodes; i++ {
+		queue = append(queue, t.MustAdd(tree.Root, contrib(r)))
+	}
+	for len(queue) > 0 && t.NumParticipants() < maxNodes {
+		u := queue[0]
+		queue = queue[1:]
+		for k := 0; k < maxKids && t.NumParticipants() < maxNodes; k++ {
+			if r.Float64() < p {
+				queue = append(queue, t.MustAdd(u, contrib(r)))
+			}
+		}
+	}
+	return t
+}
+
+// KAry generates a complete k-ary tree of the given depth where every
+// participant contributes c. Depth 1 is a single node under the root.
+func KAry(k, depth int, c float64) *tree.Tree {
+	t := tree.New()
+	if depth < 1 {
+		return t
+	}
+	var rec func(parent tree.NodeID, d int)
+	rec = func(parent tree.NodeID, d int) {
+		id := t.MustAdd(parent, c)
+		if d < depth {
+			for i := 0; i < k; i++ {
+				rec(id, d+1)
+			}
+		}
+	}
+	rec(tree.Root, 1)
+	return t
+}
+
+// ChainTree generates a single downward chain of n participants, each with
+// contribution c.
+func ChainTree(n int, c float64) *tree.Tree {
+	t := tree.New()
+	parent := tree.Root
+	for i := 0; i < n; i++ {
+		parent = t.MustAdd(parent, c)
+	}
+	return t
+}
+
+// StarTree generates a hub with contribution hub and n leaves with
+// contribution leaf each.
+func StarTree(hub float64, n int, leaf float64) *tree.Tree {
+	t := tree.New()
+	h := t.MustAdd(tree.Root, hub)
+	for i := 0; i < n; i++ {
+		t.MustAdd(h, leaf)
+	}
+	return t
+}
+
+// Corpus generates count random trees with varying shapes and
+// contribution distributions, deterministically from the seed. It is the
+// standard falsification workload for property checkers.
+func Corpus(seed int64, count, size int) []*tree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	dists := []ContributionDist{
+		Constant(1),
+		Uniform(0.1, 10),
+		Exponential(2),
+		Pareto(0.5, 1.5),
+		LogNormal(0, 1),
+	}
+	policies := []AttachPolicy{UniformAttach, PreferentialAttach, DeepAttach}
+	out := make([]*tree.Tree, 0, count)
+	for i := 0; i < count; i++ {
+		cfg := Config{
+			N:       1 + r.Intn(size),
+			Contrib: dists[i%len(dists)],
+			Attach:  policies[i%len(policies)],
+		}
+		t := Random(r, cfg)
+		if err := t.Validate(); err != nil {
+			panic(fmt.Sprintf("treegen: generated invalid tree: %v", err))
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package treegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"incentivetree/internal/tree"
+)
+
+func TestRandomProducesValidTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		tr := Random(r, Config{N: 1 + r.Intn(100)})
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomSize(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := Random(r, Config{N: 42})
+	if got := tr.NumParticipants(); got != 42 {
+		t.Fatalf("participants = %d, want 42", got)
+	}
+}
+
+func TestRandomDeterministicFromSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(5)), Config{N: 30})
+	b := Random(rand.New(rand.NewSource(5)), Config{N: 30})
+	if !a.Equal(b) {
+		t.Fatal("same seed should produce identical trees")
+	}
+	c := Random(rand.New(rand.NewSource(6)), Config{N: 30})
+	if a.Equal(c) {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tests := []struct {
+		name string
+		dist ContributionDist
+		lo   float64
+		hi   float64 // inclusive sanity cap; generous for heavy tails
+	}{
+		{"constant", Constant(2.5), 2.5, 2.5},
+		{"uniform", Uniform(1, 2), 1, 2},
+		{"exponential", Exponential(1), 0, math.Inf(1)},
+		{"pareto", Pareto(1, 2), 1, math.Inf(1)},
+		{"lognormal", LogNormal(0, 0.5), 0, math.Inf(1)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 1000; i++ {
+				v := tc.dist(r)
+				if v < tc.lo || v > tc.hi {
+					t.Fatalf("draw %v outside [%v, %v]", v, tc.lo, tc.hi)
+				}
+				if math.IsNaN(v) {
+					t.Fatal("NaN draw")
+				}
+			}
+		})
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	d := Pareto(3, 1.2)
+	for i := 0; i < 1000; i++ {
+		if v := d(r); v < 3 {
+			t.Fatalf("Pareto draw %v below scale 3", v)
+		}
+	}
+}
+
+func TestPreferentialAttachSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pref := Random(r, Config{N: 400, Attach: PreferentialAttach})
+	uni := Random(r, Config{N: 400, Attach: UniformAttach})
+	if pref.ComputeStats().MaxFanout <= uni.ComputeStats().MaxFanout {
+		t.Logf("pref max fanout %d, uniform %d (soft expectation)",
+			pref.ComputeStats().MaxFanout, uni.ComputeStats().MaxFanout)
+	}
+	if err := pref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepAttachGoesDeep(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	deep := Random(r, Config{N: 300, Attach: DeepAttach})
+	shallow := Random(r, Config{N: 300, Attach: UniformAttach})
+	if deep.ComputeStats().MaxDepth <= shallow.ComputeStats().MaxDepth {
+		t.Errorf("DeepAttach depth %d not deeper than uniform %d",
+			deep.ComputeStats().MaxDepth, shallow.ComputeStats().MaxDepth)
+	}
+}
+
+func TestGaltonWatson(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tr := GaltonWatson(r, 3, 4, 0.6, 200, Constant(1))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumParticipants() > 200 {
+		t.Fatalf("exceeded node cap: %d", tr.NumParticipants())
+	}
+	if tr.NumParticipants() < 3 {
+		t.Fatalf("seeds missing: %d", tr.NumParticipants())
+	}
+	if got := len(tr.Children(tree.Root)); got != 3 {
+		t.Fatalf("seed count = %d, want 3", got)
+	}
+}
+
+func TestGaltonWatsonSubcriticalDiesOut(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	tr := GaltonWatson(r, 1, 2, 0.1, 100000, Constant(1))
+	if tr.NumParticipants() >= 100000 {
+		t.Fatal("subcritical process should die out well before the cap")
+	}
+}
+
+func TestKAry(t *testing.T) {
+	tr := KAry(2, 3, 1)
+	if got := tr.NumParticipants(); got != 7 {
+		t.Fatalf("binary depth-3 tree has %d nodes, want 7", got)
+	}
+	if got := tr.ComputeStats().MaxDepth; got != 3 {
+		t.Fatalf("MaxDepth = %d, want 3", got)
+	}
+	if got := KAry(3, 0, 1).NumParticipants(); got != 0 {
+		t.Fatalf("depth-0 tree has %d nodes", got)
+	}
+}
+
+func TestChainTree(t *testing.T) {
+	tr := ChainTree(5, 2)
+	if got := tr.NumParticipants(); got != 5 {
+		t.Fatalf("participants = %d, want 5", got)
+	}
+	if got := tr.ComputeStats().MaxDepth; got != 5 {
+		t.Fatalf("MaxDepth = %d, want 5", got)
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("Total = %v, want 10", got)
+	}
+}
+
+func TestStarTree(t *testing.T) {
+	tr := StarTree(3, 4, 0.5)
+	if got := tr.NumParticipants(); got != 5 {
+		t.Fatalf("participants = %d, want 5", got)
+	}
+	if got := len(tr.Children(1)); got != 4 {
+		t.Fatalf("hub fanout = %d, want 4", got)
+	}
+	if got := tr.Total(); got != 5 {
+		t.Fatalf("Total = %v, want 5", got)
+	}
+}
+
+func TestCorpusDeterministicAndValid(t *testing.T) {
+	a := Corpus(42, 20, 50)
+	b := Corpus(42, 20, 50)
+	if len(a) != 20 {
+		t.Fatalf("corpus size = %d", len(a))
+	}
+	for i := range a {
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("tree %d invalid: %v", i, err)
+		}
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+}
+
+func TestCorpusVariety(t *testing.T) {
+	corpus := Corpus(1, 30, 60)
+	sizes := map[int]bool{}
+	for _, tr := range corpus {
+		sizes[tr.NumParticipants()] = true
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("corpus sizes not varied: %v", sizes)
+	}
+}
