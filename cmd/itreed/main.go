@@ -1,48 +1,96 @@
 // Command itreed serves the Incentive Tree referral API over HTTP (see
-// internal/server for the endpoint reference).
+// internal/server for the endpoint reference), instrumented with the
+// internal/obs observability stack.
 //
 // Usage:
 //
-//	itreed [-addr :8080] [-mechanism tdrm] [-phi 0.5] [-fair 0.05] [-seed alice,bob] [-journal events.log]
+//	itreed [-addr :8080] [-mechanism tdrm] [-phi 0.5] [-fair 0.05]
+//	       [-seed alice,bob] [-journal events.log] [-debug-addr :6060]
+//
+// Beyond the API, the daemon serves GET /metrics (Prometheus text
+// exposition: per-route latency histograms, journal counters,
+// incremental-engine counters, and domain gauges like budget
+// utilization). With -debug-addr set, net/http/pprof and expvar are
+// served on a separate listener so profiling endpoints are never
+// exposed on the public address.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests (up to 10s), and only then closes the journal, so
+// a shutdown can never tear the write-ahead log mid-append. A torn
+// journal tail left by a hard crash is tolerated at startup: complete
+// events are recovered, the torn line is truncated away, and the repair
+// is counted on the journal_torn_tails_total metric.
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/experiments"
+	// Linked for its init-time metric registration: the engine counter
+	// families (incremental_ops_total, incremental_op_seconds) must
+	// appear on /metrics even before the first engine-backed write path
+	// ships in the daemon.
+	_ "incentivetree/internal/incremental"
 	"incentivetree/internal/journal"
+	"incentivetree/internal/obs"
 	"incentivetree/internal/server"
 )
 
+// shutdownTimeout bounds how long in-flight requests may drain after a
+// termination signal.
+const shutdownTimeout = 10 * time.Second
+
 func main() {
-	s, addr, cleanup, err := setup(os.Args[1:], os.Stdout)
+	d, err := setup(os.Args[1:], os.Stdout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cleanup()
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+	defer d.cleanup()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, d, os.Stdout); err != nil {
+		d.cleanup()
+		log.Fatal(err)
 	}
-	log.Fatal(srv.ListenAndServe())
+}
+
+// daemon is the fully configured serving state produced by setup.
+type daemon struct {
+	server    *server.Server
+	handler   http.Handler // API + /metrics
+	addr      string
+	debugAddr string // "" = no debug listener
+	// cleanup closes the journal; call only after the HTTP server has
+	// drained.
+	cleanup func()
+	// listening, if set, receives each bound address (tests use it to
+	// learn the port of ":0" listeners).
+	listening func(network, addr string)
 }
 
 // setup parses flags, recovers state from the journal (if any), and
-// returns the configured server ready to serve. The cleanup closes the
-// journal file.
-func setup(args []string, stdout io.Writer) (s *server.Server, addr string, cleanup func(), err error) {
+// returns the configured daemon ready to serve.
+func setup(args []string, stdout io.Writer) (*daemon, error) {
 	fs := flag.NewFlagSet("itreed", flag.ContinueOnError)
-	addrFlag := fs.String("addr", ":8080", "listen address")
+	addr := fs.String("addr", ":8080", "listen address")
+	debugAddr := fs.String("debug-addr", "",
+		"optional listen address for net/http/pprof and expvar (e.g. localhost:6060)")
 	mech := fs.String("mechanism", "tdrm",
 		"mechanism: "+strings.Join(experiments.MechanismNames(), ", "))
 	phi := fs.Float64("phi", 0.5, "budget fraction Phi")
@@ -50,31 +98,27 @@ func setup(args []string, stdout io.Writer) (s *server.Server, addr string, clea
 	seed := fs.String("seed", "", "comma-separated names of organic seed participants")
 	wal := fs.String("journal", "", "append-only event log file; replayed on start for crash recovery")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", nil, err
+		return nil, err
 	}
 
 	m, err := experiments.ByName(core.Params{Phi: *phi, FairShare: *fair}, *mech)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, err
 	}
+	reg := obs.Default()
+	m = experiments.Instrumented(m, reg)
 
-	cleanup = func() {}
+	cleanup := func() {}
 	var opts []server.Option
 	var recovered []journal.Event
 	if *wal != "" {
-		data, err := os.ReadFile(*wal)
-		switch {
-		case err == nil:
-			recovered, err = journal.Read(bytes.NewReader(data))
-			if err != nil {
-				return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
-			}
-		case !os.IsNotExist(err):
-			return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
+		recovered, err = recoverJournal(*wal, stdout)
+		if err != nil {
+			return nil, err
 		}
 		f, err := os.OpenFile(*wal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return nil, "", nil, fmt.Errorf("journal %s: %w", *wal, err)
+			return nil, fmt.Errorf("journal %s: %w", *wal, err)
 		}
 		cleanup = func() { f.Close() }
 		next := uint64(1)
@@ -83,12 +127,13 @@ func setup(args []string, stdout io.Writer) (s *server.Server, addr string, clea
 		}
 		opts = append(opts, server.WithJournal(journal.NewWriter(f, next)))
 	}
+	opts = append(opts, server.WithMetrics(reg))
 
-	s = server.New(m, opts...)
+	s := server.New(m, opts...)
 	if len(recovered) > 0 {
 		if err := server.Recover(s, nil, recovered); err != nil {
 			cleanup()
-			return nil, "", nil, fmt.Errorf("recover: %w", err)
+			return nil, fmt.Errorf("recover: %w", err)
 		}
 		fmt.Fprintf(stdout, "itreed: recovered %d journal events\n", len(recovered))
 	}
@@ -96,10 +141,124 @@ func setup(args []string, stdout io.Writer) (s *server.Server, addr string, clea
 		for _, name := range strings.Split(*seed, ",") {
 			if err := s.Join(strings.TrimSpace(name), ""); err != nil {
 				cleanup()
-				return nil, "", nil, fmt.Errorf("seed %q: %w", name, err)
+				return nil, fmt.Errorf("seed %q: %w", name, err)
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "itreed: serving %s on %s\n", m.Name(), *addrFlag)
-	return s, *addrFlag, cleanup, nil
+
+	root := http.NewServeMux()
+	root.Handle("/", s.Handler())
+	root.Handle("GET /metrics", reg.Handler())
+
+	fmt.Fprintf(stdout, "itreed: serving %s on %s\n", m.Name(), *addr)
+	return &daemon{
+		server:    s,
+		handler:   root,
+		addr:      *addr,
+		debugAddr: *debugAddr,
+		cleanup:   cleanup,
+	}, nil
+}
+
+// recoverJournal reads the event log at path, repairing a torn tail
+// (truncating the partial final line) so the daemon can append again.
+// A missing file is an empty journal.
+func recoverJournal(path string, stdout io.Writer) ([]journal.Event, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	events, err := journal.Read(bytes.NewReader(data))
+	var torn *journal.TornTailError
+	switch {
+	case err == nil:
+	case errors.As(err, &torn):
+		fmt.Fprintf(stdout, "itreed: %v — truncating journal to %d complete events\n", err, len(events))
+		if err := os.Truncate(path, torn.Offset); err != nil {
+			return nil, fmt.Errorf("journal %s: truncate torn tail: %w", path, err)
+		}
+	default:
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// run serves the daemon until ctx is cancelled (SIGINT/SIGTERM in
+// production), then drains in-flight requests before returning. The
+// caller closes the journal afterwards.
+func run(ctx context.Context, d *daemon, stdout io.Writer) error {
+	srv := &http.Server{
+		Handler:           d.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 2)
+	if err := serveListener(ctx, srv, "api", d.addr, d.listening, errc); err != nil {
+		return err
+	}
+
+	var debug *http.Server
+	if d.debugAddr != "" {
+		debug = &http.Server{
+			Handler:           debugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		if err := serveListener(ctx, debug, "debug", d.debugAddr, d.listening, errc); err != nil {
+			return err
+		}
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "itreed: shutting down (draining up to %s)\n", shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if debug != nil {
+		if derr := debug.Shutdown(sctx); err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "itreed: drained")
+	return nil
+}
+
+// serveListener binds addr and serves srv on it in the background,
+// reporting serve failures on errc.
+func serveListener(ctx context.Context, srv *http.Server, name, addr string, listening func(string, string), errc chan<- error) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("%s listen %s: %w", name, addr, err)
+	}
+	srv.BaseContext = func(net.Listener) context.Context { return ctx }
+	if listening != nil {
+		listening(name, ln.Addr().String())
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- fmt.Errorf("%s serve: %w", name, err)
+		}
+	}()
+	return nil
+}
+
+// debugHandler serves pprof and expvar. It is only ever bound to
+// -debug-addr, keeping profiling off the public listener.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

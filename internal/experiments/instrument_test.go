@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/obs"
+	"incentivetree/internal/tree"
+)
+
+func TestInstrumentedPreservesRewards(t *testing.T) {
+	m, err := ByName(core.DefaultParams(), "tdrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	im := Instrumented(m, reg)
+	if im.Name() != m.Name() {
+		t.Fatalf("Name() = %q, want %q", im.Name(), m.Name())
+	}
+	if im.Params() != m.Params() {
+		t.Fatalf("Params() = %+v, want %+v", im.Params(), m.Params())
+	}
+
+	tr := tree.FromSpecs(
+		tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}, {C: 3}}},
+	)
+	want, err := m.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := im.Rewards(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instrumented rewards diverge at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Two evaluations recorded (the one above).
+	if n := reg.Counter("mechanism_rewards_total", "", "mechanism", m.Name()).Value(); n != 1 {
+		t.Fatalf("evaluations = %d, want 1", n)
+	}
+	h := reg.Histogram("mechanism_rewards_seconds", "", nil, "mechanism", m.Name())
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("latency histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if n := reg.Counter("mechanism_rewards_errors_total", "", "mechanism", m.Name()).Value(); n != 0 {
+		t.Fatalf("errors = %d, want 0", n)
+	}
+}

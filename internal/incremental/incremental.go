@@ -20,11 +20,49 @@ package incremental
 
 import (
 	"fmt"
+	"time"
 
 	"incentivetree/internal/cdrm"
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
+	"incentivetree/internal/obs"
 	"incentivetree/internal/tree"
+)
+
+// Engine writes are recorded in the process-wide obs registry, split by
+// engine kind and operation, so an operator can compare incremental
+// O(depth) maintenance against full O(n) recomputation in production:
+// incremental_ops_total{engine,op} counts writes and
+// incremental_op_seconds{engine,op} tracks their latency.
+type opRecorder struct {
+	ops *obs.Counter
+	lat *obs.Histogram
+}
+
+func newOpRecorder(engine, op string) opRecorder {
+	return opRecorder{
+		ops: obs.Default().Counter("incremental_ops_total",
+			"Engine write operations, by engine kind and op.",
+			"engine", engine, "op", op),
+		lat: obs.Default().Histogram("incremental_op_seconds",
+			"Engine write latency in seconds, by engine kind and op.",
+			nil, "engine", engine, "op", op),
+	}
+}
+
+// done records one completed operation started at start.
+func (r opRecorder) done(start time.Time) {
+	r.ops.Inc()
+	r.lat.Observe(time.Since(start).Seconds())
+}
+
+var (
+	geoJoinOps  = newOpRecorder("geometric", "join")
+	geoContrib  = newOpRecorder("geometric", "contribute")
+	cdrmJoinOps = newOpRecorder("cdrm", "join")
+	cdrmContrib = newOpRecorder("cdrm", "contribute")
+	fullJoinOps = newOpRecorder("full", "join")
+	fullContrib = newOpRecorder("full", "contribute")
 )
 
 // Engine maintains a referral tree and serves rewards under writes.
@@ -58,6 +96,7 @@ func NewGeometric(m *geometric.Mechanism) *GeometricEngine {
 
 // Join implements Engine in O(depth).
 func (e *GeometricEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	defer geoJoinOps.done(time.Now())
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -69,6 +108,7 @@ func (e *GeometricEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, erro
 
 // AddContribution implements Engine in O(depth).
 func (e *GeometricEngine) AddContribution(u tree.NodeID, delta float64) error {
+	defer geoContrib.done(time.Now())
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}
@@ -122,6 +162,7 @@ func NewCDRM(m *cdrm.Mechanism) *CDRMEngine {
 
 // Join implements Engine in O(depth).
 func (e *CDRMEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	defer cdrmJoinOps.done(time.Now())
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -133,6 +174,7 @@ func (e *CDRMEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
 
 // AddContribution implements Engine in O(depth).
 func (e *CDRMEngine) AddContribution(u tree.NodeID, delta float64) error {
+	defer cdrmContrib.done(time.Now())
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}
@@ -200,6 +242,7 @@ func (e *FullEngine) recompute() error {
 
 // Join implements Engine in O(n).
 func (e *FullEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
+	defer fullJoinOps.done(time.Now())
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -212,6 +255,7 @@ func (e *FullEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
 
 // AddContribution implements Engine in O(n).
 func (e *FullEngine) AddContribution(u tree.NodeID, delta float64) error {
+	defer fullContrib.done(time.Now())
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
 	"incentivetree/internal/numeric"
+	"incentivetree/internal/obs"
 	"incentivetree/internal/tdrm"
 	"incentivetree/internal/tree"
 )
@@ -184,5 +185,28 @@ func TestRewardsSnapshotIsACopy(t *testing.T) {
 	snap[1] = 999
 	if full.Reward(1) == 999 {
 		t.Fatal("snapshot aliases engine state")
+	}
+}
+
+// TestOpsAreInstrumented checks every engine write ticks the shared
+// obs counters and latency histograms. Counters are process-wide and
+// monotonic, so the test asserts deltas, not absolute values.
+func TestOpsAreInstrumented(t *testing.T) {
+	e := geoEngine(t)
+	ops := obs.Default().Counter("incremental_ops_total", "", "engine", "geometric", "op", "join")
+	lat := obs.Default().Histogram("incremental_op_seconds", "", nil, "engine", "geometric", "op", "contribute")
+	opsBefore, latBefore := ops.Value(), lat.Count()
+	u, err := e.Join(tree.Root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddContribution(u, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Value() - opsBefore; got != 1 {
+		t.Fatalf("join counter delta = %d, want 1", got)
+	}
+	if got := lat.Count() - latBefore; got != 1 {
+		t.Fatalf("contribute latency observations delta = %d, want 1", got)
 	}
 }

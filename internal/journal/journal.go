@@ -8,13 +8,24 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 
+	"incentivetree/internal/obs"
 	"incentivetree/internal/tree"
+)
+
+// Journal activity is recorded in the process-wide obs registry so a
+// serving daemon can watch write rates and recovery health.
+var (
+	metricAppends     = obs.Default().Counter("journal_appends_total", "Events appended to the journal.")
+	metricAppendBytes = obs.Default().Counter("journal_append_bytes_total", "Bytes appended to the journal.")
+	metricReplays     = obs.Default().Counter("journal_replay_events_total", "Events replayed from journals.")
+	metricTornTails   = obs.Default().Counter("journal_torn_tails_total", "Journal reads that found a torn final line.")
 )
 
 // Kind discriminates event types.
@@ -95,35 +106,93 @@ func (jw *Writer) Append(e Event) (Event, error) {
 		return Event{}, fmt.Errorf("journal: write: %w", err)
 	}
 	jw.seq++
+	metricAppends.Inc()
+	metricAppendBytes.Add(uint64(len(data)))
 	return e, nil
 }
 
-// Read decodes all events from r, checking sequence continuity.
+// ErrTornTail reports that the final line of a journal was malformed —
+// the signature of a crash mid-append. All complete events before it
+// are returned alongside the error, so callers may treat it as a
+// recoverable condition. Match with errors.Is; errors.As against
+// *TornTailError yields the byte offset to truncate the log at before
+// appending again.
+var ErrTornTail = errors.New("journal: torn tail")
+
+// TornTailError carries the location of a torn final line.
+type TornTailError struct {
+	// Offset is the byte offset where the torn line starts: the length
+	// of the valid prefix of the log.
+	Offset int64
+	// Line is the 1-based line number of the torn line.
+	Line int
+	// Cause is the decode or validation error the line produced.
+	Cause error
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("journal: torn tail at line %d (valid prefix %d bytes): %v", e.Line, e.Offset, e.Cause)
+}
+
+// Unwrap makes the error match both ErrTornTail and its cause.
+func (e *TornTailError) Unwrap() []error { return []error{ErrTornTail, e.Cause} }
+
+// Read decodes all events from r, checking sequence continuity. A
+// malformed final line (crash mid-append) is tolerated: Read returns
+// every complete event plus a *TornTailError wrapping ErrTornTail.
+// Malformed lines with events after them, and sequence gaps anywhere,
+// remain hard errors — they mean mid-log corruption, not a torn tail.
 func Read(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	var offset int64 // start of the current line
+	lineNo := 0
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if readErr != nil && readErr != io.EOF {
+			return nil, fmt.Errorf("journal: scan: %w", readErr)
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			lineNo++
+			var e Event
+			decErr := json.Unmarshal(trimmed, &e)
+			if decErr == nil {
+				decErr = e.Validate()
+			}
+			switch {
+			case decErr == nil:
+				if len(out) > 0 && e.Seq != out[len(out)-1].Seq+1 {
+					return nil, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, out[len(out)-1].Seq)
+				}
+				out = append(out, e)
+			case readErr == io.EOF || !hasContent(br):
+				metricTornTails.Inc()
+				return out, &TornTailError{Offset: offset, Line: lineNo, Cause: decErr}
+			default:
+				return nil, fmt.Errorf("journal: line %d: %w", lineNo, decErr)
+			}
+		}
+		offset += int64(len(line))
+		if readErr == io.EOF {
+			return out, nil
+		}
+	}
+}
+
+// hasContent reports whether anything beyond whitespace remains in br.
+func hasContent(br *bufio.Reader) bool {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return false
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
 			continue
+		default:
+			return true
 		}
-		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("journal: line %d: %w", len(out)+1, err)
-		}
-		if err := e.Validate(); err != nil {
-			return nil, err
-		}
-		if len(out) > 0 && e.Seq != out[len(out)-1].Seq+1 {
-			return nil, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, out[len(out)-1].Seq)
-		}
-		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: scan: %w", err)
-	}
-	return out, nil
 }
 
 // State is the result of replaying a journal.
@@ -182,6 +251,7 @@ func Replay(base *State, events []Event) (*State, error) {
 			}
 		}
 		st.LastSeq = e.Seq
+		metricReplays.Inc()
 	}
 	return st, nil
 }

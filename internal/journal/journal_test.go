@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -132,6 +133,72 @@ func TestReadDetectsGapsAndGarbage(t *testing.T) {
 	ok := "{\"seq\":1,\"kind\":\"join\",\"name\":\"a\"}\n\n"
 	if _, err := Read(strings.NewReader(ok)); err != nil {
 		t.Fatalf("blank line rejected: %v", err)
+	}
+}
+
+func TestReadTornTail(t *testing.T) {
+	full := `{"seq":1,"kind":"join","name":"ada"}
+{"seq":2,"kind":"contribute","name":"ada","amount":2}
+`
+	torn := full + `{"seq":3,"kind":"contri`
+	events, err := Read(strings.NewReader(torn))
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("err = %v, want ErrTornTail", err)
+	}
+	if len(events) != 2 || events[1].Amount != 2 {
+		t.Fatalf("events = %+v, want the 2 complete ones", events)
+	}
+	var tt *TornTailError
+	if !errors.As(err, &tt) {
+		t.Fatalf("err %v is not a *TornTailError", err)
+	}
+	if tt.Offset != int64(len(full)) {
+		t.Fatalf("Offset = %d, want %d (length of valid prefix)", tt.Offset, len(full))
+	}
+	if tt.Line != 3 {
+		t.Fatalf("Line = %d, want 3", tt.Line)
+	}
+	// Truncating at Offset and appending yields a clean log again.
+	repaired := torn[:tt.Offset] + `{"seq":3,"kind":"contribute","name":"ada","amount":1}` + "\n"
+	events, err = Read(strings.NewReader(repaired))
+	if err != nil || len(events) != 3 {
+		t.Fatalf("repaired log: events = %d, err = %v", len(events), err)
+	}
+}
+
+func TestReadTornTailOnlyAtEnd(t *testing.T) {
+	// A malformed line followed by a valid event is corruption, not a
+	// torn tail: recovery must hard-fail rather than drop events.
+	bad := `{"seq":1,"kind":"join","name":"ada"}
+{"seq":2,"kind":"contri
+{"seq":3,"kind":"join","name":"bo","sponsor":"ada"}
+`
+	if _, err := Read(strings.NewReader(bad)); errors.Is(err, ErrTornTail) || err == nil {
+		t.Fatalf("mid-log corruption must be a hard error, got %v", err)
+	}
+	// Trailing whitespace after the torn line is still a torn tail.
+	tornPlusBlank := "{\"seq\":1,\"kind\":\"join\",\"name\":\"ada\"}\n{\"seq\":2,\"ki\n \n\n"
+	events, err := Read(strings.NewReader(tornPlusBlank))
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("err = %v, want ErrTornTail", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+}
+
+func TestReadTornTailInvalidFinalEvent(t *testing.T) {
+	// The final line parses as JSON but fails validation — e.g. a
+	// truncated float left it with a zero amount. Still a torn tail.
+	torn := `{"seq":1,"kind":"join","name":"ada"}
+{"seq":2,"kind":"contribute","name":"ada","amount":0}
+`
+	events, err := Read(strings.NewReader(torn))
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("err = %v, want ErrTornTail", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
 	}
 }
 

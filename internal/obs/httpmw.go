@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Middleware wraps next so every request is recorded into reg:
+//
+//	http_requests_total{route,code}      request count by status class
+//	http_request_duration_seconds{route} latency histogram
+//	http_response_bytes_total{route}     response body bytes
+//	http_requests_in_flight              gauge of concurrent requests
+//
+// The route label is the ServeMux pattern that matched (e.g.
+// "POST /v1/join"), so path wildcards like {name} do not explode label
+// cardinality; requests that matched no pattern are labelled
+// "unmatched". Metrics are recorded after next returns, when the mux
+// has stamped the pattern onto the request.
+func Middleware(reg *Registry, next http.Handler) http.Handler {
+	inFlight := reg.Gauge("http_requests_in_flight",
+		"Number of HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		reg.Counter("http_requests_total",
+			"HTTP requests served, by route and status class.",
+			"route", route, "code", statusClass(rec.status())).Inc()
+		reg.Histogram("http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.",
+			nil, "route", route).Observe(time.Since(start).Seconds())
+		reg.Counter("http_response_bytes_total",
+			"HTTP response body bytes written, by route.",
+			"route", route).Add(uint64(rec.bytes))
+	})
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes, defaulting to 200 when the handler never calls WriteHeader.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// statusClass collapses a status code into its class ("2xx", "4xx", …)
+// to keep label cardinality bounded.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// Since is a convenience for timing a code section into a latency
+// histogram: defer a call with the section's start time.
+func Since(h *Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newInstrumentedMux(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("okay"))
+	})
+	mux.HandleFunc("GET /v1/items/{id}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("item"))
+	})
+	mux.HandleFunc("GET /v1/fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusBadRequest)
+	})
+	return Middleware(reg, mux)
+}
+
+func TestMiddlewareRecordsRoutesAndClasses(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(newInstrumentedMux(reg))
+	defer ts.Close()
+
+	get := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/v1/ok")
+	get("/v1/ok")
+	get("/v1/items/1")
+	get("/v1/items/2")
+	get("/v1/fail")
+	get("/nowhere")
+
+	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != 2 {
+		t.Fatalf("ok 2xx count = %d, want 2", got)
+	}
+	// Wildcard paths collapse into one pattern label.
+	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/items/{id}", "code", "2xx").Value(); got != 2 {
+		t.Fatalf("items 2xx count = %d, want 2", got)
+	}
+	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/fail", "code", "4xx").Value(); got != 1 {
+		t.Fatalf("fail 4xx count = %d, want 1", got)
+	}
+	if got := reg.Counter("http_requests_total", "", "route", "unmatched", "code", "4xx").Value(); got != 1 {
+		t.Fatalf("unmatched 4xx count = %d, want 1", got)
+	}
+	// Latency histogram observed every ok request.
+	h := reg.Histogram("http_request_duration_seconds", "", nil, "route", "GET /v1/ok")
+	if got := h.Count(); got != 2 {
+		t.Fatalf("latency observations = %d, want 2", got)
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("latency sum = %v, want > 0", h.Sum())
+	}
+	// Response bytes counted ("okay" is 4 bytes).
+	if got := reg.Counter("http_response_bytes_total", "", "route", "GET /v1/ok").Value(); got != 8 {
+		t.Fatalf("response bytes = %d, want 8", got)
+	}
+	// In-flight gauge returned to zero.
+	if got := reg.Gauge("http_requests_in_flight", "").Value(); got != 0 {
+		t.Fatalf("in-flight = %v, want 0", got)
+	}
+}
+
+func TestMiddlewareConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(newInstrumentedMux(reg))
+	defer ts.Close()
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/ok")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+}
+
+func TestMiddlewareExposition(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(newInstrumentedMux(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`http_requests_total{code="2xx",route="GET /v1/ok"} 1`,
+		`http_request_duration_seconds_bucket{route="GET /v1/ok",le="+Inf"} 1`,
+		`http_request_duration_seconds_count{route="GET /v1/ok"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatusRecorderDefaults(t *testing.T) {
+	if got := statusClass(204); got != "2xx" {
+		t.Fatalf("statusClass(204) = %q", got)
+	}
+	if got := statusClass(999); got != "other" {
+		t.Fatalf("statusClass(999) = %q", got)
+	}
+}

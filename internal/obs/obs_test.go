@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+	g.Add(math.Inf(1))
+	if got := g.Value(); !math.IsInf(got, 1) {
+		t.Fatalf("Value() = %v, want +Inf", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("Sum() = %v, want 106", got)
+	}
+	want := []uint64{2, 3, 4, 5} // cumulative: <=1, <=2, <=4, +Inf
+	got := h.bucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucketCounts() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// 10 observations uniformly in (0, 10]: median interpolates to ~5.
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Fatalf("Quantile(1) = %v, want 10", q)
+	}
+	// Values beyond the last bound clamp to it.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Fatalf("Quantile(0.99) = %v, want clamp to 2", q)
+	}
+	// Empty histogram.
+	h3 := NewHistogram(nil)
+	if q := h3.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile(0.5) = %v, want 0", q)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds should panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "ops", "kind", "x")
+	b := r.Counter("ops_total", "ops", "kind", "x")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("ops_total", "ops", "kind", "y")
+	if a == c {
+		t.Fatal("distinct labels must return distinct counters")
+	}
+	// Label order must not matter.
+	d := r.Gauge("g", "", "a", "1", "b", "2")
+	e := r.Gauge("g", "", "b", "2", "a", "1")
+	if d != e {
+		t.Fatal("label order must not change series identity")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "", func() float64 { return 1 })
+	r.GaugeFunc("live", "", func() float64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 2 {
+		t.Fatalf("Snapshot() = %+v, want single value 2", snap)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(3)
+	r.Gauge("a_gauge", "").Set(1.5)
+	h := r.Histogram("c_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot() has %d entries, want 3", len(snap))
+	}
+	// Sorted by name.
+	if snap[0].Name != "a_gauge" || snap[1].Name != "b_total" || snap[2].Name != "c_seconds" {
+		t.Fatalf("Snapshot() order = %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[1].Value != 3 {
+		t.Fatalf("counter value = %v, want 3", snap[1].Value)
+	}
+	hs := snap[2]
+	if hs.Count != 2 || hs.Sum != 2 || hs.P50 == 0 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+// TestConcurrentRecording hammers one registry from many goroutines —
+// registration races, counter increments, histogram observations, and
+// concurrent scrapes — and checks nothing is lost. Run under -race.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hits_total", "h", "route", "/x").Inc()
+				r.Gauge("depth", "d").Set(float64(i))
+				r.Histogram("lat_seconds", "l", nil, "route", "/x").Observe(float64(i) * 1e-6)
+			}
+		}()
+	}
+	// Concurrent scrapes must not race registrations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("hits_total", "h", "route", "/x").Value(); got != workers*perWorker {
+		t.Fatalf("hits_total = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("lat_seconds", "l", nil, "route", "/x")
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestConcurrentGaugeAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000 (CAS add lost updates)", got)
+	}
+}
+
+func TestLabelKeyEscaping(t *testing.T) {
+	got := labelKey([]string{"k", "a\"b\\c\nd"})
+	want := `k="a\"b\\c\nd"`
+	if got != want {
+		t.Fatalf("labelKey = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus emits every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers followed
+// by one line per series, histograms expanded into cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.collect() {
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(fam.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ)
+		bw.WriteByte('\n')
+		for _, s := range fam.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSeries(bw, fam.name, "", s.key, "", formatUint(m.Value()))
+			case *Gauge:
+				writeSeries(bw, fam.name, "", s.key, "", formatFloat(m.Value()))
+			case func() float64:
+				writeSeries(bw, fam.name, "", s.key, "", formatFloat(m()))
+			case *Histogram:
+				cum := m.bucketCounts()
+				for i, c := range cum {
+					le := "+Inf"
+					if i < len(m.bounds) {
+						le = formatFloat(m.bounds[i])
+					}
+					writeSeries(bw, fam.name, "_bucket", s.key, `le="`+le+`"`, formatUint(c))
+				}
+				writeSeries(bw, fam.name, "_sum", s.key, "", formatFloat(m.Sum()))
+				writeSeries(bw, fam.name, "_count", s.key, "", formatUint(m.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries emits one `name_suffix{labels,extra} value` line; either
+// label part may be empty.
+func writeSeries(w *bufio.Writer, name, suffix, labels, extra, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Write errors mean the scraper hung up; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.", "route", "/v1/join", "code", "2xx").Add(7)
+	r.Gauge("participants", "Current participants.").Set(42)
+	r.GaugeFunc("utilization", "Budget utilization.", func() float64 { return 0.25 })
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		`requests_total{code="2xx",route="/v1/join"} 7`,
+		"# TYPE participants gauge",
+		"participants 42",
+		"utilization 0.25",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.001"} 1`,
+		`latency_seconds_bucket{le="0.01"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.0055",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", "", []float64{1}, "route", "/x").Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `lat_bucket{route="/x",le="1"} 1`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+	if want := `lat_sum{route="/x"}`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestExpositionParses validates the output's line grammar: every
+// non-comment line is `name{labels} value` with a parseable value, and
+// histogram bucket counts are monotonically non-decreasing.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help").Inc()
+	h := r.Histogram("b_seconds", "help", nil, "op", "join")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 1e-4)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lastBucket uint64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.Contains(name, "_bucket{") {
+			c := uint64(f)
+			if c < lastBucket {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastBucket = c
+			if strings.Contains(name, `le="+Inf"`) {
+				lastBucket = 0
+			}
+		}
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Add(3)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 3") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("joins_total", "Participants joined.").Add(2)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP joins_total Participants joined.
+	// # TYPE joins_total counter
+	// joins_total 2
+}

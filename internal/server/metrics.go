@@ -1,0 +1,83 @@
+package server
+
+import (
+	"incentivetree/internal/obs"
+)
+
+// WithMetrics attaches an observability registry: Handler() wraps the
+// API in obs.Middleware (per-route request counts, status classes,
+// latency histograms) and the deployment's domain gauges are registered
+// for scraping:
+//
+//	itree_participants         current number of participants
+//	itree_tree_depth_max       deepest participant
+//	itree_contribution_total   C(T), total contribution
+//	itree_reward_total         R(T) under the configured mechanism
+//	itree_budget_utilization   R(T) / (Phi * C(T)), the spent fraction
+//	                           of the paper's budget constraint
+//	itree_journal_last_seq     last persisted journal sequence number
+//
+// Gauges are computed at scrape time under the server's read lock; the
+// reward gauges cost one O(n) mechanism evaluation per scrape. If
+// several servers share one registry, the gauges describe the server
+// registered last.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) {
+		s.metrics = reg
+		s.registerGauges(reg)
+	}
+}
+
+func (s *Server) registerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("itree_participants",
+		"Number of participants in the referral tree.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.tree.NumParticipants())
+		})
+	reg.GaugeFunc("itree_tree_depth_max",
+		"Depth of the deepest participant (root children are depth 1).", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.tree.ComputeStats().MaxDepth)
+		})
+	reg.GaugeFunc("itree_contribution_total",
+		"Total contribution C(T).", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return s.tree.Total()
+		})
+	reg.GaugeFunc("itree_reward_total",
+		"Total reward R(T) under the configured mechanism.", func() float64 {
+			total, _ := s.rewardTotals()
+			return total
+		})
+	reg.GaugeFunc("itree_budget_utilization",
+		"Budget utilization R(T)/(Phi*C(T)); the paper's budget constraint holds iff <= 1.", func() float64 {
+			_, util := s.rewardTotals()
+			return util
+		})
+	reg.GaugeFunc("itree_journal_last_seq",
+		"Sequence number of the last journal event applied.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.lastSeq)
+		})
+}
+
+// rewardTotals evaluates the mechanism once and returns R(T) and the
+// budget utilization R(T)/(Phi*C(T)) (0 for an empty deployment or a
+// failed evaluation — gauges have no error channel).
+func (s *Server) rewardTotals() (total, utilization float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rewards, err := s.mech.Rewards(s.tree)
+	if err != nil {
+		return 0, 0
+	}
+	total = rewards.Total()
+	if budget := s.mech.Params().Phi * s.tree.Total(); budget > 0 {
+		utilization = total / budget
+	}
+	return total, utilization
+}

@@ -29,6 +29,7 @@ import (
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/journal"
+	"incentivetree/internal/obs"
 	"incentivetree/internal/tree"
 )
 
@@ -36,6 +37,7 @@ import (
 type Server struct {
 	mech    core.Mechanism
 	journal *journal.Writer
+	metrics *obs.Registry // nil = uninstrumented
 
 	mu      sync.RWMutex
 	tree    *tree.Tree
@@ -84,7 +86,9 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. With WithMetrics configured, every
+// route is wrapped in obs.Middleware, recording request counts, status
+// classes, and latency histograms keyed by route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/join", s.handleJoin)
@@ -98,7 +102,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	if s.metrics == nil {
+		return mux
+	}
+	return obs.Middleware(s.metrics, mux)
 }
 
 // Join registers a participant programmatically (used by the daemon's
@@ -257,10 +264,44 @@ func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.tree)
 }
 
+// statsResponse is the enriched /v1/stats payload: tree shape plus the
+// paper-level budget view (R(T), Phi*C(T), and their ratio) and, when
+// metrics are attached, a structured snapshot of every recorded metric.
+type statsResponse struct {
+	Mechanism         string            `json:"mechanism"`
+	Params            core.Params       `json:"params"`
+	Tree              tree.Stats        `json:"tree"`
+	TotalReward       float64           `json:"total_reward"`
+	Budget            float64           `json:"budget"`
+	BudgetUtilization float64           `json:"budget_utilization"`
+	LastSeq           uint64            `json:"last_seq"`
+	Metrics           []obs.MetricValue `json:"metrics,omitempty"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, s.tree.ComputeStats())
+	rewards, err := s.mech.Rewards(s.tree)
+	if err != nil {
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp := statsResponse{
+		Mechanism:   s.mech.Name(),
+		Params:      s.mech.Params(),
+		Tree:        s.tree.ComputeStats(),
+		TotalReward: rewards.Total(),
+		Budget:      s.mech.Params().Phi * s.tree.Total(),
+		LastSeq:     s.lastSeq,
+	}
+	s.mu.RUnlock()
+	if resp.Budget > 0 {
+		resp.BudgetUtilization = resp.TotalReward / resp.Budget
+	}
+	if s.metrics != nil {
+		resp.Metrics = s.metrics.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

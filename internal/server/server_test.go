@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
+	"incentivetree/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -205,13 +207,146 @@ func TestTreeAndStatsEndpoints(t *testing.T) {
 	if len(treeResp.Participants) != 1 {
 		t.Fatalf("tree participants = %d", len(treeResp.Participants))
 	}
-	var stats struct {
-		Participants int
-		Total        float64
-	}
+	var stats statsResponse
 	getJSON(t, ts.URL+"/v1/stats", &stats)
-	if stats.Participants != 1 || stats.Total != 1 {
+	if stats.Tree.Participants != 1 || stats.Tree.Total != 1 {
+		t.Fatalf("stats tree = %+v", stats.Tree)
+	}
+	if stats.Mechanism == "" || stats.Params.Phi != 0.5 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Budget != 0.5 {
+		t.Fatalf("budget = %v, want Phi*C(T) = 0.5", stats.Budget)
+	}
+	if stats.BudgetUtilization < 0 || stats.BudgetUtilization > 1+1e-9 {
+		t.Fatalf("budget utilization = %v, want within [0, 1]", stats.BudgetUtilization)
+	}
+	if stats.TotalReward <= 0 {
+		t.Fatalf("total reward = %v, want > 0", stats.TotalReward)
+	}
+}
+
+// newMeteredServer builds a server with an isolated metrics registry.
+func newMeteredServer(t *testing.T) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(m, WithMetrics(reg))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+// TestErrorPathsOverHTTP exercises every client-error path end to end
+// and, through the middleware, checks each is recorded under the right
+// route and status class.
+func TestErrorPathsOverHTTP(t *testing.T) {
+	_, ts, reg := newMeteredServer(t)
+
+	// Bad JSON bodies on both POST routes.
+	for _, route := range []string{"/v1/join", "/v1/contribute"} {
+		resp, err := http.Post(ts.URL+route, "application/json", bytes.NewReader([]byte("{nope")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s bad JSON status = %d", route, resp.StatusCode)
+		}
+	}
+	// Unknown sponsor.
+	if resp := postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "a", "sponsor": "ghost"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown sponsor status = %d", resp.StatusCode)
+	}
+	// Contribute before join.
+	if resp := postJSON(t, ts.URL+"/v1/contribute", map[string]any{"name": "a", "amount": 1.0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("contribute-before-join status = %d", resp.StatusCode)
+	}
+	// Duplicate join.
+	if resp := postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "a"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first join status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/join", map[string]string{"name": "a"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate join status = %d", resp.StatusCode)
+	}
+
+	// The middleware saw it all: 4 join requests (3 bad, 1 created), 2
+	// contribute requests (both bad).
+	join4xx := reg.Counter("http_requests_total", "", "route", "POST /v1/join", "code", "4xx").Value()
+	join2xx := reg.Counter("http_requests_total", "", "route", "POST /v1/join", "code", "2xx").Value()
+	contrib4xx := reg.Counter("http_requests_total", "", "route", "POST /v1/contribute", "code", "4xx").Value()
+	if join4xx != 3 || join2xx != 1 || contrib4xx != 2 {
+		t.Fatalf("recorded join4xx=%d join2xx=%d contrib4xx=%d, want 3/1/2", join4xx, join2xx, contrib4xx)
+	}
+	// Latency histograms observed every request on the route.
+	h := reg.Histogram("http_request_duration_seconds", "", nil, "route", "POST /v1/join")
+	if h.Count() != 4 {
+		t.Fatalf("join latency observations = %d, want 4", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("join latency sum = %v, want > 0", h.Sum())
+	}
+}
+
+// TestDomainGauges checks the scrape-time gauges track live state,
+// including the paper's budget utilization R(T)/(Phi*C(T)).
+func TestDomainGauges(t *testing.T) {
+	s, ts, reg := newMeteredServer(t)
+	if err := s.Join("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("bob", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("bob", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"itree_participants 2",
+		"itree_tree_depth_max 2",
+		"itree_contribution_total 4",
+		"itree_journal_last_seq 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Utilization is in (0, 1] for a funded geometric tree.
+	var snap statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &snap)
+	if snap.BudgetUtilization <= 0 || snap.BudgetUtilization > 1+1e-9 {
+		t.Fatalf("budget utilization = %v", snap.BudgetUtilization)
+	}
+	// The enriched stats carry the metrics snapshot.
+	found := false
+	for _, mv := range snap.Metrics {
+		if mv.Name == "itree_budget_utilization" {
+			found = true
+			if mv.Value != snap.BudgetUtilization {
+				t.Fatalf("gauge %v != stats utilization %v", mv.Value, snap.BudgetUtilization)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("stats metrics snapshot missing itree_budget_utilization")
+	}
+}
+
+// TestEmptyDeploymentGauges: utilization must report 0, not NaN, when
+// C(T) = 0.
+func TestEmptyDeploymentGauges(t *testing.T) {
+	_, ts, _ := newMeteredServer(t)
+	var snap statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &snap)
+	if snap.BudgetUtilization != 0 {
+		t.Fatalf("empty utilization = %v, want 0", snap.BudgetUtilization)
 	}
 }
 
