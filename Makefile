@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench benchsmoke
 
-check: build vet race
+check: build vet race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# benchsmoke compiles and runs every benchmark in the module for one
+# iteration, so benchmarks (store scaling, mechanism throughput) cannot
+# silently rot.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

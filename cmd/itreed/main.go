@@ -1,25 +1,41 @@
 // Command itreed serves the Incentive Tree referral API over HTTP (see
-// internal/server for the endpoint reference), instrumented with the
-// internal/obs observability stack.
+// internal/server for the endpoint reference and internal/store for the
+// multi-tenant campaign surface), instrumented with the internal/obs
+// observability stack.
 //
 // Usage:
 //
 //	itreed [-addr :8080] [-mechanism tdrm] [-phi 0.5] [-fair 0.05]
-//	       [-seed alice,bob] [-journal events.log] [-debug-addr :6060]
+//	       [-seed alice,bob] [-debug-addr :6060]
+//	       [-data-dir /var/lib/itreed] [-shards 16]
+//	       [-checkpoint-interval 30s] [-checkpoint-bytes 1048576]
+//	       [-journal-sync os|interval|always] [-journal-sync-interval 1s]
+//	       [-journal events.log]
+//
+// The daemon hosts many campaigns (POST /v1/campaigns to create one;
+// /v1/campaigns/{id}/... for its API); the pre-multi-tenant /v1/*
+// endpoints keep working as aliases for the "default" campaign. With
+// -data-dir set, every campaign gets its own journal under
+// <data-dir>/campaigns/<id>/ and a background checkpointer bounds
+// recovery cost by periodically snapshotting state and compacting the
+// journal. The legacy -journal flag instead attaches a single flat
+// journal file to the default campaign (no checkpointing), exactly as
+// earlier releases did; the two flags are mutually exclusive.
 //
 // Beyond the API, the daemon serves GET /metrics (Prometheus text
 // exposition: per-route latency histograms, journal counters,
-// incremental-engine counters, and domain gauges like budget
-// utilization). With -debug-addr set, net/http/pprof and expvar are
-// served on a separate listener so profiling endpoints are never
+// incremental-engine counters, per-campaign domain gauges, and store
+// checkpoint counters). With -debug-addr set, net/http/pprof and expvar
+// are served on a separate listener so profiling endpoints are never
 // exposed on the public address.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests (up to 10s), and only then closes the journal, so
-// a shutdown can never tear the write-ahead log mid-append. A torn
-// journal tail left by a hard crash is tolerated at startup: complete
-// events are recovered, the torn line is truncated away, and the repair
-// is counted on the journal_torn_tails_total metric.
+// in-flight requests (up to 10s), checkpoints every campaign, and only
+// then closes the journals, so a shutdown can never tear a write-ahead
+// log mid-append. A torn journal tail left by a hard crash is tolerated
+// at startup: complete events are recovered, the torn line is truncated
+// away, and the repair is counted on the journal_torn_tails_total
+// metric.
 package main
 
 import (
@@ -42,14 +58,10 @@ import (
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/experiments"
-	// Linked for its init-time metric registration: the engine counter
-	// families (incremental_ops_total, incremental_op_seconds) must
-	// appear on /metrics even before the first engine-backed write path
-	// ships in the daemon.
-	_ "incentivetree/internal/incremental"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
 	"incentivetree/internal/server"
+	"incentivetree/internal/store"
 )
 
 // shutdownTimeout bounds how long in-flight requests may drain after a
@@ -72,71 +84,108 @@ func main() {
 
 // daemon is the fully configured serving state produced by setup.
 type daemon struct {
-	server    *server.Server
-	handler   http.Handler // API + /metrics
+	store     *store.Store
+	server    *server.Server // the default campaign's deployment
+	handler   http.Handler   // API + /metrics
 	addr      string
 	debugAddr string // "" = no debug listener
-	// cleanup closes the journal; call only after the HTTP server has
-	// drained.
+	// cleanup checkpoints and closes every journal; call only after the
+	// HTTP server has drained.
 	cleanup func()
 	// listening, if set, receives each bound address (tests use it to
 	// learn the port of ":0" listeners).
 	listening func(network, addr string)
 }
 
-// setup parses flags, recovers state from the journal (if any), and
-// returns the configured daemon ready to serve.
+// setup parses flags, recovers state from disk (if any), and returns
+// the configured daemon ready to serve.
 func setup(args []string, stdout io.Writer) (*daemon, error) {
 	fs := flag.NewFlagSet("itreed", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	debugAddr := fs.String("debug-addr", "",
 		"optional listen address for net/http/pprof and expvar (e.g. localhost:6060)")
 	mech := fs.String("mechanism", "tdrm",
-		"mechanism: "+strings.Join(experiments.MechanismNames(), ", "))
+		"default-campaign mechanism: "+strings.Join(experiments.MechanismNames(), ", "))
 	phi := fs.Float64("phi", 0.5, "budget fraction Phi")
 	fair := fs.Float64("fair", 0.05, "fairness floor phi")
-	seed := fs.String("seed", "", "comma-separated names of organic seed participants")
-	wal := fs.String("journal", "", "append-only event log file; replayed on start for crash recovery")
+	seed := fs.String("seed", "", "comma-separated names of organic seed participants (default campaign)")
+	wal := fs.String("journal", "", "legacy flat journal file for the default campaign; replayed on start, never compacted")
+	dataDir := fs.String("data-dir", "",
+		"data directory for multi-campaign persistence (journals, snapshots); enables checkpointing")
+	shards := fs.Int("shards", store.DefaultShards, "lock stripes for campaign lookup (rounded up to a power of two)")
+	cpInterval := fs.Duration("checkpoint-interval", store.DefaultCheckpointEvery,
+		"periodic checkpoint cadence; <0 disables periodic checkpoints")
+	cpBytes := fs.Int64("checkpoint-bytes", store.DefaultCheckpointBytes,
+		"checkpoint a campaign once its journal exceeds this many bytes; <0 disables the size trigger")
+	syncPolicy := fs.String("journal-sync", string(journal.SyncOS),
+		"journal durability: os (page cache), interval (fsync periodically), always (fsync per event)")
+	syncEvery := fs.Duration("journal-sync-interval", time.Second,
+		"flush period under -journal-sync=interval")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-
-	m, err := experiments.ByName(core.Params{Phi: *phi, FairShare: *fair}, *mech)
+	if *wal != "" && *dataDir != "" {
+		return nil, errors.New("-journal and -data-dir are mutually exclusive")
+	}
+	policy, err := journal.ParseSyncPolicy(*syncPolicy)
 	if err != nil {
 		return nil, err
 	}
-	reg := obs.Default()
-	m = experiments.Instrumented(m, reg)
 
-	cleanup := func() {}
-	var opts []server.Option
-	var recovered []journal.Event
-	if *wal != "" {
-		recovered, err = recoverJournal(*wal, stdout)
+	params := core.Params{Phi: *phi, FairShare: *fair}
+	reg := obs.Default()
+	newMechanism := func(name string, p core.Params) (core.Mechanism, error) {
+		m, err := experiments.ByName(p, name)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(*wal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("journal %s: %w", *wal, err)
-		}
-		cleanup = func() { f.Close() }
-		next := uint64(1)
-		if n := len(recovered); n > 0 {
-			next = recovered[n-1].Seq + 1
-		}
-		opts = append(opts, server.WithJournal(journal.NewWriter(f, next)))
+		return experiments.Instrumented(m, reg), nil
 	}
-	opts = append(opts, server.WithMetrics(reg))
+	// Validate the default mechanism/params up front for a crisp error.
+	if _, err := newMechanism(*mech, params); err != nil {
+		return nil, err
+	}
 
-	s := server.New(m, opts...)
-	if len(recovered) > 0 {
-		if err := server.Recover(s, nil, recovered); err != nil {
-			cleanup()
-			return nil, fmt.Errorf("recover: %w", err)
-		}
-		fmt.Fprintf(stdout, "itreed: recovered %d journal events\n", len(recovered))
+	cfg := store.Config{
+		DataDir:            *dataDir,
+		Shards:             *shards,
+		CheckpointInterval: *cpInterval,
+		CheckpointBytes:    *cpBytes,
+		Sync:               policy,
+		SyncInterval:       *syncEvery,
+		Metrics:            reg,
+		NewMechanism:       newMechanism,
+		DefaultMechanism:   *mech,
+		DefaultParams:      params,
 	}
+
+	cleanup := func() {}
+	if *wal != "" {
+		// Legacy single-campaign persistence: one flat journal file,
+		// replayed at startup, never checkpointed or compacted.
+		legacy, legacyCleanup, err := legacyServer(*wal, policy, *syncEvery, cfg, stdout)
+		if err != nil {
+			return nil, err
+		}
+		cfg.DefaultServer = legacy
+		cleanup = legacyCleanup
+	}
+
+	st, err := store.Open(cfg)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	storeCleanup := cleanup
+	cleanup = func() {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(stdout, "itreed: store close: %v\n", err)
+		}
+		storeCleanup()
+	}
+
+	def, _ := st.Get(store.DefaultID)
+	s := def.Server()
 	if *seed != "" {
 		for _, name := range strings.Split(*seed, ",") {
 			if err := s.Join(strings.TrimSpace(name), ""); err != nil {
@@ -147,17 +196,59 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 	}
 
 	root := http.NewServeMux()
-	root.Handle("/", s.Handler())
+	root.Handle("/", st.Handler())
 	root.Handle("GET /metrics", reg.Handler())
 
-	fmt.Fprintf(stdout, "itreed: serving %s on %s\n", m.Name(), *addr)
+	mname := def.Meta.Mechanism
+	if m, err := newMechanism(*mech, params); err == nil {
+		mname = m.Name()
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(stdout, "itreed: %d campaign(s) under %s\n", st.Len(), *dataDir)
+	}
+	fmt.Fprintf(stdout, "itreed: serving %s on %s\n", mname, *addr)
 	return &daemon{
+		store:     st,
 		server:    s,
 		handler:   root,
 		addr:      *addr,
 		debugAddr: *debugAddr,
 		cleanup:   cleanup,
 	}, nil
+}
+
+// legacyServer builds the default campaign the way earlier releases
+// did: state recovered from (and appended to) a single flat journal
+// file, honoring the configured sync policy.
+func legacyServer(wal string, policy journal.SyncPolicy, syncEvery time.Duration, cfg store.Config, stdout io.Writer) (*server.Server, func(), error) {
+	recovered, err := recoverJournal(wal, stdout)
+	if err != nil {
+		return nil, nil, err
+	}
+	fw, err := journal.OpenFile(wal, policy, syncEvery)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal %s: %w", wal, err)
+	}
+	next := uint64(1)
+	if n := len(recovered); n > 0 {
+		next = recovered[n-1].Seq + 1
+	}
+	m, err := cfg.NewMechanism(cfg.DefaultMechanism, cfg.DefaultParams)
+	if err != nil {
+		fw.Close()
+		return nil, nil, err
+	}
+	s := server.New(m,
+		server.WithJournal(journal.NewWriter(fw, next)),
+		server.WithMetrics(cfg.Metrics))
+	if len(recovered) > 0 {
+		if err := server.Recover(s, nil, recovered); err != nil {
+			fw.Close()
+			return nil, nil, fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(stdout, "itreed: recovered %d journal events\n", len(recovered))
+	}
+	return s, func() { fw.Close() }, nil
 }
 
 // recoverJournal reads the event log at path, repairing a torn tail
@@ -188,8 +279,10 @@ func recoverJournal(path string, stdout io.Writer) ([]journal.Event, error) {
 
 // run serves the daemon until ctx is cancelled (SIGINT/SIGTERM in
 // production), then drains in-flight requests before returning. The
-// caller closes the journal afterwards.
+// caller closes the store afterwards. The background checkpointer runs
+// for the lifetime of ctx.
 func run(ctx context.Context, d *daemon, stdout io.Writer) error {
+	go d.store.Run(ctx)
 	srv := &http.Server{
 		Handler:           d.handler,
 		ReadHeaderTimeout: 5 * time.Second,

@@ -317,3 +317,93 @@ func TestDebugHandlerRoutes(t *testing.T) {
 		}
 	}
 }
+
+func TestSetupRejectsJournalWithDataDir(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	_, err := setup([]string{"-journal", filepath.Join(dir, "w.log"), "-data-dir", dir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := setup([]string{"-journal-sync", "sometimes"}, &out); err == nil {
+		t.Fatal("bad sync policy should fail")
+	}
+}
+
+func TestSetupDataDirMultiCampaign(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-checkpoint-interval", "-1s", "-checkpoint-bytes", "-1",
+		"-journal-sync", "always"}
+
+	// First run: create a campaign beside the default one and write to both.
+	var out bytes.Buffer
+	d, err := setup(args, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler)
+	post := func(path, body string, want int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/v1/campaigns", `{"id":"acme","mechanism":"geometric"}`, http.StatusCreated)
+	post("/v1/campaigns/acme/join", `{"name":"ada"}`, http.StatusCreated)
+	post("/v1/campaigns/acme/contribute", `{"name":"ada","amount":3}`, http.StatusOK)
+	post("/v1/join", `{"name":"zed"}`, http.StatusCreated) // legacy alias -> default campaign
+	post("/v1/campaigns/acme/checkpoint", "", http.StatusOK)
+	ts.Close()
+	d.cleanup()
+	if !strings.Contains(out.String(), "campaign(s) under "+dir) {
+		t.Fatalf("banner = %q", out.String())
+	}
+
+	// Second run: both campaigns come back from disk.
+	out.Reset()
+	d2, err := setup(args, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.cleanup()
+	if !strings.Contains(out.String(), "2 campaign(s)") {
+		t.Fatalf("banner = %q", out.String())
+	}
+	acme, ok := d2.store.Get("acme")
+	if !ok {
+		t.Fatal("acme not recovered")
+	}
+	if total := acme.Server().SnapshotState().Tree.Total(); total != 3 {
+		t.Fatalf("acme total = %v, want 3", total)
+	}
+	if snap := d2.server.SnapshotState(); snap.Tree.NumParticipants() != 1 {
+		t.Fatalf("default campaign participants = %d, want 1", snap.Tree.NumParticipants())
+	}
+	// The store's own metrics are exposed.
+	ts2 := httptest.NewServer(d2.handler)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"itree_campaigns 2",
+		`itree_participants{campaign="acme"} 1`,
+		"itree_checkpoints_total",
+		"journal_syncs_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

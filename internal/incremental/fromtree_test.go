@@ -1,0 +1,130 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"incentivetree/internal/cdrm"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+)
+
+func TestForMechanism(t *testing.T) {
+	p := core.DefaultParams()
+	gm, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := ForMechanism(gm); !ok {
+		t.Error("geometric should get an engine")
+	} else if _, isGeo := e.(*GeometricEngine); !isGeo {
+		t.Errorf("geometric engine type = %T", e)
+	}
+	cm, err := cdrm.DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := ForMechanism(cm); !ok {
+		t.Error("cdrm should get an engine")
+	} else if _, isCDRM := e.(*CDRMEngine); !isCDRM {
+		t.Errorf("cdrm engine type = %T", e)
+	}
+	tm, err := tdrm.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := ForMechanism(tm); ok {
+		t.Errorf("tdrm has no local decomposition, got %T", e)
+	}
+}
+
+// randomTree grows a contribution-bearing tree the way a workload would.
+func randomTree(t *testing.T, seed int64, n int) *tree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := tree.New()
+	for i := 0; i < n; i++ {
+		if _, err := tr.Add(tree.NodeID(rng.Intn(tr.Len())), rng.Float64()*4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestForTreeMatchesFullEvaluation is the recovery path: an engine
+// rebuilt from an existing tree must serve the same rewards as full
+// evaluation, and stay correct under further writes.
+func TestForTreeMatchesFullEvaluation(t *testing.T) {
+	p := core.DefaultParams()
+	gm, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := cdrm.DefaultReciprocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mech := range []core.Mechanism{gm, cm} {
+		tr := randomTree(t, 7, 200)
+		e, ok := ForTree(mech, tr)
+		if !ok {
+			t.Fatalf("%s: no engine", mech.Name())
+		}
+		if e.Tree() != tr {
+			t.Fatalf("%s: engine must adopt the given tree", mech.Name())
+		}
+		check := func(when string) {
+			want, err := mech.Rewards(e.Tree())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Rewards()
+			if len(got) != len(want) {
+				t.Fatalf("%s %s: %d rewards, want %d", mech.Name(), when, len(got), len(want))
+			}
+			for id := range want {
+				if !numeric.AlmostEqual(got[id], want[id], 1e-9) {
+					t.Fatalf("%s %s node %d: rebuilt %v != full %v", mech.Name(), when, id, got[id], want[id])
+				}
+			}
+		}
+		check("after rebuild")
+		// The rebuilt state must absorb new writes, not just reads.
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 50; i++ {
+			if rng.Float64() < 0.5 {
+				if _, err := e.Join(tree.NodeID(rng.Intn(e.Tree().Len())), rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				u := tree.NodeID(1 + rng.Intn(e.Tree().NumParticipants()))
+				if err := e.AddContribution(u, rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		check("after further writes")
+	}
+}
+
+func TestForTreeEmptyTree(t *testing.T) {
+	gm, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := ForTree(gm, tree.New())
+	if !ok {
+		t.Fatal("no engine for empty tree")
+	}
+	// Rewards are indexed by NodeID, so even an empty tree has the root
+	// slot (always zero).
+	if r := e.Rewards(); len(r) != 1 || r[0] != 0 {
+		t.Fatalf("empty tree rewards = %v", r)
+	}
+	if _, err := e.Join(tree.Root, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -82,6 +82,35 @@ type Engine interface {
 	Mechanism() core.Mechanism
 }
 
+// ForMechanism returns an empty incremental engine when m's rewards
+// admit O(depth) maintenance (Geometric, CDRM family), and (nil, false)
+// otherwise. Mechanisms that need global structure (TDRM, L-Pachira)
+// are better served by per-read full evaluation than by FullEngine's
+// per-write recomputation.
+func ForMechanism(m core.Mechanism) (Engine, bool) {
+	switch mech := m.(type) {
+	case *geometric.Mechanism:
+		return NewGeometric(mech), true
+	case *cdrm.Mechanism:
+		return NewCDRM(mech), true
+	}
+	return nil, false
+}
+
+// ForTree is ForMechanism for a pre-existing tree (e.g. a restored
+// snapshot): the returned engine adopts t — ownership transfers, the
+// caller must route all further writes through the engine — with its
+// per-node reward state rebuilt in O(n).
+func ForTree(m core.Mechanism, t *tree.Tree) (Engine, bool) {
+	switch mech := m.(type) {
+	case *geometric.Mechanism:
+		return NewGeometricFromTree(mech, t), true
+	case *cdrm.Mechanism:
+		return NewCDRMFromTree(mech, t), true
+	}
+	return nil, false
+}
+
 // GeometricEngine incrementally maintains the (a,b)-Geometric mechanism.
 type GeometricEngine struct {
 	mech *geometric.Mechanism
@@ -92,6 +121,18 @@ type GeometricEngine struct {
 // NewGeometric starts an empty engine for m.
 func NewGeometric(m *geometric.Mechanism) *GeometricEngine {
 	return &GeometricEngine{mech: m, t: tree.New(), s: []float64{0}}
+}
+
+// NewGeometricFromTree adopts an existing tree, rebuilding the weighted
+// subtree sums S(u) = C(u) + a*sum_children S in O(n). Valid trees have
+// topological ids (parent < child), so one descending pass suffices.
+func NewGeometricFromTree(m *geometric.Mechanism, t *tree.Tree) *GeometricEngine {
+	e := &GeometricEngine{mech: m, t: t, s: make([]float64, t.Len())}
+	for u := tree.NodeID(t.Len() - 1); u > tree.Root; u-- {
+		e.s[u] += t.Contribution(u)
+		e.s[t.Parent(u)] += m.A() * e.s[u]
+	}
+	return e
 }
 
 // Join implements Engine in O(depth).
@@ -158,6 +199,16 @@ type CDRMEngine struct {
 // NewCDRM starts an empty engine for m.
 func NewCDRM(m *cdrm.Mechanism) *CDRMEngine {
 	return &CDRMEngine{mech: m, t: tree.New(), desc: []float64{0}}
+}
+
+// NewCDRMFromTree adopts an existing tree, rebuilding the
+// proper-descendant contribution sums y_u in O(n).
+func NewCDRMFromTree(m *cdrm.Mechanism, t *tree.Tree) *CDRMEngine {
+	e := &CDRMEngine{mech: m, t: t, desc: make([]float64, t.Len())}
+	for u := tree.NodeID(t.Len() - 1); u > tree.Root; u-- {
+		e.desc[t.Parent(u)] += e.desc[u] + t.Contribution(u)
+	}
+	return e
 }
 
 // Join implements Engine in O(depth).

@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"incentivetree/internal/obs"
+)
+
+// metricSyncs counts explicit File.Sync calls issued by FileWriters, so
+// operators can verify a sync policy is actually being exercised.
+var metricSyncs = obs.Default().Counter("journal_syncs_total",
+	"Explicit fsync calls issued by journal file writers.")
+
+// SyncPolicy selects when a FileWriter flushes appended events to stable
+// storage.
+type SyncPolicy string
+
+// The sync policies.
+const (
+	// SyncOS leaves flushing to the operating system's page cache — the
+	// historical behavior. A machine crash may lose recent events; a
+	// process crash does not (writes go straight to the kernel).
+	SyncOS SyncPolicy = "os"
+	// SyncInterval fsyncs on the first append after SyncEvery has
+	// elapsed since the previous sync, bounding machine-crash data loss
+	// to roughly one interval of events.
+	SyncInterval SyncPolicy = "interval"
+	// SyncAlways fsyncs after every append. Durable but slow: every
+	// write pays a device flush.
+	SyncAlways SyncPolicy = "always"
+)
+
+// ParseSyncPolicy validates a policy string ("" means SyncOS).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "", SyncOS:
+		return SyncOS, nil
+	case SyncInterval:
+		return SyncInterval, nil
+	case SyncAlways:
+		return SyncAlways, nil
+	}
+	return "", fmt.Errorf("journal: unknown sync policy %q (choose os, interval, always)", s)
+}
+
+// FileWriter is an append-only journal file with a configurable sync
+// policy and support for checkpoint compaction. It is safe for
+// concurrent use and implements io.Writer, so it can back a
+// journal.Writer.
+type FileWriter struct {
+	path   string
+	policy SyncPolicy
+	every  time.Duration
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64 // current file size in bytes
+	lastSync time.Time
+}
+
+// OpenFile opens (creating if needed) the journal file at path for
+// appending under the given sync policy. every is the flush period for
+// SyncInterval and is ignored otherwise.
+func OpenFile(path string, policy SyncPolicy, every time.Duration) (*FileWriter, error) {
+	if policy == "" {
+		policy = SyncOS
+	}
+	if policy == SyncInterval && every <= 0 {
+		return nil, fmt.Errorf("journal: sync policy %q needs a positive interval", policy)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+	return &FileWriter{path: path, policy: policy, every: every, f: f, size: st.Size(), lastSync: time.Now()}, nil
+}
+
+// Write appends p and applies the sync policy. It implements io.Writer.
+func (fw *FileWriter) Write(p []byte) (int, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.f == nil {
+		return 0, errors.New("journal: file writer closed")
+	}
+	n, err := fw.f.Write(p)
+	fw.size += int64(n)
+	if err != nil {
+		return n, err
+	}
+	switch fw.policy {
+	case SyncAlways:
+		err = fw.syncLocked()
+	case SyncInterval:
+		if time.Since(fw.lastSync) >= fw.every {
+			err = fw.syncLocked()
+		}
+	}
+	return n, err
+}
+
+// Sync flushes the file to stable storage regardless of policy.
+func (fw *FileWriter) Sync() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.f == nil {
+		return nil
+	}
+	return fw.syncLocked()
+}
+
+func (fw *FileWriter) syncLocked() error {
+	if err := fw.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", fw.path, err)
+	}
+	fw.lastSync = time.Now()
+	metricSyncs.Inc()
+	return nil
+}
+
+// Size returns the current file size in bytes. Because appends go
+// through Write, the size observed between appends is exactly the byte
+// offset of the next event.
+func (fw *FileWriter) Size() int64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.size
+}
+
+// CompactTo atomically replaces the journal file with its suffix
+// starting at byte offset keep, returning the number of bytes dropped.
+// The suffix is copied to a temporary file, fsynced, and renamed over
+// the journal, so a crash at any point leaves either the full old file
+// or the complete suffix — never a partial journal. Callers must only
+// drop a prefix whose events are covered by a durable snapshot.
+func (fw *FileWriter) CompactTo(keep int64) (int64, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.f == nil {
+		return 0, errors.New("journal: file writer closed")
+	}
+	if keep < 0 || keep > fw.size {
+		return 0, fmt.Errorf("journal: compact offset %d outside file of %d bytes", keep, fw.size)
+	}
+	if keep == 0 {
+		return 0, nil // nothing to drop
+	}
+	src, err := os.Open(fw.path)
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact open: %w", err)
+	}
+	defer src.Close()
+	if _, err := src.Seek(keep, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("journal: compact seek: %w", err)
+	}
+	tmpPath := fw.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact tmp: %w", err)
+	}
+	if _, err := io.Copy(tmp, src); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("journal: compact copy: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, fw.path); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("journal: compact rename: %w", err)
+	}
+	syncDir(fw.path)
+	// Reopen so appends land in the new file; the old inode is garbage.
+	nf, err := os.OpenFile(fw.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	fw.f.Close()
+	fw.f = nf
+	fw.size -= keep
+	return keep, nil
+}
+
+// Close flushes (under SyncAlways/SyncInterval) and closes the file.
+func (fw *FileWriter) Close() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.f == nil {
+		return nil
+	}
+	var err error
+	if fw.policy != SyncOS {
+		err = fw.syncLocked()
+	}
+	if cerr := fw.f.Close(); err == nil {
+		err = cerr
+	}
+	fw.f = nil
+	return err
+}
+
+// syncDir best-effort fsyncs the directory containing path, making a
+// preceding rename durable. Errors are ignored: not all filesystems
+// support directory fsync, and the rename itself already happened.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,225 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"": SyncOS, "os": SyncOS, "interval": SyncInterval, "always": SyncAlways,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestOpenFileIntervalNeedsPositiveInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	if _, err := OpenFile(path, SyncInterval, 0); err == nil {
+		t.Fatal("interval policy without an interval should fail")
+	}
+	fw, err := OpenFile(path, SyncInterval, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+}
+
+func TestFileWriterAppendAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	fw, err := OpenFile(path, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	if fw.Size() != 0 {
+		t.Fatalf("fresh file size = %d", fw.Size())
+	}
+	lines := []string{"one\n", "second line\n", "three\n"}
+	var want int64
+	for _, l := range lines {
+		n, err := fw.Write([]byte(l))
+		if err != nil || n != len(l) {
+			t.Fatalf("Write = %d, %v", n, err)
+		}
+		want += int64(n)
+		if fw.Size() != want {
+			t.Fatalf("Size = %d, want %d", fw.Size(), want)
+		}
+	}
+	// Reopening resumes at the existing size.
+	fw.Close()
+	fw2, err := OpenFile(path, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw2.Close()
+	if fw2.Size() != want {
+		t.Fatalf("reopened Size = %d, want %d", fw2.Size(), want)
+	}
+}
+
+func TestFileWriterSyncAlwaysCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	fw, err := OpenFile(path, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	before := metricSyncs.Value()
+	for i := 0; i < 3; i++ {
+		if _, err := fw.Write([]byte("x\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := metricSyncs.Value() - before; got != 3 {
+		t.Fatalf("journal_syncs_total advanced by %d, want 3", got)
+	}
+}
+
+func TestFileWriterIntervalSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	// A 1ns interval has always elapsed, so every append syncs.
+	fw, err := OpenFile(path, SyncInterval, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	before := metricSyncs.Value()
+	if _, err := fw.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if metricSyncs.Value() == before {
+		t.Fatal("elapsed interval should trigger a sync")
+	}
+	// A huge interval never elapses mid-test: appends stay unsynced.
+	fw2, err := OpenFile(filepath.Join(t.TempDir(), "k.log"), SyncInterval, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw2.Close()
+	before = metricSyncs.Value()
+	if _, err := fw2.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if metricSyncs.Value() != before {
+		t.Fatal("unelapsed interval must not sync on append")
+	}
+}
+
+func TestFileWriterCompactTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	fw, err := OpenFile(path, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	prefix, suffix := "aaa\nbbb\n", "ccc\nddd\n"
+	if _, err := fw.Write([]byte(prefix)); err != nil {
+		t.Fatal(err)
+	}
+	keep := fw.Size()
+	if _, err := fw.Write([]byte(suffix)); err != nil {
+		t.Fatal(err)
+	}
+
+	dropped, err := fw.CompactTo(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != keep {
+		t.Fatalf("dropped %d bytes, want %d", dropped, keep)
+	}
+	if fw.Size() != int64(len(suffix)) {
+		t.Fatalf("post-compact Size = %d, want %d", fw.Size(), len(suffix))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != suffix {
+		t.Fatalf("post-compact file = %q, want %q", data, suffix)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("compaction temp file left behind: %v", err)
+	}
+
+	// Appends after compaction land in the replacement file.
+	if _, err := fw.Write([]byte("eee\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != suffix+"eee\n" {
+		t.Fatalf("post-compact append: file = %q", data)
+	}
+}
+
+func TestFileWriterCompactToEdgeCases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	fw, err := OpenFile(path, SyncOS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write([]byte("abc\n")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fw.CompactTo(0); n != 0 || err != nil {
+		t.Fatalf("CompactTo(0) = %d, %v; want no-op", n, err)
+	}
+	if _, err := fw.CompactTo(-1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := fw.CompactTo(fw.Size() + 1); err == nil {
+		t.Error("offset past EOF should fail")
+	}
+	fw.Close()
+	if _, err := fw.Write([]byte("x")); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("write after close = %v", err)
+	}
+	if _, err := fw.CompactTo(1); err == nil {
+		t.Error("compact after close should fail")
+	}
+	if err := fw.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+// TestFileWriterBacksJournalWriter wires a FileWriter under the event
+// Writer and round-trips events through Read — the integration the
+// store's campaigns rely on.
+func TestFileWriterBacksJournalWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	fw, err := OpenFile(path, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fw, 1)
+	if _, err := w.Append(Event{Kind: KindJoin, Name: "ada"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(Event{Kind: KindContribute, Name: "ada", Amount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Seq != 2 || events[1].Amount != 2 {
+		t.Fatalf("round-trip = %+v", events)
+	}
+}

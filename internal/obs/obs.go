@@ -306,6 +306,30 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return r.register(name, help, TypeHistogram, labels, func() any { return NewHistogram(bounds) }).(*Histogram)
 }
 
+// Unregister removes the series for (name, labels) from the registry,
+// reporting whether it existed. When the last series of a family is
+// removed the family itself disappears from exposition. It exists for
+// dynamically-scoped metrics — e.g. per-campaign gauges whose campaign
+// has been deleted — and is a no-op for unknown names. Outstanding
+// metric handles stay usable but are no longer scraped.
+func (r *Registry) Unregister(name string, labels ...string) bool {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		return false
+	}
+	if _, ok := fam.series[key]; !ok {
+		return false
+	}
+	delete(fam.series, key)
+	if len(fam.series) == 0 {
+		delete(r.families, name)
+	}
+	return true
+}
+
 // MetricValue is one series in a Snapshot.
 type MetricValue struct {
 	Name   string `json:"name"`

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits", "campaign", "a").Inc()
+	r.Counter("hits_total", "hits", "campaign", "b").Inc()
+	r.GaugeFunc("size", "size", func() float64 { return 1 }, "campaign", "a")
+
+	if !r.Unregister("hits_total", "campaign", "a") {
+		t.Fatal("existing series should unregister")
+	}
+	if r.Unregister("hits_total", "campaign", "a") {
+		t.Fatal("second unregister should report missing")
+	}
+	if r.Unregister("no_such_metric") {
+		t.Fatal("unknown family should report missing")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `campaign="a"`) && strings.Contains(out, "hits_total") &&
+		strings.Contains(out, `hits_total{campaign="a"}`) {
+		t.Fatalf("unregistered series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `hits_total{campaign="b"}`) {
+		t.Fatalf("sibling series lost:\n%s", out)
+	}
+
+	// Removing the last series drops the whole family from exposition.
+	if !r.Unregister("size", "campaign", "a") {
+		t.Fatal("gauge func should unregister")
+	}
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "size") {
+		t.Fatalf("empty family still exposed:\n%s", sb.String())
+	}
+}

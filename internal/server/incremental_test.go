@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/numeric"
+	"incentivetree/internal/tdrm"
+)
+
+// TestWithIncrementalMatchesFullEvaluation drives a geometric server
+// with the incremental engine enabled and cross-checks every
+// participant's reward against a plain full-evaluation server fed the
+// same workload.
+func TestWithIncrementalMatchesFullEvaluation(t *testing.T) {
+	p := core.DefaultParams()
+	m1, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := New(m1, WithIncremental())
+	slow := New(m2)
+
+	rng := rand.New(rand.NewSource(3))
+	names := []string{}
+	for i := 0; i < 120; i++ {
+		if len(names) == 0 || rng.Float64() < 0.5 {
+			name := fmt.Sprintf("p%03d", len(names))
+			sponsor := ""
+			if len(names) > 0 {
+				sponsor = names[rng.Intn(len(names))]
+			}
+			for _, s := range []*Server{fast, slow} {
+				if err := s.Join(name, sponsor); err != nil {
+					t.Fatalf("join %s: %v", name, err)
+				}
+			}
+			names = append(names, name)
+		} else {
+			name := names[rng.Intn(len(names))]
+			amount := rng.Float64() * 3
+			for _, s := range []*Server{fast, slow} {
+				if err := s.Contribute(name, amount); err != nil {
+					t.Fatalf("contribute %s: %v", name, err)
+				}
+			}
+		}
+	}
+
+	for _, name := range names {
+		pf, err := fast.participant(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := slow.participant(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(pf.Reward, ps.Reward, 1e-9) {
+			t.Fatalf("%s: incremental reward %v != full %v", name, pf.Reward, ps.Reward)
+		}
+	}
+}
+
+// TestWithIncrementalFallsBackForTDRM checks that mechanisms without a
+// local decomposition silently keep full evaluation.
+func TestWithIncrementalFallsBackForTDRM(t *testing.T) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, WithIncremental())
+	if s.engine != nil {
+		t.Fatal("TDRM must not get an incremental engine")
+	}
+	if err := s.Join("ada", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute("ada", 2); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := s.participant("ada"); err != nil || p.Contribution != 2 {
+		t.Fatalf("participant = %+v, %v", p, err)
+	}
+}
+
+// TestWithIncrementalSurvivesRestore checks the engine is rebuilt from
+// the restored tree, not left pointing at the old one.
+func TestWithIncrementalSurvivesRestore(t *testing.T) {
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, WithIncremental())
+	for _, step := range [][2]string{{"ada", ""}, {"bo", "ada"}, {"cy", "bo"}} {
+		if err := s.Join(step[0], step[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Contribute("cy", 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.SnapshotState()
+
+	m2, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(m2, WithIncremental())
+	if err := s2.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.engine == nil {
+		t.Fatal("restore must rebuild the engine")
+	}
+	// Writes against the restored engine stay consistent with full eval.
+	if err := s2.Contribute("ada", 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s2.mech.Rewards(s2.tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.engine.Rewards()
+	for id := range want {
+		if !numeric.AlmostEqual(got[id], want[id], 1e-9) {
+			t.Fatalf("node %d: engine %v != full %v", id, got[id], want[id])
+		}
+	}
+}
+
+// TestRewardsSortedByName pins the /v1/rewards participant order to the
+// name sort: snapshot round-trips renumber NodeIDs in DFS preorder, so
+// id order would make reward tables incomparable across recovery.
+func TestRewardsSortedByName(t *testing.T) {
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	// Join in an order that differs from the name sort.
+	for _, step := range [][2]string{{"zoe", ""}, {"mia", "zoe"}, {"ada", "zoe"}, {"bo", "mia"}} {
+		if err := s.Join(step[0], step[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/rewards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body rewardsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Participants) != 4 {
+		t.Fatalf("%d participants", len(body.Participants))
+	}
+	if !sort.SliceIsSorted(body.Participants, func(i, j int) bool {
+		return body.Participants[i].Name < body.Participants[j].Name
+	}) {
+		t.Fatalf("participants not sorted by name: %+v", body.Participants)
+	}
+}

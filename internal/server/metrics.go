@@ -19,8 +19,9 @@ import (
 //
 // Gauges are computed at scrape time under the server's read lock; the
 // reward gauges cost one O(n) mechanism evaluation per scrape. If
-// several servers share one registry, the gauges describe the server
-// registered last.
+// several servers share one registry without distinguishing labels, the
+// gauges describe the server registered last — multi-tenant callers
+// should use WithMetricsLabels instead.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) {
 		s.metrics = reg
@@ -28,41 +29,73 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
-func (s *Server) registerGauges(reg *obs.Registry) {
+// WithMetricsLabels is WithMetrics with a fixed label set (variadic
+// key/value pairs, e.g. "campaign", id) stamped on every domain gauge,
+// so many deployments — the store's campaigns — can share one registry
+// without clobbering each other's series.
+func WithMetricsLabels(reg *obs.Registry, labels ...string) Option {
+	return func(s *Server) {
+		s.metrics = reg
+		s.registerGauges(reg, labels...)
+	}
+}
+
+// domainGauges lists every gauge family registerGauges creates, so
+// UnregisterMetrics can remove a deployment's series when it is torn
+// down.
+var domainGauges = []string{
+	"itree_participants",
+	"itree_tree_depth_max",
+	"itree_contribution_total",
+	"itree_reward_total",
+	"itree_budget_utilization",
+	"itree_journal_last_seq",
+}
+
+// UnregisterMetrics removes the domain-gauge series registered under
+// the given label set — the inverse of WithMetricsLabels, used when a
+// campaign is deleted.
+func UnregisterMetrics(reg *obs.Registry, labels ...string) {
+	for _, name := range domainGauges {
+		reg.Unregister(name, labels...)
+	}
+}
+
+func (s *Server) registerGauges(reg *obs.Registry, labels ...string) {
 	reg.GaugeFunc("itree_participants",
 		"Number of participants in the referral tree.", func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return float64(s.tree.NumParticipants())
-		})
+		}, labels...)
 	reg.GaugeFunc("itree_tree_depth_max",
 		"Depth of the deepest participant (root children are depth 1).", func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return float64(s.tree.ComputeStats().MaxDepth)
-		})
+		}, labels...)
 	reg.GaugeFunc("itree_contribution_total",
 		"Total contribution C(T).", func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return s.tree.Total()
-		})
+		}, labels...)
 	reg.GaugeFunc("itree_reward_total",
 		"Total reward R(T) under the configured mechanism.", func() float64 {
 			total, _ := s.rewardTotals()
 			return total
-		})
+		}, labels...)
 	reg.GaugeFunc("itree_budget_utilization",
 		"Budget utilization R(T)/(Phi*C(T)); the paper's budget constraint holds iff <= 1.", func() float64 {
 			_, util := s.rewardTotals()
 			return util
-		})
+		}, labels...)
 	reg.GaugeFunc("itree_journal_last_seq",
 		"Sequence number of the last journal event applied.", func() float64 {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
 			return float64(s.lastSeq)
-		})
+		}, labels...)
 }
 
 // rewardTotals evaluates the mechanism once and returns R(T) and the
@@ -71,7 +104,7 @@ func (s *Server) registerGauges(reg *obs.Registry) {
 func (s *Server) rewardTotals() (total, utilization float64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	rewards, err := s.mech.Rewards(s.tree)
+	rewards, err := s.rewardsLocked()
 	if err != nil {
 		return 0, 0
 	}

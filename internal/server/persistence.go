@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"incentivetree/internal/incremental"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/tree"
 )
@@ -30,9 +31,31 @@ type Snapshot struct {
 
 // SnapshotState exports the current deployment state.
 func (s *Server) SnapshotState() Snapshot {
+	return s.SnapshotAt(nil)
+}
+
+// SnapshotAt exports the current state and, if fn is non-nil, invokes
+// it while the read lock is still held. Writes take the write lock, so
+// fn observes external positions — e.g. the journal file's byte size —
+// exactly consistent with the snapshot boundary. This is the primitive
+// the store's checkpointer builds on: snapshot at seq k, remember the
+// journal offset holding events 1..k, later drop that prefix once the
+// snapshot is durable.
+func (s *Server) SnapshotAt(fn func()) Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone()}
+	snap := Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone()}
+	if fn != nil {
+		fn()
+	}
+	return snap
+}
+
+// LastSeq returns the sequence number of the last applied event.
+func (s *Server) LastSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastSeq
 }
 
 // RestoreState replaces the deployment state with the snapshot. The
@@ -48,12 +71,25 @@ func (s *Server) RestoreState(snap Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	s.adoptState(st)
+	return nil
+}
+
+// adoptState installs a replayed state, rebuilding the incremental
+// engine (if one is configured) from the new tree.
+func (s *Server) adoptState(st *journal.State) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tree = st.Tree
 	s.byKey = st.ByName
 	s.lastSeq = st.LastSeq
-	return nil
+	if s.useEngine {
+		if e, ok := incremental.ForTree(s.mech, s.tree); ok {
+			s.engine = e
+		} else {
+			s.engine = nil
+		}
+	}
 }
 
 // Recover rebuilds a server from a snapshot plus the journal events
@@ -85,11 +121,7 @@ func Recover(s *Server, snap *Snapshot, events []journal.Event) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tree = st.Tree
-	s.byKey = st.ByName
-	s.lastSeq = st.LastSeq
+	s.adoptState(st)
 	return nil
 }
 

@@ -24,10 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 
 	"incentivetree/internal/core"
+	"incentivetree/internal/incremental"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
 	"incentivetree/internal/tree"
@@ -35,14 +37,18 @@ import (
 
 // Server is the shared state behind the HTTP handler.
 type Server struct {
-	mech    core.Mechanism
-	journal *journal.Writer
-	metrics *obs.Registry // nil = uninstrumented
+	mech      core.Mechanism
+	journal   *journal.Writer
+	metrics   *obs.Registry // nil = uninstrumented
+	useEngine bool          // WithIncremental requested
 
 	mu      sync.RWMutex
 	tree    *tree.Tree
 	byKey   map[string]tree.NodeID
 	lastSeq uint64
+	// engine, when non-nil, owns tree and maintains rewards in O(depth)
+	// per write; all writes must route through it.
+	engine incremental.Engine
 }
 
 // New creates an empty deployment under the mechanism.
@@ -51,7 +57,25 @@ func New(m core.Mechanism, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.useEngine {
+		if e, ok := incremental.ForMechanism(m); ok {
+			s.engine = e
+			s.tree = e.Tree()
+		}
+	}
 	return s
+}
+
+// WithIncremental serves rewards from an incrementally-maintained
+// engine (internal/incremental) when the mechanism admits one
+// (Geometric, CDRM family): writes cost O(depth) and reward reads skip
+// the O(n) mechanism evaluation. Mechanisms without a local
+// decomposition (TDRM, L-Pachira) silently keep per-read full
+// evaluation. Engine-served rewards equal full evaluation up to
+// floating-point summation order; deployments that need bit-identical
+// reward tables across snapshot recovery should leave this off.
+func WithIncremental() Option {
+	return func(s *Server) { s.useEngine = true }
 }
 
 // Participant is the wire representation of one participant's state.
@@ -132,7 +156,13 @@ func (s *Server) joinLocked(name, sponsor string) error {
 		}
 		parent = p
 	}
-	id, err := s.tree.Add(parent, 0)
+	var id tree.NodeID
+	var err error
+	if s.engine != nil {
+		id, err = s.engine.Join(parent, 0)
+	} else {
+		id, err = s.tree.Add(parent, 0)
+	}
 	if err != nil {
 		return err
 	}
@@ -154,7 +184,13 @@ func (s *Server) Contribute(name string, amount float64) error {
 	if !ok {
 		return fmt.Errorf("unknown participant %q", name)
 	}
-	if err := s.tree.AddContribution(id, amount); err != nil {
+	var err error
+	if s.engine != nil {
+		err = s.engine.AddContribution(id, amount)
+	} else {
+		err = s.tree.AddContribution(id, amount)
+	}
+	if err != nil {
 		return err
 	}
 	return s.appendJournal(journal.Event{Kind: journal.KindContribute, Name: name, Amount: amount})
@@ -216,11 +252,21 @@ func (s *Server) participant(name string) (Participant, error) {
 	if !ok {
 		return Participant{}, fmt.Errorf("unknown participant %q", name)
 	}
-	rewards, err := s.mech.Rewards(s.tree)
+	rewards, err := s.rewardsLocked()
 	if err != nil {
 		return Participant{}, err
 	}
 	return s.viewLocked(id, rewards), nil
+}
+
+// rewardsLocked returns the current reward table, served from the
+// incremental engine when one is attached and by full mechanism
+// evaluation otherwise. Callers hold at least the read lock.
+func (s *Server) rewardsLocked() (core.Rewards, error) {
+	if s.engine != nil {
+		return s.engine.Rewards(), nil
+	}
+	return s.mech.Rewards(s.tree)
 }
 
 func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
@@ -241,7 +287,7 @@ func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
 func (s *Server) handleRewards(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	rewards, err := s.mech.Rewards(s.tree)
+	rewards, err := s.rewardsLocked()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
@@ -255,6 +301,11 @@ func (s *Server) handleRewards(w http.ResponseWriter, _ *http.Request) {
 	for _, u := range s.tree.Nodes() {
 		resp.Participants = append(resp.Participants, s.viewLocked(u, rewards))
 	}
+	// Sorted by name so the table is deterministic even across snapshot
+	// restores, which renumber node ids in DFS preorder.
+	sort.Slice(resp.Participants, func(i, j int) bool {
+		return resp.Participants[i].Name < resp.Participants[j].Name
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -280,7 +331,7 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	rewards, err := s.mech.Rewards(s.tree)
+	rewards, err := s.rewardsLocked()
 	if err != nil {
 		s.mu.RUnlock()
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})

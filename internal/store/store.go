@@ -1,0 +1,473 @@
+// Package store is the multi-tenant serving layer of the Incentive Tree
+// daemon: it owns many independent campaigns per process, each a full
+// server.Server deployment (referral tree + name index + optional
+// incremental reward engine + its own write-ahead journal under a data
+// directory), with campaign lookup sharded across lock-striped maps so
+// campaigns never contend with each other.
+//
+// # Data directory layout
+//
+//	<data-dir>/campaigns/<id>/meta.json      campaign config (mechanism, params)
+//	<data-dir>/campaigns/<id>/snapshot.json  last durable checkpoint
+//	<data-dir>/campaigns/<id>/journal.log    events after the checkpoint
+//
+// # Durability contract
+//
+// Every write is appended to the campaign's journal before the HTTP
+// response is sent (see internal/journal for the sync policy knob). A
+// background checkpointer periodically — and whenever a journal exceeds
+// a size threshold — writes an atomic snapshot (snapshot.json.tmp +
+// rename) and then compacts the journal down to the events the snapshot
+// does not cover, so recovery cost is O(snapshot + suffix) instead of
+// O(all events ever). Recovery rebuilds each campaign from snapshot +
+// journal suffix, tolerating a torn final journal line (crash
+// mid-append) by truncating it away.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/journal"
+	"incentivetree/internal/obs"
+	"incentivetree/internal/server"
+)
+
+// DefaultID is the campaign that backs the legacy single-campaign
+// /v1/* endpoints.
+const DefaultID = "default"
+
+// Defaults for Config fields left zero.
+const (
+	DefaultShards           = 16
+	DefaultCheckpointBytes  = 1 << 20 // compact once a journal passes 1 MiB
+	DefaultCheckpointEvery  = 30 * time.Second
+	defaultMechanismFallbck = "tdrm"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// DataDir is the root of the on-disk layout. Empty means ephemeral:
+	// campaigns live in memory only, with no journals or checkpoints.
+	DataDir string
+	// Shards is the number of lock stripes for campaign lookup, rounded
+	// up to a power of two. Zero means DefaultShards.
+	Shards int
+	// CheckpointInterval is the period of the background checkpointer;
+	// every tick checkpoints campaigns with uncheckpointed events. Zero
+	// means DefaultCheckpointEvery; negative disables periodic
+	// checkpoints (size-triggered ones still run).
+	CheckpointInterval time.Duration
+	// CheckpointBytes checkpoints a campaign as soon as its journal
+	// exceeds this many bytes. Zero means DefaultCheckpointBytes;
+	// negative disables the size trigger.
+	CheckpointBytes int64
+	// Sync is the journal sync policy for campaign journals (see
+	// journal.SyncPolicy). Empty means journal.SyncOS, the historical
+	// behavior.
+	Sync journal.SyncPolicy
+	// SyncInterval is the flush period under journal.SyncInterval.
+	SyncInterval time.Duration
+	// Metrics, when set, receives the store's gauges/counters and every
+	// campaign's per-campaign domain gauges (labelled campaign="<id>").
+	Metrics *obs.Registry
+	// NewMechanism constructs the mechanism for a campaign; required.
+	NewMechanism func(name string, p core.Params) (core.Mechanism, error)
+	// DefaultMechanism and DefaultParams configure the auto-created
+	// "default" campaign (empty mechanism name means "tdrm").
+	DefaultMechanism string
+	DefaultParams    core.Params
+	// DefaultServer, when set, is adopted as the "default" campaign
+	// instead of creating one. Its persistence (if any) is managed by
+	// the caller, not the store — cmd/itreed uses this to keep the
+	// legacy flat-file -journal mode byte-compatible.
+	DefaultServer *server.Server
+}
+
+// Meta is the persisted configuration of one campaign (meta.json).
+type Meta struct {
+	ID          string      `json:"id"`
+	Mechanism   string      `json:"mechanism"`
+	Params      core.Params `json:"params"`
+	Incremental bool        `json:"incremental,omitempty"`
+	CreatedUnix int64       `json:"created_unix,omitempty"`
+}
+
+// Campaign is one tenant: a server.Server deployment plus its
+// durability state.
+type Campaign struct {
+	Meta Meta
+
+	srv     *server.Server
+	handler http.Handler // cached srv.Handler()
+	dir     string       // "" = ephemeral
+	fw      *journal.FileWriter // nil = ephemeral or caller-managed
+
+	// cpMu serializes checkpoints of this campaign.
+	cpMu sync.Mutex
+	// checkpointedSeq is the last sequence number covered by a durable
+	// snapshot (guarded by cpMu for writes; reads are racy but only
+	// used as a pending-work hint and re-checked under cpMu).
+	checkpointedSeq uint64
+	// kicked coalesces size-trigger checkpoint requests.
+	kicked bool
+	kickMu sync.Mutex
+}
+
+// Server exposes the campaign's underlying deployment (for seeding,
+// tests, and direct programmatic writes).
+func (c *Campaign) Server() *server.Server { return c.srv }
+
+var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`)
+
+// ValidateID checks that a campaign id is usable as a directory name
+// and URL path segment: lowercase alphanumerics, '-' and '_', at most
+// 64 characters, not starting with punctuation.
+func ValidateID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("store: invalid campaign id %q (want %s)", id, idPattern)
+	}
+	return nil
+}
+
+// shard is one lock stripe of the campaign map.
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Campaign
+}
+
+// Store is a sharded collection of campaigns with a background
+// checkpointer. Create/Get/Delete are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []shard
+	mask   uint32
+
+	// checkpoint instrumentation (nil-safe wrappers when cfg.Metrics is
+	// unset).
+	mCheckpoints *obs.Counter
+	mCPErrors    *obs.Counter
+	mCPSeconds   *obs.Histogram
+	mReclaimed   *obs.Counter
+
+	kick    chan *Campaign
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// Open builds a store from cfg and, when cfg.DataDir is set, recovers
+// every campaign found on disk (snapshot + journal suffix, tolerating
+// torn tails). The "default" campaign is created (or adopted from
+// cfg.DefaultServer) if it does not exist yet. Call Run to start the
+// background checkpointer and Close to flush and release journals.
+func Open(cfg Config) (*Store, error) {
+	if cfg.NewMechanism == nil && cfg.DefaultServer == nil {
+		return nil, errors.New("store: Config.NewMechanism is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointEvery
+	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if cfg.DefaultMechanism == "" {
+		cfg.DefaultMechanism = defaultMechanismFallbck
+	}
+	if cfg.DefaultParams == (core.Params{}) {
+		cfg.DefaultParams = core.DefaultParams()
+	}
+	st := &Store{
+		cfg:    cfg,
+		shards: make([]shard, n),
+		mask:   uint32(n - 1),
+		kick:   make(chan *Campaign, 64),
+	}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*Campaign)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("itree_campaigns",
+			"Number of campaigns hosted by the store.", func() float64 {
+				return float64(st.Len())
+			})
+		st.mCheckpoints = reg.Counter("itree_checkpoints_total",
+			"Campaign checkpoints completed (snapshot written + journal compacted).")
+		st.mCPErrors = reg.Counter("itree_checkpoint_errors_total",
+			"Campaign checkpoints that failed.")
+		st.mCPSeconds = reg.Histogram("itree_checkpoint_seconds",
+			"Campaign checkpoint latency in seconds.", nil)
+		st.mReclaimed = reg.Counter("itree_journal_reclaimed_bytes_total",
+			"Journal bytes dropped by checkpoint compaction.")
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(st.campaignsRoot(), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := st.recoverAll(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DefaultServer != nil {
+		if _, ok := st.Get(DefaultID); ok {
+			return nil, fmt.Errorf("store: %s campaign exists on disk and a DefaultServer was supplied", DefaultID)
+		}
+		c := &Campaign{
+			Meta: Meta{ID: DefaultID, Mechanism: cfg.DefaultMechanism, Params: cfg.DefaultParams},
+			srv:  cfg.DefaultServer,
+		}
+		c.handler = c.srv.Handler()
+		st.put(c)
+	} else if _, ok := st.Get(DefaultID); !ok {
+		if _, err := st.Create(Meta{ID: DefaultID, Mechanism: cfg.DefaultMechanism, Params: cfg.DefaultParams}); err != nil {
+			return nil, fmt.Errorf("store: default campaign: %w", err)
+		}
+	}
+	return st, nil
+}
+
+func (st *Store) campaignsRoot() string {
+	return filepath.Join(st.cfg.DataDir, "campaigns")
+}
+
+func (st *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &st.shards[h.Sum32()&st.mask]
+}
+
+// Get returns the campaign with the given id.
+func (st *Store) Get(id string) (*Campaign, bool) {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	c, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return c, ok
+}
+
+// Len returns the number of campaigns.
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		st.shards[i].mu.RLock()
+		n += len(st.shards[i].m)
+		st.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// List returns all campaigns sorted by id.
+func (st *Store) List() []*Campaign {
+	var out []*Campaign
+	for i := range st.shards {
+		st.shards[i].mu.RLock()
+		for _, c := range st.shards[i].m {
+			out = append(out, c)
+		}
+		st.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.ID < out[j].Meta.ID })
+	return out
+}
+
+func (st *Store) put(c *Campaign) bool {
+	sh := st.shardFor(c.Meta.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.m[c.Meta.ID]; dup {
+		return false
+	}
+	sh.m[c.Meta.ID] = c
+	return true
+}
+
+// Create provisions a new campaign: its directory, meta.json, journal,
+// and server. The campaign is immediately servable.
+func (st *Store) Create(meta Meta) (*Campaign, error) {
+	if err := ValidateID(meta.ID); err != nil {
+		return nil, err
+	}
+	if meta.Mechanism == "" {
+		meta.Mechanism = st.cfg.DefaultMechanism
+	}
+	if meta.Params == (core.Params{}) {
+		meta.Params = st.cfg.DefaultParams
+	}
+	if _, exists := st.Get(meta.ID); exists {
+		return nil, fmt.Errorf("store: campaign %q already exists", meta.ID)
+	}
+	if meta.CreatedUnix == 0 {
+		meta.CreatedUnix = time.Now().Unix()
+	}
+	mech, err := st.newMechanism(meta)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{Meta: meta}
+	if st.cfg.DataDir != "" {
+		c.dir = filepath.Join(st.campaignsRoot(), meta.ID)
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := writeFileAtomic(filepath.Join(c.dir, "meta.json"), mustJSON(meta)); err != nil {
+			return nil, err
+		}
+		fw, err := journal.OpenFile(filepath.Join(c.dir, "journal.log"), st.cfg.Sync, st.cfg.SyncInterval)
+		if err != nil {
+			return nil, err
+		}
+		c.fw = fw
+	}
+	c.srv = server.New(mech, st.serverOptions(c, 1)...)
+	c.handler = c.srv.Handler()
+	if !st.put(c) {
+		// Lost a create race: release what we provisioned.
+		if c.fw != nil {
+			c.fw.Close()
+		}
+		if st.cfg.Metrics != nil {
+			server.UnregisterMetrics(st.cfg.Metrics, "campaign", meta.ID)
+		}
+		return nil, fmt.Errorf("store: campaign %q already exists", meta.ID)
+	}
+	return c, nil
+}
+
+// newMechanism builds (and validates) the campaign's mechanism.
+func (st *Store) newMechanism(meta Meta) (core.Mechanism, error) {
+	if st.cfg.NewMechanism == nil {
+		return nil, errors.New("store: no mechanism factory configured")
+	}
+	mech, err := st.cfg.NewMechanism(meta.Mechanism, meta.Params)
+	if err != nil {
+		return nil, fmt.Errorf("store: campaign %q: %w", meta.ID, err)
+	}
+	return mech, nil
+}
+
+// serverOptions assembles the per-campaign server options: journal
+// writer (starting at nextSeq), labelled metrics, incremental engine.
+func (st *Store) serverOptions(c *Campaign, nextSeq uint64) []server.Option {
+	var opts []server.Option
+	if c.fw != nil {
+		opts = append(opts, server.WithJournal(journal.NewWriter(c.fw, nextSeq)))
+	}
+	if st.cfg.Metrics != nil {
+		opts = append(opts, server.WithMetricsLabels(st.cfg.Metrics, "campaign", c.Meta.ID))
+	}
+	if c.Meta.Incremental {
+		opts = append(opts, server.WithIncremental())
+	}
+	return opts
+}
+
+// Delete removes a campaign from the store, closes its journal, and
+// deletes its directory. In-flight requests against the campaign may
+// fail with a journal-append error; new lookups 404.
+func (st *Store) Delete(id string) error {
+	if id == DefaultID {
+		return fmt.Errorf("store: the %q campaign cannot be deleted", DefaultID)
+	}
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	c, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("store: unknown campaign %q", id)
+	}
+	// Exclude a concurrent checkpoint before tearing down files.
+	c.cpMu.Lock()
+	defer c.cpMu.Unlock()
+	if c.fw != nil {
+		c.fw.Close()
+	}
+	if st.cfg.Metrics != nil {
+		server.UnregisterMetrics(st.cfg.Metrics, "campaign", id)
+	}
+	if c.dir != "" {
+		if err := os.RemoveAll(c.dir); err != nil {
+			return fmt.Errorf("store: delete %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Close checkpoints every campaign with pending events and closes all
+// journals. The store must not serve requests afterwards.
+func (st *Store) Close() error {
+	st.closeMu.Lock()
+	if st.closed {
+		st.closeMu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.closeMu.Unlock()
+	var first error
+	for _, c := range st.List() {
+		if _, err := st.Checkpoint(c); err != nil && first == nil {
+			first = err
+		}
+		if c.fw != nil {
+			if err := c.fw.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// mustJSON marshals v, panicking on failure (the store's wire types
+// cannot fail to encode).
+func mustJSON(v any) []byte {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so readers never observe a partial file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename %s: %w", tmp, err)
+	}
+	return nil
+}
