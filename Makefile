@@ -1,8 +1,9 @@
 GO ?= go
+BENCHTIME ?= 300ms
 
-.PHONY: check build vet test race bench benchsmoke
+.PHONY: check build vet test race bench benchsmoke bench-json
 
-check: build vet race benchsmoke
+check: build vet test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +25,11 @@ bench:
 # silently rot.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-json runs the root benchmark suite and writes the next free
+# BENCH_<n>.json snapshot (ns/op, B/op, allocs/op per benchmark), the
+# baseline trail for performance work. Compare against a committed
+# baseline with:
+#   go run ./cmd/benchjson -compare BENCH_0.json [-max-regress 1.3]
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME)

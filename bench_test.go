@@ -183,6 +183,34 @@ func BenchmarkSybilSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSybilSearchWorkers measures the sharded best-attack search at
+// fixed worker counts (1 is the serial legacy path; results are
+// identical at every setting).
+func BenchmarkSybilSearchWorkers(b *testing.B) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sybil.Scenario{
+		Base:         tree.FromSpecs(tree.Spec{C: 1}),
+		Parent:       1,
+		Contribution: 2,
+		ChildTrees:   []tree.Spec{{C: 1}, {C: 1.5}},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := sybil.DefaultSearch()
+			o.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sybil.BestRewardAttack(m, s, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGrowthSimulation measures one full campaign simulation.
 func BenchmarkGrowthSimulation(b *testing.B) {
 	m, err := tdrm.Default(core.DefaultParams())

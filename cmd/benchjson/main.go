@@ -1,0 +1,250 @@
+// Command benchjson runs the repository benchmark suite (bench_test.go)
+// and writes one machine-readable trajectory point: a BENCH_<n>.json file
+// recording ns/op, B/op and allocs/op for every benchmark. Committing a
+// point before and after a performance PR gives the repository a
+// benchmark trajectory that CI can smoke-compare for regressions.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_1.json] [-bench .] [-benchtime 300ms]
+//	          [-pkg .] [-count 1] [-compare BENCH_0.json] [-dir /path/to/repo]
+//
+// Without -out the next free BENCH_<n>.json index in -dir is used. With
+// -compare the new results are printed as old/new ratios against a prior
+// point; -max-regress fails the run when any matched benchmark's ns/op
+// grew by more than the given factor (0 disables gating, the CI smoke
+// default).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the on-disk BENCH_<n>.json format.
+type File struct {
+	CreatedUnix int64       `json:"created_unix"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Bench       string      `json:"bench"`
+	Benchtime   string      `json:"benchtime,omitempty"`
+	Count       int         `json:"count"`
+	Package     string      `json:"package"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default: next free BENCH_<n>.json in -dir)")
+	bench := fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 300ms, 1x); empty = go default")
+	pkg := fs.String("pkg", ".", "package pattern to benchmark")
+	count := fs.Int("count", 1, "go test -count value")
+	compare := fs.String("compare", "", "prior BENCH_*.json to print ratios against")
+	maxRegress := fs.Float64("max-regress", 0, "fail when a matched benchmark's ns/op grew by more than this factor (0 = report only)")
+	dir := fs.String("dir", ".", "repository root to run in and write to")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, *pkg)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Dir = *dir
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(goArgs, " "), err)
+	}
+	benches := parseBenchOutput(string(raw))
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results in go test output")
+	}
+
+	f := File{
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Bench:       *bench,
+		Benchtime:   *benchtime,
+		Count:       *count,
+		Package:     *pkg,
+		Benchmarks:  benches,
+	}
+
+	path := *out
+	if path == "" {
+		path, err = nextOutputPath(*dir)
+		if err != nil {
+			return err
+		}
+	} else if !filepath.IsAbs(path) {
+		path = filepath.Join(*dir, path)
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmark results to %s\n", len(benches), path)
+
+	if *compare != "" {
+		cmpPath := *compare
+		if !filepath.IsAbs(cmpPath) {
+			cmpPath = filepath.Join(*dir, cmpPath)
+		}
+		old, err := Load(cmpPath)
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		worst, report := Compare(old, f)
+		fmt.Fprint(stdout, report)
+		if *maxRegress > 0 && worst > *maxRegress {
+			return fmt.Errorf("worst ns/op regression %.2fx exceeds -max-regress %.2fx", worst, *maxRegress)
+		}
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkE02Impossibility-8   62   18808450 ns/op   9881636 B/op   121569 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBenchOutput extracts every benchmark result from go test output.
+func parseBenchOutput(out string) []Benchmark {
+	var res []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		res = append(res, b)
+	}
+	return res
+}
+
+var benchIndex = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextOutputPath returns dir/BENCH_<n>.json for the smallest n not yet
+// taken (existing indices need not be contiguous).
+func nextOutputPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		m := benchIndex.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// Load reads a BENCH_*.json file.
+func Load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// gomaxprocsSuffix strips the trailing -<procs> that go test appends when
+// GOMAXPROCS > 1, so points taken on machines with different core counts
+// still match by name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// Compare renders an old-vs-new table for every benchmark present in both
+// points and returns the worst ns/op ratio (new/old) among them.
+func Compare(old, cur File) (worst float64, report string) {
+	prev := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		prev[normalizeName(b.Name)] = b
+	}
+	var names []string
+	curByName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		n := normalizeName(b.Name)
+		if _, ok := prev[n]; ok {
+			names = append(names, n)
+			curByName[n] = b
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-60s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
+	for _, n := range names {
+		o, c := prev[n], curByName[n]
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = c.NsPerOp / o.NsPerOp
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %7.2fx %4.0f -> %.0f\n",
+			n, o.NsPerOp, c.NsPerOp, ratio, o.AllocsPerOp, c.AllocsPerOp)
+	}
+	fmt.Fprintf(&sb, "%d benchmark(s) matched; worst ns/op ratio %.2fx\n", len(names), worst)
+	return worst, sb.String()
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: incentivetree
+BenchmarkE02Impossibility-8   	      62	  18808450 ns/op	 9881636 B/op	  121569 allocs/op
+BenchmarkSybilSearch          	     100	    123456.5 ns/op
+BenchmarkTreeOps/Clone-8      	 1000000	      1042 ns/op	    2048 B/op	       5 allocs/op
+PASS
+ok  	incentivetree	12.3s
+`
+	got := parseBenchOutput(out)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	b := got[0]
+	if b.Name != "BenchmarkE02Impossibility-8" || b.Iterations != 62 ||
+		b.NsPerOp != 18808450 || b.BytesPerOp != 9881636 || b.AllocsPerOp != 121569 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if got[1].NsPerOp != 123456.5 || got[1].AllocsPerOp != 0 {
+		t.Fatalf("no-benchmem line = %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkTreeOps/Clone-8" {
+		t.Fatalf("sub-benchmark name = %q", got[2].Name)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkE02Impossibility-8": "BenchmarkE02Impossibility",
+		"BenchmarkSybilSearch":        "BenchmarkSybilSearch",
+		"BenchmarkRewards/n=100-16":   "BenchmarkRewards/n=100",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNextOutputPath(t *testing.T) {
+	dir := t.TempDir()
+	path, err := nextOutputPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_0.json" {
+		t.Fatalf("first index = %s", path)
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_3.json", "BENCH_x.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err = nextOutputPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_4.json" {
+		t.Fatalf("next index after 0 and 3 = %s", path)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	}}
+	cur := File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 400, AllocsPerOp: 3},
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}}
+	worst, report := Compare(old, cur)
+	if worst != 0.4 {
+		t.Fatalf("worst ratio = %v, want 0.4", worst)
+	}
+	if !strings.Contains(report, "BenchmarkA") || !strings.Contains(report, "1 benchmark(s) matched") {
+		t.Fatalf("report = %q", report)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-only E03]
+//	experiments [-only E03] [-workers 0]
 package main
 
 import (
@@ -25,9 +25,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment by id (e.g. E03)")
+	workers := fs.Int("workers", 0, "parallel matrix/search workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0", *workers)
+	}
+	experiments.Workers = *workers
 	mismatches := 0
 	ran := 0
 	for _, r := range experiments.All() {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	propmatrix [-witnesses] [-phi 0.5] [-fair 0.05]
+//	propmatrix [-witnesses] [-phi 0.5] [-fair 0.05] [-workers 0]
 package main
 
 import (
@@ -30,14 +30,22 @@ func run(args []string, stdout io.Writer) error {
 	witnesses := fs.Bool("witnesses", false, "print the violation witness for every failing cell")
 	phi := fs.Float64("phi", 0.5, "budget fraction Phi")
 	fair := fs.Float64("fair", 0.05, "fairness floor phi")
+	workers := fs.Int("workers", 0, "parallel checker/search workers (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0", *workers)
 	}
 	mechs, err := experiments.Suite(core.Params{Phi: *phi, FairShare: *fair})
 	if err != nil {
 		return err
 	}
-	mat := properties.RunParallel(mechs, properties.DefaultConfig())
+	cfg := properties.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.Sybil.Workers = *workers
+	cfg.GenSybil.Workers = *workers
+	mat := properties.RunParallel(mechs, cfg)
 	fmt.Fprint(stdout, mat.Render())
 	if *witnesses {
 		fmt.Fprintln(stdout)

@@ -180,16 +180,24 @@ func (m *Mechanism) Func() Function { return m.fn }
 // Rewards implements core.Mechanism in O(n) using one bottom-up pass for
 // the subtree sums.
 func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
+	return m.RewardsInto(t, nil)
+}
+
+// RewardsInto implements core.IntoMechanism with zero allocations: buf
+// first holds the subtree sums, then is rewritten in place in id order
+// (entry u only reads sums[u], which is still intact when u is reached).
+func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	sums := t.SubtreeSums()
-	r := make(core.Rewards, t.Len())
+	sums := t.SubtreeSumsInto([]float64(buf))
+	r := core.Rewards(sums)
 	for id := 1; id < t.Len(); id++ {
 		u := tree.NodeID(id)
 		x := t.Contribution(u)
 		y := sums[u] - x
 		r[u] = m.fn.Eval(x, y)
 	}
+	r[tree.Root] = 0
 	return r, nil
 }

@@ -78,6 +78,47 @@ type Mechanism interface {
 	Rewards(t *tree.Tree) (Rewards, error)
 }
 
+// IntoMechanism is the optional allocation-free fast path of a Mechanism:
+// RewardsInto computes the same vector as Rewards but writes it into buf
+// when buf's capacity allows, so tight evaluation loops (the Sybil attack
+// search, property checkers, benchmarks) can reuse one buffer across
+// evaluations.
+//
+// Contract: the returned slice must equal Rewards(t) exactly (same
+// floating-point results); it aliases buf whenever cap(buf) >= t.Len();
+// buf's previous contents are ignored. Implementations must remain safe
+// for concurrent use as long as distinct goroutines pass distinct
+// buffers.
+type IntoMechanism interface {
+	Mechanism
+	RewardsInto(t *tree.Tree, buf Rewards) (Rewards, error)
+}
+
+// EvalInto evaluates m on t through the RewardsInto fast path when m
+// implements IntoMechanism, falling back to plain Rewards (ignoring buf)
+// otherwise. Callers keep the returned slice as the buffer for the next
+// call.
+func EvalInto(m Mechanism, t *tree.Tree, buf Rewards) (Rewards, error) {
+	if im, ok := m.(IntoMechanism); ok {
+		return im.RewardsInto(t, buf)
+	}
+	return m.Rewards(t)
+}
+
+// ResizeRewards returns buf resized to n zeroed entries, reusing its
+// backing array when capacity allows — the shared scratch-sizing helper
+// for RewardsInto implementations.
+func ResizeRewards(buf Rewards, n int) Rewards {
+	if cap(buf) < n {
+		return make(Rewards, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Profit returns P(u) = R(u) - C(u), the multi-level-marketing profit of a
 // participant (Sect. 2 of the paper).
 func Profit(t *tree.Tree, r Rewards, u tree.NodeID) float64 {

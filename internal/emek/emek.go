@@ -20,6 +20,7 @@ package emek
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/tree"
@@ -98,25 +99,65 @@ func BinaryChildren(t *tree.Tree) [][]tree.NodeID {
 // Rewards implements core.Mechanism: geometric bubble-up restricted to
 // the deepest binary subtree's edges.
 func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
+	return m.RewardsInto(t, nil)
+}
+
+// evalScratch holds the per-node binary-subtree heights between
+// evaluations; pooled because evaluations are short and concurrent.
+type evalScratch struct {
+	height []int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return new(evalScratch) },
+}
+
+// RewardsInto implements core.IntoMechanism. A single bottom-up pass
+// selects each node's two tallest children by linear scan — the same pair,
+// folded in the same (height desc, join order) sequence, as
+// BinaryChildren's sorted slices — and accumulates the weighted sums
+// directly in buf, so steady-state evaluation allocates nothing.
+func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	kept := BinaryChildren(t)
-	s := make([]float64, t.Len())
-	// Bottom-up weighted sums along kept edges only.
-	for id := t.Len() - 1; id >= 1; id-- {
-		u := tree.NodeID(id)
-		s[u] += t.Contribution(u)
+	n := t.Len()
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	if cap(sc.height) < n {
+		sc.height = make([]int, n)
 	}
-	for id := t.Len() - 1; id >= 0; id-- {
+	height := sc.height[:n]
+	s := core.ResizeRewards(buf, n)
+	// Ids are topological, so children's sums and heights are final when
+	// their parent is reached. Children() ascends in id (= join) order, so
+	// strict comparisons reproduce the sort's tie-break exactly.
+	for id := n - 1; id >= 0; id-- {
 		u := tree.NodeID(id)
-		for _, k := range kept[u] {
-			s[u] += m.a * s[k]
+		b1, b2 := tree.None, tree.None
+		for _, k := range t.Children(u) {
+			if b1 == tree.None || height[k] > height[b1] {
+				b1, b2 = k, b1
+			} else if b2 == tree.None || height[k] > height[b2] {
+				b2 = k
+			}
+		}
+		if id >= 1 {
+			s[u] += t.Contribution(u)
+		}
+		if b1 != tree.None {
+			s[u] += m.a * s[b1]
+			height[u] = height[b1] + 1
+		} else {
+			height[u] = 0
+		}
+		if b2 != tree.None {
+			s[u] += m.a * s[b2]
 		}
 	}
-	r := make(core.Rewards, t.Len())
-	for id := 1; id < t.Len(); id++ {
-		r[id] = m.b * s[id]
+	for id := 1; id < n; id++ {
+		s[id] = m.b * s[id]
 	}
-	return r, nil
+	s[tree.Root] = 0
+	return s, nil
 }

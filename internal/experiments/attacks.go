@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
@@ -55,11 +56,11 @@ func E03TDRMCounterexample() (Result, error) {
 			}
 			sawViolation = sawViolation || violation
 		}
-		if fmt.Sprintf("%.9f", pFull) != fmt.Sprintf("%.9f", paperP) {
+		if strconv.FormatFloat(pFull, 'f', 9, 64) != strconv.FormatFloat(paperP, 'f', 9, 64) {
 			res.OK = false
 		}
 		res.Rows = append(res.Rows, []string{
-			fmt.Sprintf("%d", k), f(pHalf), f(pFull), f(paperP), mark(violation),
+			strconv.Itoa(k), f(pHalf), f(pFull), f(paperP), mark(violation),
 		})
 	}
 	if !sawViolation {
@@ -88,14 +89,17 @@ func E04GeometricChainAttack() (Result, error) {
 	}
 	const c = 2.0
 	scenario := sybil.Scenario{Base: tree.New(), Parent: tree.Root, Contribution: c}
-	honest, err := sybil.Execute(m, scenario, sybil.Single(c, 0))
+	ex := sybil.NewExecutor(m, scenario)
+	honest, err := ex.Execute(sybil.Single(c, 0))
 	if err != nil {
 		return Result{}, err
 	}
 	limit := m.B() * c / (1 - m.A())
 	prev := honest.Reward
-	for _, k := range []int{1, 2, 3, 4, 6, 10} {
-		out, err := sybil.Execute(m, scenario, sybil.ChainSplit(c, k, 0))
+	ks := []int{1, 2, 3, 4, 6, 10}
+	res.Rows = make([][]string, 0, len(ks))
+	for _, k := range ks {
+		out, err := ex.Execute(sybil.ChainSplit(c, k, 0))
 		if err != nil {
 			return Result{}, err
 		}
@@ -104,8 +108,8 @@ func E04GeometricChainAttack() (Result, error) {
 		}
 		prev = out.Reward
 		res.Rows = append(res.Rows, []string{
-			fmt.Sprintf("%d", k), f(out.Reward),
-			fmt.Sprintf("%.4f×", out.Reward/honest.Reward), f(limit),
+			strconv.Itoa(k), f(out.Reward),
+			strconv.FormatFloat(out.Reward/honest.Reward, 'f', 4, 64) + "×", f(limit),
 		})
 	}
 	if prev >= limit {

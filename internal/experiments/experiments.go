@@ -8,12 +8,14 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"incentivetree/internal/cdrm"
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
 	"incentivetree/internal/lottree"
+	"incentivetree/internal/sybil"
 	"incentivetree/internal/tdrm"
 )
 
@@ -113,6 +115,19 @@ func ByName(p core.Params, name string) (core.Mechanism, error) {
 		name, strings.Join(MechanismNames(), ", "))
 }
 
+// Workers bounds the parallelism of the experiments that fan out — the
+// E01 property matrix and the Sybil attack searches: 0 means GOMAXPROCS,
+// 1 forces the serial paths. Results are identical at every setting;
+// cmd/experiments routes its -workers flag here.
+var Workers int
+
+// searchOptions applies the package worker bound to a search
+// configuration.
+func searchOptions(o sybil.SearchOptions) sybil.SearchOptions {
+	o.Workers = Workers
+	return o
+}
+
 // Runner executes one experiment.
 type Runner struct {
 	ID  string
@@ -171,7 +186,10 @@ func RunAll() ([]Result, error) {
 	return out, nil
 }
 
-func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+// f formats table values with 6 significant digits. strconv produces
+// the same bytes as fmt.Sprintf("%.6g", v) without fmt's reflection
+// overhead, which dominated the experiment benchmarks (E02/E04).
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
 // newRand builds a deterministic source for experiment workloads.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -150,11 +150,12 @@ func X03GeometricDecayAblation() (Result, error) {
 		// reaches the ancestor, relative to own contribution.
 		share := a * a * a
 		s := sybil.Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2}
-		honest, err := sybil.Execute(m, s, sybil.Single(2, 0))
+		ex := sybil.NewExecutor(m, s)
+		honest, err := ex.Execute(sybil.Single(2, 0))
 		if err != nil {
 			return Result{}, err
 		}
-		attack, err := sybil.Execute(m, s, sybil.ChainSplit(2, 6, 0))
+		attack, err := ex.Execute(sybil.ChainSplit(2, 6, 0))
 		if err != nil {
 			return Result{}, err
 		}
@@ -196,12 +197,12 @@ func X04SearchConvergence() (Result, error) {
 	sup := m.B() * c * (1 - math.Pow(m.A(), k)) / (1 - m.A())
 	prevBest := 0.0
 	for _, grains := range []int{4, 6, 8, 12} {
-		opts := sybil.SearchOptions{
+		opts := searchOptions(sybil.SearchOptions{
 			MaxIdentities:       k,
 			Grains:              grains,
 			ContributionFactors: []float64{1},
 			MaxAssignEnum:       3,
-		}
+		})
 		rep, err := sybil.BestRewardAttack(m, s, opts)
 		if err != nil {
 			return Result{}, err

@@ -83,12 +83,12 @@ func E07EpsilonChainOptimality() (Result, error) {
 			Base: tree.FromSpecs(tree.Spec{C: 1}), Parent: 1, Contribution: 1.3,
 			ChildTrees: []tree.Spec{{C: 2.2}}}},
 	}
-	opts := sybil.SearchOptions{
+	opts := searchOptions(sybil.SearchOptions{
 		MaxIdentities:       4,
 		Grains:              5,
 		ContributionFactors: []float64{1},
 		MaxAssignEnum:       3,
-	}
+	})
 	for _, sc := range scenarios {
 		rep, err := sybil.BestRewardAttack(m, sc.s, opts)
 		if err != nil {

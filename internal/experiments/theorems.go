@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"strconv"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/geometric"
@@ -35,7 +35,11 @@ func E01PropertyMatrix() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mat := properties.RunParallel(mechs, properties.DefaultConfig())
+	cfg := properties.DefaultConfig()
+	cfg.Workers = Workers
+	cfg.Sybil.Workers = Workers
+	cfg.GenSybil.Workers = Workers
+	mat := properties.RunParallel(mechs, cfg)
 	expected := expectedMatrix()
 	res.Header = append([]string{"mechanism"}, func() []string {
 		var h []string
@@ -88,10 +92,12 @@ func E02Impossibility() (Result, error) {
 		kids[i] = tree.Spec{C: 1}
 	}
 
-	// Single-join world: v* -> u* -> 100 children.
+	// Single-join world: v* -> u* -> 100 children. Both join variants are
+	// evaluated through one scenario-scoped executor.
 	base := tree.FromSpecs(tree.Spec{C: cv, Label: "v*"})
 	scenario := sybil.Scenario{Base: base, Parent: 1, Contribution: cu, ChildTrees: kids}
-	single, err := sybil.Execute(m, scenario, sybil.Single(cu, fanout))
+	ex := sybil.NewExecutor(m, scenario)
+	single, err := ex.Execute(sybil.Single(cu, fanout))
 	if err != nil {
 		return Result{}, err
 	}
@@ -105,7 +111,7 @@ func E02Impossibility() (Result, error) {
 	for j := range attack.ChildAssign {
 		attack.ChildAssign[j] = 1
 	}
-	attacked, err := sybil.Execute(m, scenario, attack)
+	attacked, err := ex.Execute(attack)
 	if err != nil {
 		return Result{}, err
 	}
@@ -136,7 +142,7 @@ func E02Impossibility() (Result, error) {
 		{"P(v*) (predicted gain via SL)", f(profitVStar)},
 	}
 	res.OK = gain > 0 && profitVStar > 0 &&
-		fmt.Sprintf("%.9f", gain) == fmt.Sprintf("%.9f", profitVStar)
+		strconv.FormatFloat(gain, 'f', 9, 64) == strconv.FormatFloat(profitVStar, 'f', 9, 64)
 	res.Notes = append(res.Notes,
 		"Theorem 3: for any mechanism with SL and PO, the u_a/u_b attack gains exactly P(v*) > 0, violating UGSA.",
 		"Measured gain equals the SL-predicted P(v*) to 9 decimal places.")

@@ -70,18 +70,26 @@ func (m *Mechanism) B() float64 { return m.b }
 // S(u) = C(u) + a * sum_{child k} S(k) satisfies R(u) = b * S(u), and ids
 // are topological so a single reverse scan computes all S bottom-up.
 func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
+	return m.RewardsInto(t, nil)
+}
+
+// RewardsInto implements core.IntoMechanism with zero allocations: the
+// weighted subtree sums are accumulated directly in buf, then scaled by b
+// in place (each entry depends only on itself once its subtree is
+// folded).
+func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	s := make([]float64, t.Len())
+	s := core.ResizeRewards(buf, t.Len())
 	for id := t.Len() - 1; id >= 1; id-- {
 		u := tree.NodeID(id)
 		s[u] += t.Contribution(u)
 		s[t.Parent(u)] += m.a * s[u]
 	}
-	r := make(core.Rewards, t.Len())
 	for id := 1; id < t.Len(); id++ {
-		r[id] = m.b * s[id]
+		s[id] = m.b * s[id]
 	}
-	return r, nil
+	s[tree.Root] = 0
+	return s, nil
 }

@@ -54,6 +54,26 @@ type Mechanism interface {
 	Shares(t *tree.Tree) (Shares, error)
 }
 
+// sharesInto is the optional allocation-free fast path of a lottery
+// mechanism, mirroring core.IntoMechanism: compute the same shares as
+// Shares, writing into buf when capacity allows.
+type sharesInto interface {
+	SharesInto(t *tree.Tree, buf Shares) (Shares, error)
+}
+
+// resizeShares returns buf resized to n zeroed entries, reusing its
+// backing array when capacity allows.
+func resizeShares(buf Shares, n int) Shares {
+	if cap(buf) < n {
+		return make(Shares, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Luxor is the reconstructed Luxor mechanism: participant u's expected
 // share is
 //
@@ -83,16 +103,23 @@ func (l *Luxor) Name() string { return fmt.Sprintf("Luxor(beta=%.3g,a=%.3g)", l.
 
 // Shares implements Mechanism in O(n) via bottom-up weighted sums.
 func (l *Luxor) Shares(t *tree.Tree) (Shares, error) {
+	return l.SharesInto(t, nil)
+}
+
+// SharesInto is the allocation-free variant of Shares: buf first
+// accumulates the bubble sums bottom-up, then is rewritten in place in id
+// order (entry u only reads bubble[u], still intact when u is reached).
+func (l *Luxor) SharesInto(t *tree.Tree, buf Shares) (Shares, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	total := t.Total()
-	s := make(Shares, t.Len())
+	s := resizeShares(buf, t.Len())
 	if total == 0 {
 		return s, nil
 	}
 	// bubble[u] = sum_{v in T_u \ u} a^{dep_u(v)} C(v)
-	bubble := make([]float64, t.Len())
+	bubble := s
 	for id := t.Len() - 1; id >= 1; id-- {
 		u := tree.NodeID(id)
 		p := t.Parent(u)
@@ -103,6 +130,7 @@ func (l *Luxor) Shares(t *tree.Tree) (Shares, error) {
 		u := tree.NodeID(id)
 		s[u] = (l.beta*t.Contribution(u) + coeff*bubble[u]) / total
 	}
+	s[tree.Root] = 0
 	return s, nil
 }
 
@@ -139,15 +167,23 @@ func (p *Pachira) Pi(x float64) float64 {
 
 // Shares implements Mechanism.
 func (p *Pachira) Shares(t *tree.Tree) (Shares, error) {
+	return p.SharesInto(t, nil)
+}
+
+// SharesInto is the allocation-free variant of Shares. buf first holds
+// the subtree sums and is rewritten in place in id order: entry u reads
+// its own sum and those of its children, whose ids are strictly larger
+// and therefore not yet overwritten.
+func (p *Pachira) SharesInto(t *tree.Tree, buf Shares) (Shares, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	total := t.Total()
-	s := make(Shares, t.Len())
 	if total == 0 {
-		return s, nil
+		return resizeShares(buf, t.Len()), nil
 	}
-	sums := t.SubtreeSums()
+	sums := t.SubtreeSumsInto([]float64(buf))
+	s := Shares(sums)
 	for id := 1; id < t.Len(); id++ {
 		u := tree.NodeID(id)
 		share := p.Pi(sums[u] / total)
@@ -161,6 +197,7 @@ func (p *Pachira) Shares(t *tree.Tree) (Shares, error) {
 		}
 		s[u] = share
 	}
+	s[tree.Root] = 0
 	return s, nil
 }
 
@@ -228,6 +265,27 @@ func (l *Lifted) Rewards(t *tree.Tree) (core.Rewards, error) {
 	}
 	scale := l.params.Phi * t.Total()
 	r := make(core.Rewards, len(shares))
+	for i, s := range shares {
+		r[i] = scale * s
+	}
+	return r, nil
+}
+
+// RewardsInto implements core.IntoMechanism when the inner lottery
+// mechanism exposes a SharesInto fast path (both Luxor and Pachira do):
+// the shares are computed into buf and scaled in place. Inner mechanisms
+// without the fast path fall back to the allocating Rewards.
+func (l *Lifted) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
+	si, ok := l.inner.(sharesInto)
+	if !ok {
+		return l.Rewards(t)
+	}
+	shares, err := si.SharesInto(t, Shares(buf))
+	if err != nil {
+		return nil, err
+	}
+	scale := l.params.Phi * t.Total()
+	r := core.Rewards(shares)
 	for i, s := range shares {
 		r[i] = scale * s
 	}

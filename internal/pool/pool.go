@@ -1,0 +1,66 @@
+// Package pool provides the shared bounded-worker fan-out used by the
+// Sybil attack search and the property matrix: a fixed number of worker
+// goroutines drain an atomic index counter, so the goroutine count is
+// bounded by the worker count regardless of how many items are processed,
+// and a worker that finishes a cheap item immediately picks up the next
+// one (dynamic load balancing).
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count: GOMAXPROCS.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// ForEachWorker runs fn on min(workers, n) goroutines (workers <= 0 means
+// Default()). Each fn call receives its worker index and a next function
+// that hands out item indices 0..n-1, each exactly once across all
+// workers; fn should loop until next reports exhaustion, but may return
+// early to abandon the remaining items. With a single worker, fn runs on
+// the calling goroutine. ForEachWorker returns once every worker has
+// returned.
+func ForEachWorker(n, workers int, fn func(worker int, next func() (int, bool))) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > n {
+		workers = n
+	}
+	var counter atomic.Int64
+	next := func() (int, bool) {
+		i := counter.Add(1) - 1
+		if i >= int64(n) {
+			return 0, false
+		}
+		return int(i), true
+	}
+	if workers == 1 {
+		fn(0, next)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, next)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines. fn must be safe for concurrent invocation.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_ int, next func() (int, bool)) {
+		for i, ok := next(); ok; i, ok = next() {
+			fn(i)
+		}
+	})
+}

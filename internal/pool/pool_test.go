@@ -1,0 +1,59 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEveryIndex checks that every index in [0, n) is
+// visited exactly once regardless of worker count, including worker
+// counts above n and the auto (0) and serial (1) paths.
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		const n = 53
+		var hits [n]atomic.Int64
+		ForEach(n, workers, func(i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("callback invoked with zero items")
+	}
+}
+
+// TestForEachWorkerDrainsQueue checks the lower-level API: workers pull
+// from the shared counter until it is exhausted, and each worker id is
+// within the clamped range.
+func TestForEachWorkerDrainsQueue(t *testing.T) {
+	const n = 20
+	var visited [n]atomic.Int64
+	ForEachWorker(n, 4, func(worker int, next func() (int, bool)) {
+		if worker < 0 || worker >= 4 {
+			t.Errorf("worker id %d out of range", worker)
+		}
+		for i, ok := next(); ok; i, ok = next() {
+			visited[i].Add(1)
+		}
+	})
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestDefaultPositive(t *testing.T) {
+	if Default() < 1 {
+		t.Fatalf("Default() = %d, want >= 1", Default())
+	}
+}

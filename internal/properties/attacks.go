@@ -2,17 +2,31 @@ package properties
 
 import (
 	"fmt"
+	"sync"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/sybil"
 	"incentivetree/internal/tree"
 )
 
-// attackScenarios is the falsification workload for USA/UGSA: the empty
-// tree and a small populated base; joiners with and without future
+var (
+	attackScenariosOnce sync.Once
+	attackScenariosList []sybil.Scenario
+)
+
+// attackScenarios returns the falsification workload for USA/UGSA: the
+// empty tree and a small populated base; joiners with and without future
 // solicitees, including the many-mu-children shape from the paper's TDRM
-// counterexample (scaled down so the bounded search stays fast).
+// counterexample (scaled down so the bounded search stays fast). The
+// workload is built once and shared across every checker invocation;
+// searches never mutate scenario bases (they clone them), so sharing is
+// safe even under RunParallel.
 func attackScenarios() []sybil.Scenario {
+	attackScenariosOnce.Do(func() { attackScenariosList = buildAttackScenarios() })
+	return attackScenariosList
+}
+
+func buildAttackScenarios() []sybil.Scenario {
 	base := tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}}})
 	// The many-children shape of the paper's TDRM counterexample: with the
 	// default TDRM parameters the violation needs k > 1/(a*b*lambda) = 25

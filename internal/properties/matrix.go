@@ -3,9 +3,9 @@ package properties
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"incentivetree/internal/core"
+	"incentivetree/internal/pool"
 )
 
 // Check runs the checker for a single property.
@@ -63,30 +63,28 @@ func Run(mechanisms []core.Mechanism, cfg Config) Matrix {
 	return mat
 }
 
-// RunParallel is Run with every (mechanism, property) cell checked in
-// its own goroutine. Checkers only share the immutable config and their
-// mechanism (whose Rewards must be safe for concurrent use — all
-// mechanisms in this repository are stateless after construction), so
-// the cells are independent. Results are identical to Run.
+// RunParallel is Run with the (mechanism, property) cells checked across
+// a bounded worker pool (cfg.Workers goroutines; 0 means GOMAXPROCS).
+// Checkers only share the immutable config and their mechanism (whose
+// Rewards must be safe for concurrent use — all mechanisms in this
+// repository are stateless after construction), so the cells are
+// independent: each worker writes its verdicts into pre-sized slots, no
+// lock needed. Results are identical to Run.
 func RunParallel(mechanisms []core.Mechanism, cfg Config) Matrix {
 	mat := Matrix{Properties: All()}
 	mat.Rows = make([]Row, len(mechanisms))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	props := mat.Properties
+	cells := make([]Verdict, len(mechanisms)*len(props))
+	pool.ForEach(len(cells), cfg.Workers, func(i int) {
+		cells[i] = Check(props[i%len(props)], mechanisms[i/len(props)], cfg)
+	})
 	for i, m := range mechanisms {
-		mat.Rows[i] = Row{Mechanism: m.Name(), Verdicts: make(map[Property]Verdict, len(mat.Properties))}
-		for _, p := range mat.Properties {
-			wg.Add(1)
-			go func(i int, m core.Mechanism, p Property) {
-				defer wg.Done()
-				v := Check(p, m, cfg)
-				mu.Lock()
-				mat.Rows[i].Verdicts[p] = v
-				mu.Unlock()
-			}(i, m, p)
+		row := Row{Mechanism: m.Name(), Verdicts: make(map[Property]Verdict, len(props))}
+		for j, p := range props {
+			row.Verdicts[p] = cells[i*len(props)+j]
 		}
+		mat.Rows[i] = row
 	}
-	wg.Wait()
 	return mat
 }
 

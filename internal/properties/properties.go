@@ -133,6 +133,11 @@ type Config struct {
 	Sybil sybil.SearchOptions
 	// GenSybil bounds the UGSA attack search.
 	GenSybil sybil.SearchOptions
+	// Workers bounds the goroutines RunParallel uses for matrix cells:
+	// 0 means GOMAXPROCS, 1 forces sequential checking. Per-search
+	// parallelism is bounded separately by Sybil.Workers and
+	// GenSybil.Workers.
+	Workers int
 }
 
 // DefaultConfig returns bounds that reproduce every violation the paper

@@ -1,0 +1,230 @@
+package sybil
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/emek"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/lottree"
+	"incentivetree/internal/tdrm"
+	"incentivetree/internal/tree"
+	"incentivetree/internal/treegen"
+)
+
+func searchTestMechanisms(t *testing.T) []core.Mechanism {
+	t.Helper()
+	p := core.DefaultParams()
+	geo, err := geometric.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pach, err := lottree.NewLPachira(p, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tdrm.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Mechanism{geo, pach, td}
+}
+
+// randomScenario draws a join decision over a random base tree: random
+// parent, contribution, and up to two future child subtrees.
+func randomScenario(r *rand.Rand) Scenario {
+	base := treegen.Random(r, treegen.Config{N: 1 + r.Intn(10)})
+	parent := tree.Root
+	if nodes := base.Nodes(); len(nodes) > 0 && r.Intn(2) == 0 {
+		parent = nodes[r.Intn(len(nodes))]
+	}
+	var kids []tree.Spec
+	for i := r.Intn(3); i > 0; i-- {
+		k := tree.Spec{C: 0.25 + 2*r.Float64()}
+		if r.Intn(2) == 0 {
+			k.Kids = []tree.Spec{{C: r.Float64()}}
+		}
+		kids = append(kids, k)
+	}
+	return Scenario{
+		Base:         base,
+		Parent:       parent,
+		Contribution: 0.5 + 3*r.Float64(),
+		ChildTrees:   kids,
+	}
+}
+
+// TestParallelSearchMatchesSerial is the determinism contract of the
+// sharded search: for every worker count, BestRewardAttack and
+// BestProfitAttack return Reports identical to the single-goroutine
+// legacy path — same Best arrangement (ties broken by enumeration
+// index), same scores, same Evaluated count.
+func TestParallelSearchMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	mechs := searchTestMechanisms(t)
+	for round := 0; round < 3; round++ {
+		s := randomScenario(r)
+		for _, m := range mechs {
+			reward := DefaultSearch()
+			reward.Workers = 1
+			wantReward, err := BestRewardAttack(m, s, reward)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profit := GeneralizedSearch()
+			profit.Workers = 1
+			wantProfit, err := BestProfitAttack(m, s, profit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{0, 2, 3, 8} {
+				reward.Workers = w
+				got, err := BestRewardAttack(m, s, reward)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, wantReward) {
+					t.Fatalf("round %d, %s, %d workers: reward report %+v != serial %+v",
+						round, m.Name(), w, got, wantReward)
+				}
+				profit.Workers = w
+				gotP, err := BestProfitAttack(m, s, profit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotP, wantProfit) {
+					t.Fatalf("round %d, %s, %d workers: profit report %+v != serial %+v",
+						round, m.Name(), w, gotP, wantProfit)
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorMatchesExecute pins the scratch-tree rollback path against
+// the clone-per-call Execute across arrangement shapes.
+func TestExecutorMatchesExecute(t *testing.T) {
+	s := Scenario{
+		Base:         tree.FromSpecs(tree.Spec{C: 2, Kids: []tree.Spec{{C: 1}}}),
+		Parent:       2,
+		Contribution: 2.5,
+		ChildTrees:   []tree.Spec{{C: 1}, {C: 2, Kids: []tree.Spec{{C: 0.5}}}},
+	}
+	arrs := []Arrangement{
+		Single(2.5, 2),
+		ChainSplit(2.5, 3, 2),
+		StarSplit(2.5, 4, 2),
+		EpsilonChain(2.5, 1, 2),
+	}
+	for _, m := range searchTestMechanisms(t) {
+		ex := NewExecutor(m, s)
+		for i, a := range arrs {
+			want, err := Execute(m, s, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ex.Execute(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Reward != want.Reward || got.Contribution != want.Contribution {
+				t.Fatalf("%s, arrangement %d: executor outcome (%v, %v) != execute (%v, %v)",
+					m.Name(), i, got.Reward, got.Contribution, want.Reward, want.Contribution)
+			}
+		}
+	}
+}
+
+// TestExecutorSteadyStateAllocs pins the allocation-free evaluation
+// path: once an Executor's scratch tree and reward buffer have grown to
+// the arrangement sizes in play, further evaluations allocate nothing
+// (the TDRM pool may very occasionally be emptied by a concurrent GC, so
+// the bound is one allocation per 4-arrangement round rather than zero).
+func TestExecutorSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	p := core.DefaultParams()
+	em, err := emek.Default(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mechs := append(searchTestMechanisms(t), em)
+	s := Scenario{
+		Base:         tree.FromSpecs(tree.Spec{C: 1}),
+		Parent:       1,
+		Contribution: 2.5,
+		ChildTrees:   []tree.Spec{{C: 1}, {C: 0.5, Kids: []tree.Spec{{C: 2}}}},
+	}
+	arrs := []Arrangement{
+		Single(2.5, 2),
+		ChainSplit(2.5, 4, 2),
+		StarSplit(2.5, 3, 2),
+		EpsilonChain(2.5, 1, 2),
+	}
+	for _, m := range mechs {
+		ex := NewExecutor(m, s)
+		run := func() {
+			for _, a := range arrs {
+				if _, err := ex.Execute(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		run() // grow scratch to steady state
+		if allocs := testing.AllocsPerRun(100, run); allocs >= 1 {
+			t.Errorf("%s: %v allocations per 4-arrangement round, want allocation-free", m.Name(), allocs)
+		}
+	}
+}
+
+// TestEnumerateStopsOnError is the early-exit contract: a non-nil error
+// from the callback aborts the enumeration immediately instead of
+// merely muting the remaining callbacks.
+func TestEnumerateStopsOnError(t *testing.T) {
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 2}
+	sentinel := errors.New("stop")
+	calls := 0
+	err := Enumerate(s, DefaultSearch(), func(Arrangement) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Enumerate returned %v, want the callback's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("enumeration invoked the callback %d times after an error, want 1", calls)
+	}
+}
+
+// TestSearchWorkerCapping pins that worker counts beyond the block count
+// are harmless (extra workers simply find the queue drained).
+func TestSearchWorkerCapping(t *testing.T) {
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario{Base: tree.New(), Parent: tree.Root, Contribution: 1}
+	o := SearchOptions{
+		MaxIdentities:       2,
+		Grains:              2,
+		ContributionFactors: []float64{1},
+		MaxAssignEnum:       3,
+		Workers:             64, // far beyond the 3 blocks this space has
+	}
+	rep, err := BestRewardAttack(m, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 1
+	want, err := BestRewardAttack(m, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, want) {
+		t.Fatalf("oversubscribed search report %+v != serial %+v", rep, want)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sybil
+
+const raceEnabled = false

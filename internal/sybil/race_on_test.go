@@ -1,0 +1,8 @@
+//go:build race
+
+package sybil
+
+// raceEnabled reports that the race detector is active; allocation
+// pinning is meaningless then (instrumentation and sync.Pool behavior
+// change allocation counts).
+const raceEnabled = true

@@ -2,9 +2,13 @@ package sybil
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/numeric"
+	"incentivetree/internal/obs"
+	"incentivetree/internal/pool"
 )
 
 // SearchOptions bounds the exhaustive attack enumeration.
@@ -23,6 +27,12 @@ type SearchOptions struct {
 	// replaced by the "all children under one identity" assignments
 	// (optimal per the paper's Lemma 4) plus a round-robin spread.
 	MaxAssignEnum int
+	// Workers is the number of parallel search workers: 0 means
+	// GOMAXPROCS, 1 forces the single-goroutine legacy path (kept for
+	// differential testing). Search reports are identical at every
+	// worker count — ties between equal-score arrangements always go to
+	// the lowest enumeration index.
+	Workers int
 }
 
 // DefaultSearch bounds the search to the attack shapes the paper's
@@ -55,11 +65,15 @@ func (o SearchOptions) validate() error {
 	if len(o.ContributionFactors) == 0 {
 		return fmt.Errorf("sybil: no contribution factors")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("sybil: Workers = %d, need >= 0", o.Workers)
+	}
 	return nil
 }
 
 // compositions enumerates all ways to write total as k positive integer
-// parts (order matters), invoking fn with each.
+// parts (order matters), invoking fn with each. Runs once per search at
+// block-construction time, never in the evaluation loop.
 func compositions(total, k int, fn func([]int)) {
 	parts := make([]int, k)
 	var rec func(idx, remaining int)
@@ -81,104 +95,156 @@ func compositions(total, k int, fn func([]int)) {
 	}
 }
 
-// parentVectors enumerates all topologies of k identities: ParentIdx[0]
-// is always -1 (the first identity attaches under the scenario parent);
-// later identities attach under the scenario parent or any earlier
-// identity.
-func parentVectors(k int, fn func([]int)) {
-	vec := make([]int, k)
+// parentVectors enumerates all topologies of len(vec) identities into
+// vec: vec[0] is always -1 (the first identity attaches under the
+// scenario parent); later identities attach under the scenario parent or
+// any earlier identity. fn returning false aborts the enumeration;
+// parentVectors reports whether it ran to completion.
+func parentVectors(vec []int, fn func([]int) bool) bool {
+	k := len(vec)
 	vec[0] = -1
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == k {
-			fn(vec)
-			return
+			return fn(vec)
 		}
 		for p := -1; p < i; p++ {
 			vec[i] = p
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
-	rec(1)
+	return rec(1)
 }
 
-// assignments enumerates functions from s children to k identities: all
-// k^s of them when s <= limit, otherwise the k "all under one identity"
-// assignments (optimal per Lemma 4) plus a round-robin spread.
-func assignments(s, k, limit int, fn func([]int)) {
-	vec := make([]int, s)
+// assignments enumerates functions from len(vec) children to k identities
+// into vec: all k^s of them when s <= limit, otherwise the k "all under
+// one identity" assignments (optimal per Lemma 4) plus a round-robin
+// spread. fn returning false aborts; assignments reports whether it ran
+// to completion.
+func assignments(vec []int, k, limit int, fn func([]int) bool) bool {
+	s := len(vec)
 	if s > limit {
 		for idx := 0; idx < k; idx++ {
 			for j := range vec {
 				vec[j] = idx
 			}
-			fn(vec)
+			if !fn(vec) {
+				return false
+			}
 		}
 		if k > 1 {
 			for j := range vec {
 				vec[j] = j % k
 			}
-			fn(vec)
+			if !fn(vec) {
+				return false
+			}
 		}
-		return
+		return true
 	}
-	var rec func(j int)
-	rec = func(j int) {
+	var rec func(j int) bool
+	rec = func(j int) bool {
 		if j == s {
-			fn(vec)
-			return
+			return fn(vec)
 		}
 		for idx := 0; idx < k; idx++ {
 			vec[j] = idx
-			rec(j + 1)
+			if !rec(j + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// block is one shard of the enumeration space: a (contribution factor,
+// identity count, integer composition) triple. Within a block the
+// parent-vector and child-assignment spaces are enumerated serially;
+// across blocks the search parallelizes. Blocks are ordered exactly as
+// the serial enumeration visits them, so the pair (block index, in-block
+// index) is the arrangement's global enumeration position.
+type block struct {
+	factor float64
+	k      int
+	grains []int
+}
+
+// buildBlocks materializes the block list for the options in serial
+// enumeration order.
+func buildBlocks(o SearchOptions) []block {
+	var blocks []block
+	for _, factor := range o.ContributionFactors {
+		for k := 1; k <= o.MaxIdentities; k++ {
+			compositions(o.Grains, k, func(g []int) {
+				blocks = append(blocks, block{
+					factor: factor,
+					k:      k,
+					grains: append([]int(nil), g...),
+				})
+			})
 		}
 	}
-	rec(0)
+	return blocks
+}
+
+// enumScratch holds the arrangement buffers one enumerating goroutine
+// reuses across every arrangement it visits.
+type enumScratch struct {
+	parts   []float64
+	parents []int
+	assign  []int
+}
+
+func newEnumScratch(o SearchOptions, numChildren int) *enumScratch {
+	return &enumScratch{
+		parts:   make([]float64, o.MaxIdentities),
+		parents: make([]int, o.MaxIdentities),
+		assign:  make([]int, numChildren),
+	}
+}
+
+// enumerateBlock invokes fn with every arrangement of blk in serial
+// order, sharing sc's buffers across invocations (fn must not retain
+// them). fn returning false aborts; enumerateBlock reports whether it ran
+// to completion.
+func enumerateBlock(s Scenario, o SearchOptions, blk block, sc *enumScratch, fn func(Arrangement) bool) bool {
+	total := s.Contribution * blk.factor
+	parts := sc.parts[:blk.k]
+	for i, g := range blk.grains {
+		parts[i] = total * float64(g) / float64(o.Grains)
+	}
+	assign := sc.assign[:len(s.ChildTrees)]
+	return parentVectors(sc.parents[:blk.k], func(parents []int) bool {
+		return assignments(assign, blk.k, o.MaxAssignEnum, func(av []int) bool {
+			return fn(Arrangement{Parts: parts, ParentIdx: parents, ChildAssign: av})
+		})
+	})
 }
 
 // Enumerate invokes fn with every arrangement within the option bounds
-// for the given scenario. Arrangements share backing arrays; fn must not
-// retain them (Execute copies what it needs).
+// for the given scenario, in deterministic order. Arrangements share
+// backing arrays; fn must not retain them (Executor.Execute reads them
+// before returning; copy what outlives the callback). A non-nil error
+// from fn aborts the enumeration immediately and is returned.
 func Enumerate(s Scenario, o SearchOptions, fn func(Arrangement) error) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
-	nc := len(s.ChildTrees)
+	sc := newEnumScratch(o, len(s.ChildTrees))
 	var err error
-	for _, factor := range o.ContributionFactors {
-		total := s.Contribution * factor
-		for k := 1; k <= o.MaxIdentities; k++ {
-			compositions(o.Grains, k, func(grains []int) {
-				if err != nil {
-					return
-				}
-				parts := make([]float64, k)
-				for i, g := range grains {
-					parts[i] = total * float64(g) / float64(o.Grains)
-				}
-				parentVectors(k, func(parents []int) {
-					if err != nil {
-						return
-					}
-					assignments(nc, k, o.MaxAssignEnum, func(assign []int) {
-						if err != nil {
-							return
-						}
-						a := Arrangement{
-							Parts:       append([]float64(nil), parts...),
-							ParentIdx:   append([]int(nil), parents...),
-							ChildAssign: append([]int(nil), assign...),
-						}
-						err = fn(a)
-					})
-				})
-			})
-			if err != nil {
-				return err
-			}
+	for _, blk := range buildBlocks(o) {
+		if !enumerateBlock(s, o, blk, sc, func(a Arrangement) bool {
+			err = fn(a)
+			return err == nil
+		}) {
+			return err
 		}
 	}
-	return err
+	return nil
 }
 
 // Report is the result of an attack search.
@@ -217,26 +283,152 @@ func BestProfitAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, er
 	})
 }
 
+func cloneArrangement(a Arrangement) Arrangement {
+	return Arrangement{
+		Parts:       append([]float64(nil), a.Parts...),
+		ParentIdx:   append([]int(nil), a.ParentIdx...),
+		ChildAssign: append([]int(nil), a.ChildAssign...),
+	}
+}
+
+var (
+	searchesTotal     = obs.Default().Counter("sybil_searches_total", "Completed Sybil attack searches.")
+	arrangementsTotal = obs.Default().Counter("sybil_arrangements_total", "Arrangements evaluated by Sybil attack searches.")
+)
+
+// workerBest is one worker's running best together with the global
+// enumeration position ((block, index-within-block), lexicographic) where
+// it was found, and the first error the worker hit.
+type workerBest struct {
+	out       Outcome
+	found     bool
+	block     int
+	idx       int
+	evaluated int
+	err       error
+	errBlock  int
+	errIdx    int
+}
+
+// search runs the bounded attack enumeration, sharded across workers by
+// block. Every worker keeps the FIRST maximum of its own subsequence
+// (strict better fold); the merge folds those per-worker bests over the
+// baseline in global position order with the same strict comparison.
+// The globally earliest maximum-scoring arrangement is necessarily its
+// own worker's kept best and wins the merge, so the result is identical
+// to the serial fold at every worker count.
 func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate, best Outcome) bool) (Report, error) {
+	if err := o.validate(); err != nil {
+		return Report{}, err
+	}
 	baseline, err := Execute(m, s, Single(s.Contribution, len(s.ChildTrees)))
 	if err != nil {
 		return Report{}, err
 	}
 	rep := Report{Baseline: baseline, Best: baseline}
-	err = Enumerate(s, o, func(a Arrangement) error {
-		out, err := Execute(m, s, a)
+
+	if o.Workers == 1 {
+		// Legacy single-goroutine path, kept as the differential-testing
+		// reference: one Executor, plain Enumerate fold.
+		ex := NewExecutor(m, s)
+		err := Enumerate(s, o, func(a Arrangement) error {
+			out, err := ex.Execute(a)
+			if err != nil {
+				return err
+			}
+			rep.Evaluated++
+			if better(out, rep.Best) {
+				out.Arrangement = cloneArrangement(a)
+				rep.Best = out
+			}
+			return nil
+		})
 		if err != nil {
-			return err
+			return Report{}, err
 		}
-		rep.Evaluated++
-		if better(out, rep.Best) {
-			rep.Best = out
-		}
-		return nil
-	})
-	if err != nil {
-		return Report{}, err
+		searchesTotal.Inc()
+		arrangementsTotal.Add(uint64(rep.Evaluated))
+		return rep, nil
 	}
+
+	blocks := buildBlocks(o)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = pool.Default()
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	bests := make([]workerBest, workers)
+	var failed atomic.Bool
+	pool.ForEachWorker(len(blocks), workers, func(w int, next func() (int, bool)) {
+		ex := NewExecutor(m, s)
+		sc := newEnumScratch(o, len(s.ChildTrees))
+		wb := &bests[w]
+		for bi, ok := next(); ok; bi, ok = next() {
+			if failed.Load() {
+				return
+			}
+			idx := 0
+			if !enumerateBlock(s, o, blocks[bi], sc, func(a Arrangement) bool {
+				out, err := ex.Execute(a)
+				if err != nil {
+					wb.err, wb.errBlock, wb.errIdx = err, bi, idx
+					failed.Store(true)
+					return false
+				}
+				wb.evaluated++
+				if !wb.found || better(out, wb.out) {
+					out.Arrangement = cloneArrangement(a)
+					wb.out = out
+					wb.found = true
+					wb.block, wb.idx = bi, idx
+				}
+				idx++
+				return true
+			}) {
+				return
+			}
+		}
+	})
+	for _, wb := range bests {
+		rep.Evaluated += wb.evaluated
+	}
+	if failed.Load() {
+		// Deterministic choice among simultaneous failures: lowest
+		// enumeration position wins.
+		var firstErr error
+		eb, ei := 0, 0
+		for _, wb := range bests {
+			if wb.err == nil {
+				continue
+			}
+			if firstErr == nil || wb.errBlock < eb || (wb.errBlock == eb && wb.errIdx < ei) {
+				firstErr, eb, ei = wb.err, wb.errBlock, wb.errIdx
+			}
+		}
+		return Report{}, firstErr
+	}
+	// Merge per-worker bests over the baseline in global position order.
+	found := bests[:0:0]
+	for _, wb := range bests {
+		if wb.found {
+			found = append(found, wb)
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].block != found[j].block {
+			return found[i].block < found[j].block
+		}
+		return found[i].idx < found[j].idx
+	})
+	for _, wb := range found {
+		if better(wb.out, rep.Best) {
+			rep.Best = wb.out
+		}
+	}
+	searchesTotal.Inc()
+	arrangementsTotal.Add(uint64(rep.Evaluated))
 	return rep, nil
 }
 

@@ -171,32 +171,70 @@ func (o Outcome) Profit() float64 { return o.Reward - o.Contribution }
 
 // Execute joins the scenario's base tree according to the arrangement and
 // evaluates the mechanism, returning the attacker's aggregate outcome.
+// One-shot convenience over Executor; loops evaluating many arrangements
+// of one scenario should hold an Executor instead.
 func Execute(m core.Mechanism, s Scenario, a Arrangement) (Outcome, error) {
-	if err := a.Validate(s); err != nil {
+	return NewExecutor(m, s).Execute(a)
+}
+
+// Executor evaluates arrangements of a single (mechanism, scenario) pair
+// without per-arrangement allocations: the base tree is cloned once and
+// rolled back with tree.ResetTo between arrangements, and the reward
+// vector is computed through the mechanism's RewardsInto fast path into a
+// reused buffer. An Executor is not safe for concurrent use; parallel
+// searches hold one per worker.
+type Executor struct {
+	m    core.Mechanism
+	s    Scenario
+	t    *tree.Tree
+	mark tree.Mark
+	ids  []tree.NodeID
+	buf  core.Rewards
+}
+
+// NewExecutor clones the scenario's base tree into the executor's scratch
+// tree. The scenario's base must not be mutated while the executor is in
+// use.
+func NewExecutor(m core.Mechanism, s Scenario) *Executor {
+	t := s.Base.Clone()
+	return &Executor{m: m, s: s, t: t, mark: t.Mark()}
+}
+
+// Execute evaluates one arrangement. The returned Outcome's Arrangement
+// field aliases a's slices; searches that keep an outcome across further
+// enumeration copy them.
+func (e *Executor) Execute(a Arrangement) (Outcome, error) {
+	if err := a.Validate(e.s); err != nil {
 		return Outcome{}, err
 	}
-	t := s.Base.Clone()
-	ids := make([]tree.NodeID, len(a.Parts))
+	if err := e.t.ResetTo(e.mark); err != nil {
+		return Outcome{}, err
+	}
+	if cap(e.ids) < len(a.Parts) {
+		e.ids = make([]tree.NodeID, len(a.Parts))
+	}
+	ids := e.ids[:len(a.Parts)]
 	for i, c := range a.Parts {
-		parent := s.Parent
+		parent := e.s.Parent
 		if a.ParentIdx[i] >= 0 {
 			parent = ids[a.ParentIdx[i]]
 		}
-		id, err := t.Add(parent, c)
+		id, err := e.t.Add(parent, c)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
 		}
 		ids[i] = id
 	}
-	for j, spec := range s.ChildTrees {
-		if _, err := t.AttachSpec(ids[a.ChildAssign[j]], spec); err != nil {
+	for j, spec := range e.s.ChildTrees {
+		if _, err := e.t.AttachSpec(ids[a.ChildAssign[j]], spec); err != nil {
 			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
 		}
 	}
-	r, err := m.Rewards(t)
+	r, err := core.EvalInto(e.m, e.t, e.buf)
 	if err != nil {
 		return Outcome{}, err
 	}
+	e.buf = r
 	out := Outcome{Arrangement: a, Contribution: a.Total()}
 	for _, id := range ids {
 		out.Reward += r.Of(id)

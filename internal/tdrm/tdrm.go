@@ -2,6 +2,7 @@ package tdrm
 
 import (
 	"fmt"
+	"sync"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/tree"
@@ -97,17 +98,90 @@ func (m *Mechanism) NodeRewards(r *RCT) core.Rewards {
 // RCT, compute per-chain-node rewards, and fold each chain back onto its
 // participant.
 func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
-	rct, err := Transform(t, m.mu)
-	if err != nil {
+	return m.RewardsInto(t, nil)
+}
+
+// evalScratch holds the per-evaluation working state of RewardsInto: a
+// reusable RCT tree rolled back with ResetTo between evaluations, the
+// per-participant chain tails, the per-RCT-node origins, and the weighted
+// subtree sums. Pooled because evaluations are short and concurrent.
+type evalScratch struct {
+	rt     *tree.Tree
+	tails  []tree.NodeID
+	origin []tree.NodeID
+	sums   []float64
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &evalScratch{rt: tree.New()} },
+}
+
+// RewardsInto implements core.IntoMechanism. It performs the same
+// transform-evaluate-fold pipeline as Transform + NodeRewards but on
+// pooled scratch state: the RCT tree is rebuilt in place (no labels — they
+// never influence rewards), and per-chain-node rewards are folded directly
+// into buf in the same order as Rewards, giving identical floating-point
+// results with zero steady-state allocations.
+func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
+	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	nr := m.NodeRewards(rct)
-	out := make(core.Rewards, t.Len())
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	rt := sc.rt
+	if err := rt.ResetTo(1); err != nil {
+		return nil, err
+	}
+	if cap(sc.tails) < t.Len() {
+		sc.tails = make([]tree.NodeID, t.Len())
+	}
+	tails := sc.tails[:t.Len()]
+	tails[tree.Root] = tree.Root
+	origin := append(sc.origin[:0], tree.Root)
+	// Referral-tree ids are topological, so tails[parent] is final before
+	// any child chain attaches below it.
 	for id := 1; id < t.Len(); id++ {
 		u := tree.NodeID(id)
-		for _, w := range rct.Chains[u] {
-			out[u] += nr[w]
+		c := t.Contribution(u)
+		n := ChainLength(c, m.mu)
+		head := c - float64(n-1)*m.mu
+		parent := tails[t.Parent(u)]
+		for i := 0; i < n; i++ {
+			cc := m.mu
+			if i == 0 {
+				cc = head
+			}
+			w, err := rt.Add(parent, cc)
+			if err != nil {
+				sc.origin = origin
+				return nil, fmt.Errorf("tdrm: transform: %w", err)
+			}
+			origin = append(origin, u)
+			parent = w
 		}
+		tails[u] = parent
+	}
+	sc.origin = origin
+	if cap(sc.sums) < rt.Len() {
+		sc.sums = make([]float64, rt.Len())
+	}
+	s := sc.sums[:rt.Len()]
+	for i := range s {
+		s[i] = 0
+	}
+	for id := rt.Len() - 1; id >= 1; id-- {
+		w := tree.NodeID(id)
+		s[w] += rt.Contribution(w)
+		s[rt.Parent(w)] += m.a * s[w]
+	}
+	out := core.ResizeRewards(buf, t.Len())
+	scale := m.lambda * m.b / m.mu
+	// RCT ids within a chain ascend head-to-tail, so the forward scan folds
+	// each chain in the same order Rewards' explicit per-chain loop does.
+	for id := 1; id < rt.Len(); id++ {
+		w := tree.NodeID(id)
+		c := rt.Contribution(w)
+		out[origin[w]] += scale*c*s[w] + m.params.FairShare*c
 	}
 	return out, nil
 }

@@ -31,7 +31,7 @@ func (t *Tree) MarshalJSON() ([]byte, error) {
 }
 
 func (t *Tree) toJSON(u NodeID) nodeJSON {
-	n := nodeJSON{Label: t.label[u], C: t.contrib[u]}
+	n := nodeJSON{Label: t.Label(u), C: t.contrib[u]}
 	for _, k := range t.children[u] {
 		n.Kids = append(n.Kids, t.toJSON(k))
 	}
@@ -87,7 +87,7 @@ func (t *Tree) DOT() string {
 		if n == Root {
 			fmt.Fprintf(&b, "  n0 [label=\"r\", shape=point];\n")
 		} else {
-			fmt.Fprintf(&b, "  n%d [label=\"%s\\nC=%.4g\"];\n", n, t.label[n], t.contrib[n])
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\nC=%.4g\"];\n", n, t.Label(n), t.contrib[n])
 		}
 		return true
 	})
@@ -115,7 +115,7 @@ func (t *Tree) Render() string {
 			if last {
 				connector = "└── "
 			}
-			fmt.Fprintf(&b, "%s%s%s (C=%.4g)\n", prefix, connector, t.label[u], t.contrib[u])
+			fmt.Fprintf(&b, "%s%s%s (C=%.4g)\n", prefix, connector, t.Label(u), t.contrib[u])
 			if last {
 				prefix += "    "
 			} else {

@@ -1,0 +1,81 @@
+package tree
+
+import "testing"
+
+// TestMarkResetTo pins the rollback contract: ResetTo(m) undoes every
+// Add/AttachSpec performed after Mark() returned m, restoring a tree
+// Equal to the snapshot.
+func TestMarkResetTo(t *testing.T) {
+	tr := FromSpecs(Spec{C: 1, Kids: []Spec{{C: 2}, {C: 3}}})
+	snapshot := tr.Clone()
+	m := tr.Mark()
+
+	id := tr.MustAdd(1, 5)
+	tr.MustAdd(id, 1)
+	tr.MustAdd(2, 4)
+	if _, err := tr.AttachSpec(3, Spec{C: 7, Kids: []Spec{{C: 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Equal(snapshot) {
+		t.Fatal("additions did not change the tree")
+	}
+	if err := tr.ResetTo(m); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(snapshot) {
+		t.Fatalf("after ResetTo: tree %v != snapshot %v", tr.Nodes(), snapshot.Nodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetToCycles pins that a marked tree can be rolled back and
+// regrown repeatedly, with ids and default labels assigned afresh each
+// cycle.
+func TestResetToCycles(t *testing.T) {
+	tr := New()
+	tr.MustAdd(Root, 1)
+	m := tr.Mark()
+	for cycle := 0; cycle < 5; cycle++ {
+		a := tr.MustAdd(1, 2)
+		b := tr.MustAdd(a, 3)
+		if a != 2 || b != 3 {
+			t.Fatalf("cycle %d: got ids %d, %d, want 2, 3", cycle, a, b)
+		}
+		if got := tr.Label(b); got != "u3" {
+			t.Fatalf("cycle %d: label %q, want default u3", cycle, got)
+		}
+		if got := tr.Total(); got != 6 {
+			t.Fatalf("cycle %d: total %v, want 6", cycle, got)
+		}
+		if err := tr.ResetTo(m); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 2 {
+			t.Fatalf("cycle %d: %d nodes after reset, want 2", cycle, tr.Len())
+		}
+	}
+}
+
+// TestResetToBounds pins the error cases: marks outside [1, Len] are
+// rejected and leave the tree untouched.
+func TestResetToBounds(t *testing.T) {
+	tr := New()
+	tr.MustAdd(Root, 1)
+	for _, m := range []Mark{0, -1, Mark(tr.Len() + 1)} {
+		if err := tr.ResetTo(m); err == nil {
+			t.Errorf("ResetTo(%d) succeeded, want error", m)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("failed resets changed the tree to %d nodes", tr.Len())
+	}
+	// Resetting to the current length is a no-op.
+	if err := tr.ResetTo(tr.Mark()); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("no-op reset changed the tree to %d nodes", tr.Len())
+	}
+}

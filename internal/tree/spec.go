@@ -60,7 +60,7 @@ func (t *Tree) ToSpec(u NodeID) (Spec, error) {
 }
 
 func (t *Tree) toSpec(u NodeID) Spec {
-	s := Spec{C: t.contrib[u], Label: t.label[u]}
+	s := Spec{C: t.contrib[u], Label: t.Label(u)}
 	for _, k := range t.children[u] {
 		s.Kids = append(s.Kids, t.toSpec(k))
 	}

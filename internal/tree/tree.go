@@ -90,6 +90,10 @@ func checkContribution(c float64) error {
 // Add appends a new participant with contribution c as a child of parent
 // and returns its id. Joining independently of any solicitation is
 // modelled by parent == Root.
+//
+// Add is allocation-free in the steady state of a scratch tree: after a
+// ResetTo, re-added nodes reuse the backing arrays (including per-node
+// child lists) left behind by the truncation.
 func (t *Tree) Add(parent NodeID, c float64) (NodeID, error) {
 	if err := t.check(parent); err != nil {
 		return None, err
@@ -99,9 +103,16 @@ func (t *Tree) Add(parent NodeID, c float64) (NodeID, error) {
 	}
 	id := NodeID(t.Len())
 	t.parent = append(t.parent, parent)
-	t.children = append(t.children, nil)
+	if len(t.children) < cap(t.children) {
+		// Re-extend over a truncated entry, keeping its backing array so
+		// the new node's child list appends without allocating.
+		t.children = t.children[:len(t.children)+1]
+		t.children[id] = t.children[id][:0]
+	} else {
+		t.children = append(t.children, nil)
+	}
 	t.contrib = append(t.contrib, c)
-	t.label = append(t.label, fmt.Sprintf("u%d", id))
+	t.label = append(t.label, "")
 	t.children[parent] = append(t.children[parent], id)
 	return id, nil
 }
@@ -163,9 +174,14 @@ func (t *Tree) Children(id NodeID) []NodeID {
 }
 
 // Label returns the human-readable label of a node (defaults to "u<id>").
+// The default is materialized lazily so that Add stays allocation-free on
+// the attack-search hot path; SetLabel("") restores the default.
 func (t *Tree) Label(id NodeID) string {
 	if !t.Exists(id) {
 		return ""
+	}
+	if t.label[id] == "" {
+		return fmt.Sprintf("u%d", id)
 	}
 	return t.label[id]
 }
@@ -227,6 +243,47 @@ func (t *Tree) Clone() *Tree {
 		}
 	}
 	return c
+}
+
+// Mark captures the current size of the tree so that nodes added later
+// can be rolled back with ResetTo. Marks are invalidated by any mutation
+// other than Add/AttachSpec/Graft (which only append).
+type Mark int
+
+// Mark returns a rollback point at the tree's current size.
+func (t *Tree) Mark() Mark { return Mark(t.Len()) }
+
+// ResetTo rolls the tree back to a Mark, removing every node added since.
+// It is the scratch-tree primitive of the Sybil attack search: clone the
+// base once, then ResetTo between candidate arrangements instead of
+// cloning per candidate. The truncated backing arrays are retained, so a
+// ResetTo/Add cycle of bounded size allocates nothing in the steady
+// state.
+//
+// ResetTo only undoes Add (and the Add-based AttachSpec/Graft); it does
+// not restore contributions or labels of surviving nodes that were
+// mutated in place. Child-list slices previously returned by Children
+// for surviving nodes are invalidated.
+func (t *Tree) ResetTo(m Mark) error {
+	n := int(m)
+	if n < 1 || n > t.Len() {
+		return fmt.Errorf("tree: reset to %d outside [1, %d]", n, t.Len())
+	}
+	// Removed ids are the tail of their parent's child list (children are
+	// appended in id order), so walking removed ids in descending order
+	// pops exactly the dangling links of surviving parents.
+	for id := t.Len() - 1; id >= n; id-- {
+		p := t.parent[id]
+		if int(p) < n {
+			kids := t.children[p]
+			t.children[p] = kids[:len(kids)-1]
+		}
+	}
+	t.parent = t.parent[:n]
+	t.children = t.children[:n]
+	t.contrib = t.contrib[:n]
+	t.label = t.label[:n]
+	return nil
 }
 
 // Equal reports whether two trees have identical structure, contributions

@@ -85,14 +85,34 @@ func (t *Tree) DescendantSum(u NodeID) float64 {
 }
 
 // Total returns C(T), the total contribution of all participants.
-func (t *Tree) Total() float64 { return t.SubtreeSum(Root) }
+// Root's subtree is the whole tree, so this is a flat allocation-free
+// sum in id order (unlike SubtreeSum's preorder walk).
+func (t *Tree) Total() float64 {
+	s := 0.0
+	for _, c := range t.contrib {
+		s += c
+	}
+	return s
+}
 
 // SubtreeSums computes C(T_u) for every node in one bottom-up pass.
 // The returned slice is indexed by NodeID.
 func (t *Tree) SubtreeSums() []float64 {
-	sums := append([]float64(nil), t.contrib...)
+	return t.SubtreeSumsInto(nil)
+}
+
+// SubtreeSumsInto is SubtreeSums writing into dst, reusing its backing
+// array when capacity allows — the allocation-free variant used by the
+// RewardsInto fast paths.
+func (t *Tree) SubtreeSumsInto(dst []float64) []float64 {
+	n := t.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	sums := dst[:n]
+	copy(sums, t.contrib)
 	// IDs are topological (parent < child), so a reverse scan is bottom-up.
-	for id := t.Len() - 1; id > 0; id-- {
+	for id := n - 1; id > 0; id-- {
 		sums[t.parent[id]] += sums[id]
 	}
 	return sums
