@@ -1,9 +1,9 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: check build vet test race bench benchsmoke bench-json
+.PHONY: check build vet test race bench benchsmoke bench-json loadsmoke
 
-check: build vet test race benchsmoke
+check: build vet test race benchsmoke loadsmoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ bench:
 # silently rot.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# loadsmoke boots a real itreed on a temp data dir, runs a short
+# itreeload burst through the batched ingest pipeline, and verifies
+# zero failed requests plus a clean graceful shutdown.
+loadsmoke:
+	GO=$(GO) sh scripts/loadsmoke.sh
 
 # bench-json runs the root benchmark suite and writes the next free
 # BENCH_<n>.json snapshot (ns/op, B/op, allocs/op per benchmark), the

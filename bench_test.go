@@ -8,9 +8,13 @@
 package incentivetree_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +22,10 @@ import (
 	"incentivetree/internal/experiments"
 	"incentivetree/internal/geometric"
 	"incentivetree/internal/incremental"
+	"incentivetree/internal/ingest"
+	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
+	"incentivetree/internal/server"
 	"incentivetree/internal/sim"
 	"incentivetree/internal/sybil"
 	"incentivetree/internal/tdrm"
@@ -339,6 +346,73 @@ func BenchmarkObsPrimitives(b *testing.B) {
 			reg.Counter("bench_total", "").Inc()
 		}
 	})
+}
+
+// BenchmarkIngestBatchSizes measures the group-commit write path under
+// contention at different batch caps, with a real fsync-per-commit
+// journal (journal.SyncAlways) so the cost being amortized is the true
+// one. batch=1 is the unbatched baseline: one fsync, one lock
+// acquisition, and one reward recompute per operation; larger caps
+// spread those over whole batches. ns/op here is per submitted
+// contribution, end to end through the committer.
+func BenchmarkIngestBatchSizes(b *testing.B) {
+	const (
+		population = 64
+		workers    = 32
+	)
+	for _, batchMax := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batchMax), func(b *testing.B) {
+			m, err := geometric.Default(core.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			fw, err := journal.OpenFile(filepath.Join(b.TempDir(), "journal.log"), journal.SyncAlways, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := server.New(m,
+				server.WithJournal(journal.NewWriter(fw, 1)),
+				server.WithBatching(ingest.Options{BatchMax: batchMax, QueueDepth: 8192}))
+			defer func() {
+				s.CloseIngest()
+				fw.Close()
+			}()
+			for i := 0; i < population; i++ {
+				if err := s.Join(fmt.Sprintf("p%03d", i), ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var (
+				next   atomic.Int64
+				failed atomic.Int64
+				wg     sync.WaitGroup
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx := context.Background()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						name := fmt.Sprintf("p%03d", i%population)
+						if _, err := s.SubmitContribute(ctx, name, 1); err != nil {
+							failed.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d submits failed", n)
+			}
+		})
+	}
 }
 
 // BenchmarkTreeOps measures the substrate primitives the mechanisms are

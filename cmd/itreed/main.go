@@ -10,6 +10,7 @@
 //	       [-data-dir /var/lib/itreed] [-shards 16]
 //	       [-checkpoint-interval 30s] [-checkpoint-bytes 1048576]
 //	       [-journal-sync os|interval|always] [-journal-sync-interval 1s]
+//	       [-batch-max 64] [-batch-wait 0] [-queue-depth 1024]
 //	       [-journal events.log]
 //
 // The daemon hosts many campaigns (POST /v1/campaigns to create one;
@@ -58,6 +59,7 @@ import (
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/experiments"
+	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
 	"incentivetree/internal/server"
@@ -121,6 +123,12 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		"journal durability: os (page cache), interval (fsync periodically), always (fsync per event)")
 	syncEvery := fs.Duration("journal-sync-interval", time.Second,
 		"flush period under -journal-sync=interval")
+	batchMax := fs.Int("batch-max", ingest.DefaultBatchMax,
+		"max operations per group commit; 1 = commit per event (unbatched ordering), <0 disables the ingest pipeline")
+	batchWait := fs.Duration("batch-wait", 0,
+		"how long a committer waits to fill a batch after its first op (0 = commit immediately once the queue is drained)")
+	queueDepth := fs.Int("queue-depth", ingest.DefaultQueueDepth,
+		"per-campaign ingest queue bound; a full queue sheds writes with 429")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -153,6 +161,9 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		CheckpointBytes:    *cpBytes,
 		Sync:               policy,
 		SyncInterval:       *syncEvery,
+		BatchMax:           *batchMax,
+		BatchWait:          *batchWait,
+		QueueDepth:         *queueDepth,
 		Metrics:            reg,
 		NewMechanism:       newMechanism,
 		DefaultMechanism:   *mech,
@@ -238,17 +249,27 @@ func legacyServer(wal string, policy journal.SyncPolicy, syncEvery time.Duration
 		fw.Close()
 		return nil, nil, err
 	}
-	s := server.New(m,
+	opts := []server.Option{
 		server.WithJournal(journal.NewWriter(fw, next)),
-		server.WithMetrics(cfg.Metrics))
+		server.WithMetrics(cfg.Metrics),
+	}
+	if cfg.BatchMax >= 0 {
+		opts = append(opts, server.WithBatching(ingest.Options{
+			BatchMax:   cfg.BatchMax,
+			BatchWait:  cfg.BatchWait,
+			QueueDepth: cfg.QueueDepth,
+		}))
+	}
+	s := server.New(m, opts...)
 	if len(recovered) > 0 {
 		if err := server.Recover(s, nil, recovered); err != nil {
+			s.CloseIngest()
 			fw.Close()
 			return nil, nil, fmt.Errorf("recover: %w", err)
 		}
 		fmt.Fprintf(stdout, "itreed: recovered %d journal events\n", len(recovered))
 	}
-	return s, func() { fw.Close() }, nil
+	return s, func() { s.CloseIngest(); fw.Close() }, nil
 }
 
 // recoverJournal reads the event log at path, repairing a torn tail
@@ -288,7 +309,7 @@ func run(ctx context.Context, d *daemon, stdout io.Writer) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 2)
-	if err := serveListener(ctx, srv, "api", d.addr, d.listening, errc); err != nil {
+	if err := serveListener(ctx, srv, "api", d.addr, d.listening, stdout, errc); err != nil {
 		return err
 	}
 
@@ -298,7 +319,7 @@ func run(ctx context.Context, d *daemon, stdout io.Writer) error {
 			Handler:           debugHandler(),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		if err := serveListener(ctx, debug, "debug", d.debugAddr, d.listening, errc); err != nil {
+		if err := serveListener(ctx, debug, "debug", d.debugAddr, d.listening, stdout, errc); err != nil {
 			return err
 		}
 	}
@@ -325,13 +346,16 @@ func run(ctx context.Context, d *daemon, stdout io.Writer) error {
 }
 
 // serveListener binds addr and serves srv on it in the background,
-// reporting serve failures on errc.
-func serveListener(ctx context.Context, srv *http.Server, name, addr string, listening func(string, string), errc chan<- error) error {
+// reporting serve failures on errc. The bound address is printed (it
+// differs from addr for ":0" listeners; scripts parse this line to
+// find the port).
+func serveListener(ctx context.Context, srv *http.Server, name, addr string, listening func(string, string), stdout io.Writer, errc chan<- error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("%s listen %s: %w", name, addr, err)
 	}
 	srv.BaseContext = func(net.Listener) context.Context { return ctx }
+	fmt.Fprintf(stdout, "itreed: %s listening on %s\n", name, ln.Addr())
 	if listening != nil {
 		listening(name, ln.Addr().String())
 	}

@@ -1,0 +1,267 @@
+// Command itreeload drives an itreed instance with a synthetic
+// join/contribute workload and reports throughput plus latency
+// percentiles, so the effect of the ingest pipeline's batching knobs
+// (-batch-max, -batch-wait, -queue-depth on itreed) can be measured
+// end to end.
+//
+// Usage:
+//
+//	itreeload [-addr http://127.0.0.1:8080] [-campaign id]
+//	          [-workers 8] [-rate 0] [-duration 5s]
+//	          [-participants 64] [-join-frac 0.05] [-seed 1]
+//
+// The generator first seeds a population of participants (untimed),
+// then runs the measured phase for -duration: each worker issues
+// contribute requests against random members of the population,
+// mixed with fresh joins at -join-frac. With -rate 0 the load is
+// closed-loop (each worker sends back to back, so offered load tracks
+// service rate); a positive -rate opens the loop, pacing the fleet at
+// that many requests per second regardless of response times.
+//
+// Responses are counted three ways: ok (2xx), shed (429, the ingest
+// queue's admission control doing its job), and failed (anything
+// else). The process exits non-zero when any request failed; shed
+// requests are reported but are not failures.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "itreeload:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set of one load run.
+type config struct {
+	base         string // API prefix, e.g. http://host:port/v1
+	workers      int
+	rate         float64 // req/s across all workers; 0 = closed loop
+	duration     time.Duration
+	participants int
+	joinFrac     float64
+	seed         int64
+}
+
+// counters aggregates response outcomes across workers.
+type counters struct {
+	ok, shed, failed atomic.Uint64
+	joinNames        atomic.Uint64 // allocator for unique join names
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("itreeload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the itreed API")
+	campaign := fs.String("campaign", "", "target campaign id (default: the legacy /v1/* alias)")
+	workers := fs.Int("workers", 8, "concurrent load connections")
+	rate := fs.Float64("rate", 0, "open-loop offered load in req/s across all workers (0 = closed loop)")
+	duration := fs.Duration("duration", 5*time.Second, "measured phase length")
+	participants := fs.Int("participants", 64, "population seeded before the measured phase")
+	joinFrac := fs.Float64("join-frac", 0.05, "fraction of measured ops that are fresh joins")
+	seed := fs.Int64("seed", 1, "PRNG seed for workload shape")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config{
+		base:         strings.TrimRight(*addr, "/") + "/v1",
+		workers:      *workers,
+		rate:         *rate,
+		duration:     *duration,
+		participants: *participants,
+		joinFrac:     *joinFrac,
+		seed:         *seed,
+	}
+	if *campaign != "" {
+		cfg.base = strings.TrimRight(*addr, "/") + "/v1/campaigns/" + *campaign
+	}
+	if cfg.workers < 1 || cfg.participants < 1 {
+		return fmt.Errorf("need at least 1 worker and 1 participant")
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers,
+			MaxIdleConnsPerHost: cfg.workers,
+		},
+	}
+
+	names, err := seedPopulation(client, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "itreeload: seeded %d participants against %s\n", len(names), cfg.base)
+
+	var c counters
+	latencies := measure(client, cfg, names, &c)
+
+	ok, shed, failed := c.ok.Load(), c.shed.Load(), c.failed.Load()
+	secs := cfg.duration.Seconds()
+	fmt.Fprintf(stdout, "itreeload: %d ok, %d shed (429), %d failed in %.2fs\n", ok, shed, failed, secs)
+	fmt.Fprintf(stdout, "itreeload: throughput %.1f ops/s\n", float64(ok)/secs)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Fprintf(stdout, "itreeload: latency p50 %s p95 %s p99 %s\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.95), percentile(latencies, 0.99))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d requests failed", failed)
+	}
+	return nil
+}
+
+// seedPopulation joins cfg.participants members (untimed), each
+// sponsored by a random earlier member so the tree has referral depth.
+// Seeding retries shed (429) joins: the population must exist before
+// the measured phase, and a load test that cannot seed is an error.
+func seedPopulation(client *http.Client, cfg config) ([]string, error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	names := make([]string, 0, cfg.participants)
+	for i := 0; i < cfg.participants; i++ {
+		name := fmt.Sprintf("load-p%04d", i)
+		sponsor := ""
+		if len(names) > 0 {
+			sponsor = names[rng.Intn(len(names))]
+		}
+		var status int
+		for attempt := 0; attempt < 50; attempt++ {
+			var err error
+			status, err = post(client, cfg.base+"/join", map[string]any{"name": name, "sponsor": sponsor})
+			if err != nil {
+				return nil, fmt.Errorf("seed %s: %w", name, err)
+			}
+			if status != http.StatusTooManyRequests {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// 400 means the participant already exists (a rerun against a
+		// warm daemon) — still usable as a contribution target.
+		if status >= 500 {
+			return nil, fmt.Errorf("seed %s: HTTP %d", name, status)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// measure runs the timed phase and returns every request's latency.
+func measure(client *http.Client, cfg config, names []string, c *counters) []time.Duration {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		all     []time.Duration
+		stop    = make(chan struct{})
+		pace    <-chan time.Time
+		stopTmr = time.AfterFunc(cfg.duration, func() { close(stop) })
+	)
+	defer stopTmr.Stop()
+	if cfg.rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.rate))
+		defer t.Stop()
+		pace = t.C
+	}
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			lat := make([]time.Duration, 0, 4096)
+			for {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-stop:
+						mu.Lock()
+						all = append(all, lat...)
+						mu.Unlock()
+						return
+					}
+				}
+				select {
+				case <-stop:
+					mu.Lock()
+					all = append(all, lat...)
+					mu.Unlock()
+					return
+				default:
+				}
+				url, body := nextOp(cfg, rng, names, c)
+				start := time.Now()
+				status, err := post(client, url, body)
+				lat = append(lat, time.Since(start))
+				switch {
+				case err != nil || status >= 500 || (status >= 400 && status != http.StatusTooManyRequests):
+					c.failed.Add(1)
+				case status == http.StatusTooManyRequests:
+					c.shed.Add(1)
+				default:
+					c.ok.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return all
+}
+
+// nextOp picks the next request: a fresh join with probability
+// joinFrac, otherwise a contribution by a random seeded participant.
+func nextOp(cfg config, rng *rand.Rand, names []string, c *counters) (string, map[string]any) {
+	if rng.Float64() < cfg.joinFrac {
+		n := c.joinNames.Add(1)
+		return cfg.base + "/join", map[string]any{
+			"name":    fmt.Sprintf("load-j%08d", n),
+			"sponsor": names[rng.Intn(len(names))],
+		}
+	}
+	return cfg.base + "/contribute", map[string]any{
+		"name":   names[rng.Intn(len(names))],
+		"amount": 0.5 + rng.Float64(),
+	}
+}
+
+// post sends one JSON request and returns the status code; the body is
+// drained so connections are reused.
+func post(client *http.Client, url string, body map[string]any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// percentile returns the q-th percentile of sorted latencies (nearest
+// rank), rounded for display.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(10 * time.Microsecond)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"incentivetree/internal/core"
+	"incentivetree/internal/experiments"
+	"incentivetree/internal/store"
+)
+
+// newStore boots an ephemeral multi-campaign store with batching on.
+func newStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		NewMechanism: func(name string, p core.Params) (core.Mechanism, error) {
+			return experiments.ByName(p, name)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	st := newStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "4",
+		"-duration", "200ms",
+		"-participants", "16",
+		"-join-frac", "0.1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"seeded 16 participants", "0 failed", "throughput", "latency p50"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	st := newStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "2",
+		"-rate", "200",
+		"-duration", "250ms",
+		"-participants", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 failed") {
+		t.Errorf("open-loop run reported failures:\n%s", out.String())
+	}
+}
+
+// TestRunAgainstCampaign exercises the -campaign path prefix.
+func TestRunAgainstCampaign(t *testing.T) {
+	st := newStore(t)
+	if _, err := st.Create(store.Meta{ID: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-campaign", "acme",
+		"-workers", "2",
+		"-duration", "150ms",
+		"-participants", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "/v1/campaigns/acme") {
+		t.Errorf("expected campaign-scoped base URL in output:\n%s", out.String())
+	}
+}
+
+// TestRunFailsOnErrors points the generator at a URL with no listener
+// behind it and expects a non-nil error (the exit-1 path).
+func TestRunFailsOnErrors(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	ts.Close() // now refuses connections
+
+	var out strings.Builder
+	err := run([]string{"-addr", ts.URL, "-duration", "50ms", "-participants", "1"}, &out)
+	if err == nil {
+		t.Fatal("expected an error against a dead server")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	if got := percentile(lat, 0.50); got != 3*time.Millisecond {
+		t.Errorf("p50 = %s, want 3ms", got)
+	}
+	if got := percentile(lat, 0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %s, want 100ms", got)
+	}
+}

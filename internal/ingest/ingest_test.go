@@ -1,0 +1,342 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incentivetree/internal/obs"
+)
+
+// fakeApplier records batches and can block inside ApplyBatch (gate)
+// or fail individual ops (errFor).
+type fakeApplier struct {
+	mu      sync.Mutex
+	batches [][]Op
+
+	entered chan struct{} // receives one token per ApplyBatch entry
+	gate    chan struct{} // when non-nil, ApplyBatch blocks until it closes
+	errFor  func(Op) error
+	short   bool // return an empty result slice
+}
+
+func (f *fakeApplier) ApplyBatch(ops []Op) []Result {
+	if f.entered != nil {
+		f.entered <- struct{}{}
+	}
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, append([]Op(nil), ops...))
+	f.mu.Unlock()
+	if f.short {
+		return nil
+	}
+	out := make([]Result, len(ops))
+	for i, op := range ops {
+		if f.errFor != nil {
+			out[i].Err = f.errFor(op)
+		}
+		if out[i].Err == nil {
+			out[i].Value = op.Name
+		}
+	}
+	return out
+}
+
+func (f *fakeApplier) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sizes := make([]int, len(f.batches))
+	for i, b := range f.batches {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+func TestSubmitReturnsValue(t *testing.T) {
+	f := &fakeApplier{}
+	c := New(f, Options{})
+	defer c.Close()
+	v, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "alice" {
+		t.Fatalf("value = %v, want alice", v)
+	}
+}
+
+// TestBatchFormation blocks the applier on a first op so later submits
+// pile up in the queue, then checks they commit as one batch.
+func TestBatchFormation(t *testing.T) {
+	f := &fakeApplier{entered: make(chan struct{}, 8), gate: make(chan struct{})}
+	c := New(f, Options{BatchMax: 64})
+	defer c.Close()
+
+	errs := make(chan error, 6)
+	go func() {
+		_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "first"})
+		errs <- err
+	}()
+	<-f.entered // the committer is now inside ApplyBatch for "first"
+
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: fmt.Sprintf("p%d", i)})
+			errs <- err
+		}(i)
+	}
+	// Wait for all five to be queued behind the in-flight commit.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QueueLen() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: len=%d", c.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(f.gate)
+	<-f.entered // second batch entered
+	for i := 0; i < 6; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := f.batchSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 5 {
+		t.Fatalf("batch sizes = %v, want [1 5]", sizes)
+	}
+}
+
+// TestBatchMaxCap checks queued work is split into batches of at most
+// BatchMax ops.
+func TestBatchMaxCap(t *testing.T) {
+	f := &fakeApplier{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	c := New(f, Options{BatchMax: 2})
+
+	errs := make(chan error, 7)
+	go func() {
+		_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "first"})
+		errs <- err
+	}()
+	<-f.entered
+	for i := 0; i < 6; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: fmt.Sprintf("p%d", i)})
+			errs <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QueueLen() != 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: len=%d", c.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(f.gate)
+	for i := 0; i < 7; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for i, n := range f.batchSizes() {
+		if n > 2 {
+			t.Fatalf("batch %d has %d ops, want <= 2", i, n)
+		}
+	}
+}
+
+// TestPerOpErrorIsolation: one op's failure must not fail its
+// batchmates.
+func TestPerOpErrorIsolation(t *testing.T) {
+	bad := errors.New("bad op")
+	f := &fakeApplier{errFor: func(op Op) error {
+		if op.Name == "bad" {
+			return bad
+		}
+		return nil
+	}}
+	c := New(f, Options{})
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "bad"}); !errors.Is(err, bad) {
+		t.Fatalf("bad op err = %v, want %v", err, bad)
+	}
+	if v, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "good"}); err != nil || v != "good" {
+		t.Fatalf("good op = %v, %v", v, err)
+	}
+}
+
+// TestQueueFullSheds fills a depth-1 queue while the applier is blocked
+// and checks the next submit fails fast with ErrQueueFull.
+func TestQueueFullSheds(t *testing.T) {
+	f := &fakeApplier{entered: make(chan struct{}, 4), gate: make(chan struct{})}
+	reg := obs.NewRegistry()
+	c := New(f, Options{QueueDepth: 1, Registry: reg})
+
+	done := make(chan error, 2)
+	go func() {
+		_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "inflight"})
+		done <- err
+	}()
+	<-f.entered // "inflight" dequeued; the queue is empty again
+	go func() {
+		_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "queued"})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QueueLen() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "shed"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if got := reg.Counter("ingest_shed_total", "").Value(); got != 1 {
+		t.Fatalf("ingest_shed_total = %d, want 1", got)
+	}
+	close(f.gate)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+}
+
+// TestCloseDrains: ops admitted before Close must still commit, and
+// submits after Close fail with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	f := &fakeApplier{entered: make(chan struct{}, 8), gate: make(chan struct{})}
+	c := New(f, Options{})
+
+	errs := make(chan error, 4)
+	go func() {
+		_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "first"})
+		errs <- err
+	}()
+	<-f.entered
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: fmt.Sprintf("q%d", i)})
+			errs <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.QueueLen() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	closed := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closed)
+	}()
+	close(f.gate)
+	<-closed
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("queued op lost at close: %v", err)
+		}
+	}
+	if _, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "late"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+// TestContextCancellation: an abandoned submitter gets ctx.Err while
+// its op still commits.
+func TestContextCancellation(t *testing.T) {
+	f := &fakeApplier{entered: make(chan struct{}, 4), gate: make(chan struct{})}
+	c := New(f, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(ctx, Op{Kind: OpJoin, Name: "abandoned"})
+		done <- err
+	}()
+	<-f.entered
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(f.gate)
+	c.Close()
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("the abandoned op should still have committed: %v", sizes)
+	}
+}
+
+// TestShortResultSlice: an applier returning too few results must not
+// strand its waiters.
+func TestShortResultSlice(t *testing.T) {
+	f := &fakeApplier{short: true}
+	c := New(f, Options{})
+	defer c.Close()
+	_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "x"})
+	if err == nil || !strings.Contains(err.Error(), "no result") {
+		t.Fatalf("err = %v, want applier-returned-no-result", err)
+	}
+}
+
+// TestMetricsLifecycle: New registers the pipeline's series, Close
+// removes them (so deleted campaigns leave no orphan series behind).
+func TestMetricsLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(&fakeApplier{}, Options{Registry: reg, Labels: []string{"campaign", "acme"}})
+	if _, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	names := func() map[string]bool {
+		out := map[string]bool{}
+		for _, mv := range reg.Snapshot() {
+			out[mv.Name] = true
+		}
+		return out
+	}
+	for _, want := range []string{"ingest_queue_depth", "ingest_shed_total", "ingest_batches_total", "ingest_batch_size", "ingest_commit_seconds"} {
+		if !names()[want] {
+			t.Fatalf("metric %s not registered", want)
+		}
+	}
+	c.Close()
+	for name := range names() {
+		if strings.HasPrefix(name, "ingest_") {
+			t.Fatalf("metric %s still registered after Close", name)
+		}
+	}
+}
+
+// TestBatchWait: a positive BatchWait holds the first op long enough
+// for stragglers to join its batch.
+func TestBatchWait(t *testing.T) {
+	f := &fakeApplier{}
+	c := New(f, Options{BatchWait: 200 * time.Millisecond, BatchMax: 8})
+	defer c.Close()
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: fmt.Sprintf("w%d", i)})
+			errs <- err
+		}(i)
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sizes := f.batchSizes(); len(sizes) != 1 || sizes[0] != 3 {
+		t.Fatalf("batch sizes = %v, want one batch of 3", sizes)
+	}
+}

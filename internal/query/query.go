@@ -1,0 +1,104 @@
+// Package query provides the read-side companion to the ingest
+// pipeline: a versioned cache for derived views (reward tables,
+// leaderboards) that are expensive to build and invalidated by writes.
+//
+// The cache is keyed by a monotone state version supplied by the data
+// source — for a server deployment, a counter bumped once per committed
+// batch. A cached view therefore always corresponds to a batch
+// boundary: because the build function runs under the source's read
+// lock and batches apply under its write lock, a view can never
+// observe a torn mid-batch state, and a stale hit is simply the
+// consistent view of an earlier batch.
+package query
+
+import (
+	"sync"
+
+	"incentivetree/internal/obs"
+)
+
+// Cache memoizes one derived view of type T per state version. It is
+// safe for concurrent use; concurrent misses are collapsed into a
+// single rebuild.
+type Cache[T any] struct {
+	// version reads the source's current state version cheaply (e.g.
+	// under a read lock).
+	version func() uint64
+	// build constructs the view and returns the version it observed;
+	// it must read source state and version atomically (run under the
+	// source's read lock).
+	build func() (uint64, T, error)
+
+	mu    sync.RWMutex
+	valid bool
+	ver   uint64
+	val   T
+
+	hits, misses *obs.Counter // nil = uninstrumented
+}
+
+// New builds a cache over a version reader and a view builder.
+func New[T any](version func() uint64, build func() (uint64, T, error)) *Cache[T] {
+	return &Cache[T]{version: version, build: build}
+}
+
+// Counters attaches hit/miss counters (either may be nil).
+func (c *Cache[T]) Counters(hits, misses *obs.Counter) {
+	c.hits, c.misses = hits, misses
+}
+
+// Get returns the view for the source's current version, rebuilding it
+// on a version mismatch. Rebuilds are serialized: concurrent readers of
+// a stale cache block on one build and then all serve its result.
+func (c *Cache[T]) Get() (T, error) {
+	cur := c.version()
+	c.mu.RLock()
+	if c.valid && c.ver == cur {
+		v := c.val
+		c.mu.RUnlock()
+		if c.hits != nil {
+			c.hits.Inc()
+		}
+		return v, nil
+	}
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Another reader may have rebuilt while we waited for the lock; a
+	// version at least as new as the one we observed is good to serve.
+	if c.valid && c.ver >= cur {
+		if c.hits != nil {
+			c.hits.Inc()
+		}
+		return c.val, nil
+	}
+	if c.misses != nil {
+		c.misses.Inc()
+	}
+	ver, v, err := c.build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.ver, c.val, c.valid = ver, v, true
+	return v, nil
+}
+
+// Invalidate drops the cached view unconditionally. Sources whose
+// version counter can move backwards (state restores) call this to
+// avoid aliasing an old version number onto new state; sources with a
+// strictly monotone counter never need it.
+func (c *Cache[T]) Invalidate() {
+	c.mu.Lock()
+	c.valid = false
+	c.mu.Unlock()
+}
+
+// Version returns the version of the currently cached view and whether
+// one is cached (for tests and introspection).
+func (c *Cache[T]) Version() (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ver, c.valid
+}

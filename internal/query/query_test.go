@@ -1,0 +1,137 @@
+package query
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"incentivetree/internal/obs"
+)
+
+// source is a fake versioned data source counting builds.
+type source struct {
+	version atomic.Uint64
+	builds  atomic.Int64
+	fail    atomic.Bool
+}
+
+func (s *source) cache(reg *obs.Registry) *Cache[int] {
+	c := New(
+		func() uint64 { return s.version.Load() },
+		func() (uint64, int, error) {
+			s.builds.Add(1)
+			if s.fail.Load() {
+				return 0, 0, errors.New("build failed")
+			}
+			v := s.version.Load()
+			return v, int(v) * 10, nil
+		},
+	)
+	if reg != nil {
+		c.Counters(reg.Counter("hits", ""), reg.Counter("misses", ""))
+	}
+	return c
+}
+
+func TestGetCachesPerVersion(t *testing.T) {
+	var s source
+	reg := obs.NewRegistry()
+	c := s.cache(reg)
+
+	for i := 0; i < 3; i++ {
+		v, err := c.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("value = %d, want 0", v)
+		}
+	}
+	if n := s.builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1 (two hits)", n)
+	}
+	if h := reg.Counter("hits", "").Value(); h != 2 {
+		t.Fatalf("hits = %d, want 2", h)
+	}
+	if m := reg.Counter("misses", "").Value(); m != 1 {
+		t.Fatalf("misses = %d, want 1", m)
+	}
+
+	// A version bump invalidates exactly once.
+	s.version.Store(7)
+	v, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 70 {
+		t.Fatalf("value = %d, want 70", v)
+	}
+	if n := s.builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2", n)
+	}
+	if ver, ok := c.Version(); !ok || ver != 7 {
+		t.Fatalf("cached version = %d/%v, want 7/true", ver, ok)
+	}
+}
+
+func TestInvalidateForcesRebuild(t *testing.T) {
+	var s source
+	c := s.cache(nil)
+	if _, err := c.Get(); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate()
+	if _, ok := c.Version(); ok {
+		t.Fatal("cache still valid after Invalidate")
+	}
+	if _, err := c.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2", n)
+	}
+}
+
+// TestBuildErrorNotCached: a failed build propagates and the next Get
+// retries instead of serving a poisoned entry.
+func TestBuildErrorNotCached(t *testing.T) {
+	var s source
+	c := s.cache(nil)
+	s.fail.Store(true)
+	if _, err := c.Get(); err == nil {
+		t.Fatal("expected build error")
+	}
+	s.fail.Store(false)
+	v, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("value = %d, want 0", v)
+	}
+	if n := s.builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2 (error retried)", n)
+	}
+}
+
+// TestConcurrentMissesCollapse: readers racing on a cold cache are
+// serialized into one build per observed version.
+func TestConcurrentMissesCollapse(t *testing.T) {
+	var s source
+	c := s.cache(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := c.Get(); err != nil || v != 0 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1", n)
+	}
+}

@@ -36,6 +36,7 @@ func WithMetrics(reg *obs.Registry) Option {
 func WithMetricsLabels(reg *obs.Registry, labels ...string) Option {
 	return func(s *Server) {
 		s.metrics = reg
+		s.labels = labels
 		s.registerGauges(reg, labels...)
 	}
 }
@@ -50,6 +51,8 @@ var domainGauges = []string{
 	"itree_reward_total",
 	"itree_budget_utilization",
 	"itree_journal_last_seq",
+	"itree_rewards_cache_hits_total",
+	"itree_rewards_cache_misses_total",
 }
 
 // UnregisterMetrics removes the domain-gauge series registered under

@@ -83,6 +83,9 @@ func (s *Server) adoptState(st *journal.State) {
 	s.tree = st.Tree
 	s.byKey = st.ByName
 	s.lastSeq = st.LastSeq
+	// lastSeq may move backwards on a restore, but the cache version must
+	// not alias old numbers onto new state — keep it strictly advancing.
+	s.version++
 	if s.useEngine {
 		if e, ok := incremental.ForTree(s.mech, s.tree); ok {
 			s.engine = e
@@ -140,21 +143,4 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"restored": true, "last_seq": snap.LastSeq})
-}
-
-// appendJournal records a successful state change; callers hold the
-// write lock. A journal failure is surfaced to the client (the write
-// already applied in memory, but the operator must know durability is
-// broken).
-func (s *Server) appendJournal(e journal.Event) error {
-	if s.journal == nil {
-		s.lastSeq++
-		return nil
-	}
-	persisted, err := s.journal.Append(e)
-	if err != nil {
-		return fmt.Errorf("server: journal append: %w", err)
-	}
-	s.lastSeq = persisted.Seq
-	return nil
 }

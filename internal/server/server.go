@@ -11,27 +11,32 @@
 //	POST /v1/contribute  {"name": "...", "amount": 1.5}      -> participant
 //	GET  /v1/participants/{name}                             -> participant
 //	GET  /v1/rewards                                         -> reward table
+//	GET  /v1/leaderboard?k=N                                 -> top-K by reward
 //	GET  /v1/tree                                            -> referral tree (nested JSON)
 //	GET  /v1/stats                                           -> tree statistics
 //	GET  /v1/healthz                                         -> 200 ok
 //
-// All state lives in memory behind a single RWMutex; reward evaluation is
-// O(n) per query, which is plenty for campaign-sized trees.
+// All state lives in memory behind a single RWMutex. With WithBatching,
+// writes flow through a group-commit ingest pipeline (one lock
+// acquisition, journal sync, and reward recompute per batch; full
+// queues shed with 429); reward reads are served from a versioned
+// cache invalidated by commit version (internal/query).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
-	"strings"
 	"sync"
 
 	"incentivetree/internal/core"
 	"incentivetree/internal/incremental"
+	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
+	"incentivetree/internal/query"
 	"incentivetree/internal/tree"
 )
 
@@ -40,12 +45,19 @@ type Server struct {
 	mech      core.Mechanism
 	journal   *journal.Writer
 	metrics   *obs.Registry // nil = uninstrumented
+	labels    []string      // metric labels from WithMetricsLabels
 	useEngine bool          // WithIncremental requested
+	batching  *ingest.Options
+	committer *ingest.Committer       // non-nil iff WithBatching
+	cache     *query.Cache[*queryView] // versioned read-side views
 
 	mu      sync.RWMutex
 	tree    *tree.Tree
 	byKey   map[string]tree.NodeID
 	lastSeq uint64
+	// version counts committed batches and state restores; it keys the
+	// read cache and, unlike lastSeq, never moves backwards in-process.
+	version uint64
 	// engine, when non-nil, owns tree and maintains rewards in O(depth)
 	// per write; all writes must route through it.
 	engine incremental.Engine
@@ -62,6 +74,17 @@ func New(m core.Mechanism, opts ...Option) *Server {
 			s.engine = e
 			s.tree = e.Tree()
 		}
+	}
+	s.initCache()
+	if s.batching != nil {
+		// Deferred past option application so the pipeline inherits the
+		// final registry/labels regardless of option order.
+		o := *s.batching
+		if o.Registry == nil {
+			o.Registry = s.metrics
+			o.Labels = s.labels
+		}
+		s.committer = ingest.New(s, o)
 	}
 	return s
 }
@@ -119,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/contribute", s.handleContribute)
 	mux.HandleFunc("GET /v1/participants/{name}", s.handleParticipant)
 	mux.HandleFunc("GET /v1/rewards", s.handleRewards)
+	mux.HandleFunc("GET /v1/leaderboard", s.handleLeaderboard)
 	mux.HandleFunc("GET /v1/tree", s.handleTree)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -132,86 +156,15 @@ func (s *Server) Handler() http.Handler {
 	return obs.Middleware(s.metrics, mux)
 }
 
-// Join registers a participant programmatically (used by the daemon's
-// seeding flag and by tests).
-func (s *Server) Join(name, sponsor string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.joinLocked(name, sponsor)
-}
-
-func (s *Server) joinLocked(name, sponsor string) error {
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return errors.New("name must not be empty")
-	}
-	if _, dup := s.byKey[name]; dup {
-		return fmt.Errorf("participant %q already exists", name)
-	}
-	parent := tree.Root
-	if sponsor != "" {
-		p, ok := s.byKey[sponsor]
-		if !ok {
-			return fmt.Errorf("unknown sponsor %q", sponsor)
-		}
-		parent = p
-	}
-	var id tree.NodeID
-	var err error
-	if s.engine != nil {
-		id, err = s.engine.Join(parent, 0)
-	} else {
-		id, err = s.tree.Add(parent, 0)
-	}
-	if err != nil {
-		return err
-	}
-	if err := s.tree.SetLabel(id, name); err != nil {
-		return err
-	}
-	s.byKey[name] = id
-	return s.appendJournal(journal.Event{Kind: journal.KindJoin, Name: name, Sponsor: sponsor})
-}
-
-// Contribute records work done by an existing participant.
-func (s *Server) Contribute(name string, amount float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if amount <= 0 {
-		return fmt.Errorf("amount %v must be positive", amount)
-	}
-	id, ok := s.byKey[name]
-	if !ok {
-		return fmt.Errorf("unknown participant %q", name)
-	}
-	var err error
-	if s.engine != nil {
-		err = s.engine.AddContribution(id, amount)
-	} else {
-		err = s.tree.AddContribution(id, amount)
-	}
-	if err != nil {
-		return err
-	}
-	return s.appendJournal(journal.Event{Kind: journal.KindContribute, Name: name, Amount: amount})
-}
-
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed JSON: " + err.Error()})
 		return
 	}
-	s.mu.Lock()
-	err := s.joinLocked(req.Name, req.Sponsor)
-	s.mu.Unlock()
+	p, err := s.SubmitJoin(r.Context(), req.Name, req.Sponsor)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-	p, err := s.participant(req.Name)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		writeOpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, p)
@@ -223,16 +176,28 @@ func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed JSON: " + err.Error()})
 		return
 	}
-	if err := s.Contribute(req.Name, req.Amount); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-	p, err := s.participant(req.Name)
+	p, err := s.SubmitContribute(r.Context(), req.Name, req.Amount)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		writeOpError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
+}
+
+// writeOpError maps a write-path failure to its HTTP shape: a full
+// ingest queue is admission control (429 with a Retry-After hint), a
+// closed pipeline or abandoned request is a 503, and anything else is
+// the op's own validation error (400).
+func writeOpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ingest.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+	case errors.Is(err, ingest.ErrClosed), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	}
 }
 
 func (s *Server) handleParticipant(w http.ResponseWriter, r *http.Request) {
@@ -282,31 +247,6 @@ func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
 		Profit:       core.Profit(s.tree, rewards, id),
 		Recruits:     len(s.tree.Children(id)),
 	}
-}
-
-func (s *Server) handleRewards(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rewards, err := s.rewardsLocked()
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
-		return
-	}
-	resp := rewardsResponse{
-		Mechanism:   s.mech.Name(),
-		Total:       s.tree.Total(),
-		TotalReward: rewards.Total(),
-		Budget:      s.mech.Params().Phi * s.tree.Total(),
-	}
-	for _, u := range s.tree.Nodes() {
-		resp.Participants = append(resp.Participants, s.viewLocked(u, rewards))
-	}
-	// Sorted by name so the table is deterministic even across snapshot
-	// restores, which renumber node ids in DFS preorder.
-	sort.Slice(resp.Participants, func(i, j int) bool {
-		return resp.Participants[i].Name < resp.Participants[j].Name
-	})
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {

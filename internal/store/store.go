@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"incentivetree/internal/core"
+	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
 	"incentivetree/internal/server"
@@ -78,6 +79,19 @@ type Config struct {
 	Sync journal.SyncPolicy
 	// SyncInterval is the flush period under journal.SyncInterval.
 	SyncInterval time.Duration
+	// BatchMax caps operations per group commit in each campaign's
+	// ingest pipeline (see internal/ingest). Zero means
+	// ingest.DefaultBatchMax; 1 commits per event in arrival order
+	// (byte-identical journals to the unbatched path); negative
+	// disables the pipeline entirely and writes apply inline.
+	BatchMax int
+	// BatchWait is how long a committer waits to fill a batch after its
+	// first operation (0 = commit as soon as the queue stops yielding).
+	BatchWait time.Duration
+	// QueueDepth bounds each campaign's ingest queue (admission
+	// control); a full queue sheds writes with 429. Zero means
+	// ingest.DefaultQueueDepth.
+	QueueDepth int
 	// Metrics, when set, receives the store's gauges/counters and every
 	// campaign's per-campaign domain gauges (labelled campaign="<id>").
 	Metrics *obs.Registry
@@ -337,7 +351,9 @@ func (st *Store) Create(meta Meta) (*Campaign, error) {
 	c.srv = server.New(mech, st.serverOptions(c, 1)...)
 	c.handler = c.srv.Handler()
 	if !st.put(c) {
-		// Lost a create race: release what we provisioned.
+		// Lost a create race: release what we provisioned. The ingest
+		// pipeline stops first so nothing appends past the journal close.
+		c.srv.CloseIngest()
 		if c.fw != nil {
 			c.fw.Close()
 		}
@@ -374,6 +390,13 @@ func (st *Store) serverOptions(c *Campaign, nextSeq uint64) []server.Option {
 	if c.Meta.Incremental {
 		opts = append(opts, server.WithIncremental())
 	}
+	if st.cfg.BatchMax >= 0 {
+		opts = append(opts, server.WithBatching(ingest.Options{
+			BatchMax:   st.cfg.BatchMax,
+			BatchWait:  st.cfg.BatchWait,
+			QueueDepth: st.cfg.QueueDepth,
+		}))
+	}
 	return opts
 }
 
@@ -392,7 +415,10 @@ func (st *Store) Delete(id string) error {
 	if !ok {
 		return fmt.Errorf("store: unknown campaign %q", id)
 	}
-	// Exclude a concurrent checkpoint before tearing down files.
+	// Drain the ingest pipeline (new submits already fail: the campaign
+	// is out of the map, and post-drain ones get ErrClosed), then
+	// exclude a concurrent checkpoint before tearing down files.
+	c.srv.CloseIngest()
 	c.cpMu.Lock()
 	defer c.cpMu.Unlock()
 	if c.fw != nil {
@@ -421,6 +447,9 @@ func (st *Store) Close() error {
 	st.closeMu.Unlock()
 	var first error
 	for _, c := range st.List() {
+		// Drain queued writes into the journal before the final
+		// checkpoint so shutdown loses nothing that was admitted.
+		c.srv.CloseIngest()
 		if _, err := st.Checkpoint(c); err != nil && first == nil {
 			first = err
 		}

@@ -7,8 +7,12 @@ import (
 	"strings"
 )
 
-// nodeJSON is the nested wire format of a participant.
+// nodeJSON is the nested wire format of a participant. ID carries the
+// node's NodeID so a round trip can rebuild the exact in-memory
+// numbering; it is optional on input (hand-written documents may omit
+// it) but always emitted.
 type nodeJSON struct {
+	ID    int        `json:"id,omitempty"`
 	Label string     `json:"label,omitempty"`
 	C     float64    `json:"c"`
 	Kids  []nodeJSON `json:"kids,omitempty"`
@@ -31,7 +35,7 @@ func (t *Tree) MarshalJSON() ([]byte, error) {
 }
 
 func (t *Tree) toJSON(u NodeID) nodeJSON {
-	n := nodeJSON{Label: t.Label(u), C: t.contrib[u]}
+	n := nodeJSON{ID: int(u), Label: t.Label(u), C: t.contrib[u]}
 	for _, k := range t.children[u] {
 		n.Kids = append(n.Kids, t.toJSON(k))
 	}
@@ -39,19 +43,26 @@ func (t *Tree) toJSON(u NodeID) nodeJSON {
 }
 
 // UnmarshalJSON decodes the nested participant format produced by
-// MarshalJSON and validates the result. NodeIDs are assigned in DFS
-// preorder of the nested document, so a round trip preserves structure,
-// labels and contributions but may renumber ids of trees that were built
-// out of preorder.
+// MarshalJSON and validates the result. When every node carries an id
+// and the ids form the dense join order 1..n, the decoded tree keeps
+// exactly that numbering — a round trip is then the identity, which is
+// what makes snapshot recovery byte-identical: NodeID order is the
+// summation order of Total and the subtree sums, so renumbering would
+// perturb reward tables in the last ulp. Documents without usable ids
+// (hand-written, or written before ids existed) fall back to DFS
+// preorder numbering.
 func (t *Tree) UnmarshalJSON(data []byte) error {
 	var dec treeJSON
 	if err := json.Unmarshal(data, &dec); err != nil {
 		return fmt.Errorf("tree: decode: %w", err)
 	}
-	fresh := New()
-	for _, n := range dec.Participants {
-		if err := fresh.fromJSON(Root, n); err != nil {
-			return err
+	fresh, ok := fromJSONWithIDs(dec)
+	if !ok {
+		fresh = New()
+		for _, n := range dec.Participants {
+			if err := fresh.fromJSON(Root, n); err != nil {
+				return err
+			}
 		}
 	}
 	if err := fresh.Validate(); err != nil {
@@ -59,6 +70,57 @@ func (t *Tree) UnmarshalJSON(data []byte) error {
 	}
 	*t = *fresh
 	return nil
+}
+
+// flatNode is one decoded participant with its recorded id and parent.
+type flatNode struct {
+	id, parent int
+	label      string
+	c          float64
+}
+
+// fromJSONWithIDs rebuilds a tree honouring the recorded node ids.
+// It reports !ok when the document's ids cannot reproduce a join
+// order — any id missing, ids not a dense 1..n, or a parent not
+// preceding its child (live trees always join parents first) — in
+// which case the caller renumbers in preorder instead.
+func fromJSONWithIDs(dec treeJSON) (*Tree, bool) {
+	var nodes []flatNode
+	var collect func(parent int, n nodeJSON) bool
+	collect = func(parent int, n nodeJSON) bool {
+		if n.ID <= 0 {
+			return false
+		}
+		nodes = append(nodes, flatNode{id: n.ID, parent: parent, label: n.Label, c: n.C})
+		for _, k := range n.Kids {
+			if !collect(n.ID, k) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, n := range dec.Participants {
+		if !collect(int(Root), n) {
+			return nil, false
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	for i, fn := range nodes {
+		if fn.id != i+1 || fn.parent >= fn.id {
+			return nil, false
+		}
+	}
+	t := New()
+	for _, fn := range nodes {
+		id, err := t.Add(NodeID(fn.parent), fn.c)
+		if err != nil || int(id) != fn.id {
+			return nil, false
+		}
+		if fn.label != "" {
+			t.label[id] = fn.label
+		}
+	}
+	return t, true
 }
 
 func (t *Tree) fromJSON(parent NodeID, n nodeJSON) error {

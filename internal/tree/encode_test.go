@@ -30,6 +30,75 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTripPreservesIDs: a tree built out of DFS preorder
+// (interleaved joins across two chains) must keep its exact NodeID
+// numbering through a marshal/unmarshal cycle. NodeID order is the
+// float summation order of Total and the subtree sums, so a renumbering
+// round trip would perturb recovered reward tables in the last ulp.
+func TestJSONRoundTripPreservesIDs(t *testing.T) {
+	orig := New()
+	a0, _ := orig.Add(Root, 1)
+	orig.SetLabel(a0, "a0")
+	b0, _ := orig.Add(Root, 2)
+	orig.SetLabel(b0, "b0")
+	a1, _ := orig.Add(a0, 3)
+	orig.SetLabel(a1, "a1")
+	b1, _ := orig.Add(b0, 4)
+	orig.SetLabel(b1, "b1")
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Tree
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range orig.Nodes() {
+		if got, want := round.Label(u), orig.Label(u); got != want {
+			t.Fatalf("node %d label = %q, want %q (ids renumbered)", u, got, want)
+		}
+		if got, want := round.Contribution(u), orig.Contribution(u); got != want {
+			t.Fatalf("node %d contribution = %v, want %v", u, got, want)
+		}
+	}
+}
+
+// TestUnmarshalWithoutIDs: documents predating the id field (or written
+// by hand) still decode, numbered in DFS preorder.
+func TestUnmarshalWithoutIDs(t *testing.T) {
+	var tr Tree
+	doc := `{"participants":[{"label":"a","c":1,"kids":[{"label":"b","c":2}]},{"label":"e","c":3}]}`
+	if err := json.Unmarshal([]byte(doc), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumParticipants() != 3 {
+		t.Fatalf("participants = %d, want 3", tr.NumParticipants())
+	}
+	if tr.Label(1) != "a" || tr.Label(2) != "b" || tr.Label(3) != "e" {
+		t.Fatalf("preorder labels = %q %q %q", tr.Label(1), tr.Label(2), tr.Label(3))
+	}
+}
+
+// TestUnmarshalMalformedIDs: ids that cannot reproduce a join order
+// (duplicates, gaps, child before parent) are ignored rather than
+// trusted, falling back to preorder numbering.
+func TestUnmarshalMalformedIDs(t *testing.T) {
+	for _, doc := range []string{
+		`{"participants":[{"id":2,"label":"a","c":1},{"id":3,"label":"b","c":2}]}`, // gap: no id 1
+		`{"participants":[{"id":1,"label":"a","c":1},{"id":1,"label":"b","c":2}]}`, // duplicate
+		`{"participants":[{"id":2,"label":"a","c":1,"kids":[{"id":1,"label":"b","c":2}]}]}`, // child id below parent
+	} {
+		var tr Tree
+		if err := json.Unmarshal([]byte(doc), &tr); err != nil {
+			t.Fatalf("doc %s: %v", doc, err)
+		}
+		if tr.NumParticipants() != 2 {
+			t.Fatalf("doc %s: participants = %d, want 2", doc, tr.NumParticipants())
+		}
+	}
+}
+
 func TestJSONEmptyTree(t *testing.T) {
 	data, err := json.Marshal(New())
 	if err != nil {
