@@ -1,15 +1,30 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: check build vet test race bench benchsmoke bench-json loadsmoke
+.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke
 
-check: build vet test race benchsmoke loadsmoke
+check: build vet lint fmtcheck test race benchsmoke loadsmoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint builds and runs itreevet, the project-specific static-analysis
+# suite (lockedcall, journalfirst, floatorder, metricname). Findings
+# fail the build; waivers need an inline
+#   //itreevet:ignore <analyzer> <reason>
+# annotation, and every waiver is counted in the output.
+lint: bin/itreevet
+	bin/itreevet ./...
+
+bin/itreevet: $(shell find cmd/itreevet internal/vet -name '*.go' -not -path '*/testdata/*') go.mod
+	$(GO) build -o bin/itreevet ./cmd/itreevet
+
+# fmtcheck fails if any tracked Go file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -35,7 +35,7 @@
 // then closes the journals, so a shutdown can never tear a write-ahead
 // log mid-append. A torn journal tail left by a hard crash is tolerated
 // at startup: complete events are recovered, the torn line is truncated
-// away, and the repair is counted on the journal_torn_tails_total
+// away, and the repair is counted on the itree_journal_torn_tails_total
 // metric.
 package main
 

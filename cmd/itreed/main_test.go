@@ -199,18 +199,18 @@ func TestMetricsEndpoint(t *testing.T) {
 	// counters, incremental-engine counters, and the budget gauge. The
 	// registry is process-wide, so assert presence, not exact counts.
 	for _, want := range []string{
-		`http_requests_total{code="2xx",route="POST /v1/join"}`,
-		`http_requests_total{code="4xx",route="POST /v1/contribute"}`,
+		`itree_http_requests_total{code="2xx",route="POST /v1/join"}`,
+		`itree_http_requests_total{code="4xx",route="POST /v1/contribute"}`,
 		`http_request_duration_seconds_bucket{route="GET /v1/rewards",le="+Inf"}`,
-		"# TYPE http_request_duration_seconds histogram",
-		"journal_appends_total",
-		"journal_append_bytes_total",
-		"journal_torn_tails_total",
-		"# TYPE incremental_ops_total counter",
+		"# TYPE itree_http_request_duration_seconds histogram",
+		"itree_journal_appends_total",
+		"itree_journal_append_bytes_total",
+		"itree_journal_torn_tails_total",
+		"# TYPE itree_incremental_ops_total counter",
 		"itree_participants 1",
 		"itree_budget_utilization",
 		"itree_contribution_total 2",
-		"# TYPE mechanism_rewards_seconds histogram",
+		"# TYPE itree_mechanism_rewards_seconds histogram",
 		`mechanism_rewards_seconds_count{mechanism="Geometric(`,
 	} {
 		if !strings.Contains(body, want) {
@@ -400,7 +400,7 @@ func TestSetupDataDirMultiCampaign(t *testing.T) {
 		"itree_campaigns 2",
 		`itree_participants{campaign="acme"} 1`,
 		"itree_checkpoints_total",
-		"journal_syncs_total",
+		"itree_journal_syncs_total",
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("/metrics missing %q", want)

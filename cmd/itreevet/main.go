@@ -1,0 +1,217 @@
+// Command itreevet is the repo's static-analysis suite: four
+// project-specific analyzers that mechanically enforce invariants the
+// codebase otherwise holds only by convention.
+//
+//	lockedcall    *Locked methods are called only under the
+//	              receiver's mutex and never lock it themselves
+//	journalfirst  state mutated before a journal append is rolled
+//	              back on the append-error path
+//	floatorder    deterministic packages neither accumulate floats
+//	              over map iteration order nor consult time/rand
+//	metricname    obs metric names are literal, itree_-prefixed,
+//	              and unique module-wide
+//
+// Usage:
+//
+//	itreevet [-json] [-list] [packages]
+//
+// The whole module is always loaded (analysis is module-wide); naming
+// package directories restricts which packages findings are reported
+// for. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Findings can be suppressed — visibly — with an inline annotation on
+// the offending line or the line above:
+//
+//	//itreevet:ignore <analyzer> <reason>
+//
+// Suppression counts are always reported (and emitted under
+// "suppressed" with -json) so waived findings stay auditable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"incentivetree/internal/vet"
+	"incentivetree/internal/vet/floatorder"
+	"incentivetree/internal/vet/journalfirst"
+	"incentivetree/internal/vet/lockedcall"
+	"incentivetree/internal/vet/metricname"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"` // suppressions only
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings        []jsonFinding  `json:"findings"`
+	Suppressed      []jsonFinding  `json:"suppressed"`
+	SuppressedCount map[string]int `json:"suppressed_count"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("itreevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit machine-readable findings (and suppressions) as JSON")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := []*vet.Analyzer{
+		lockedcall.New(),
+		journalfirst.New(),
+		floatorder.New(),
+		metricname.New(),
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "itreevet:", err)
+		return 2
+	}
+	fset, pkgs, err := vet.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "itreevet:", err)
+		return 2
+	}
+	res := vet.Run(fset, pkgs, analyzers)
+	res.Findings = filterScope(res.Findings, root, fs.Args())
+	res.Suppressed = filterScope(res.Suppressed, root, fs.Args())
+
+	if *asJSON {
+		rep := jsonReport{
+			Findings:        []jsonFinding{},
+			Suppressed:      []jsonFinding{},
+			SuppressedCount: map[string]int{},
+		}
+		for _, d := range res.Findings {
+			rep.Findings = append(rep.Findings, toJSON(root, d))
+		}
+		for _, d := range res.Suppressed {
+			rep.Suppressed = append(rep.Suppressed, toJSON(root, d))
+			rep.SuppressedCount[d.Analyzer]++
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "itreevet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		if len(res.Suppressed) > 0 {
+			counts := map[string]int{}
+			for _, d := range res.Suppressed {
+				counts[d.Analyzer]++
+			}
+			names := make([]string, 0, len(counts))
+			for n := range counts {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			parts := make([]string, 0, len(names))
+			for _, n := range names {
+				parts = append(parts, fmt.Sprintf("%s=%d", n, counts[n]))
+			}
+			fmt.Fprintf(stderr, "itreevet: %d finding(s) suppressed by //itreevet:ignore (%s)\n", len(res.Suppressed), strings.Join(parts, ", "))
+		}
+	}
+	if len(res.Findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "itreevet: %d finding(s)\n", len(res.Findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterScope keeps diagnostics under the named package directories
+// ("./..." or no arguments keeps everything).
+func filterScope(ds []vet.Diagnostic, root string, args []string) []vet.Diagnostic {
+	var dirs []string
+	for _, a := range args {
+		a = strings.TrimSuffix(a, "...")
+		a = strings.TrimSuffix(a, "/")
+		a = strings.TrimPrefix(a, "./")
+		if a == "" || a == "." {
+			return ds
+		}
+		dirs = append(dirs, filepath.ToSlash(a))
+	}
+	if len(dirs) == 0 {
+		return ds
+	}
+	var out []vet.Diagnostic
+	for _, d := range ds {
+		rel := filepath.ToSlash(relPath(root, d.Pos.Filename))
+		for _, dir := range dirs {
+			if rel == dir || strings.HasPrefix(rel, dir+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func toJSON(root string, d vet.Diagnostic) jsonFinding {
+	return jsonFinding{
+		File:     relPath(root, d.Pos.Filename),
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		Reason:   d.Reason,
+	}
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// moduleRoot walks up from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

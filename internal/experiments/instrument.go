@@ -19,9 +19,9 @@ const sampleEvery = 8
 // Instrumented wraps m so every reward evaluation is counted and timed
 // in reg under the mechanism's name:
 //
-//	mechanism_rewards_total{mechanism}    evaluations
-//	mechanism_rewards_errors_total{mechanism} failed evaluations
-//	mechanism_rewards_seconds{mechanism}  evaluation latency histogram
+//	itree_mechanism_rewards_total{mechanism}    evaluations
+//	itree_mechanism_rewards_errors_total{mechanism} failed evaluations
+//	itree_mechanism_rewards_seconds{mechanism}  evaluation latency histogram
 //	                                      (sampled 1-in-8, so its
 //	                                      _count trails the total)
 //
@@ -32,11 +32,11 @@ const sampleEvery = 8
 func Instrumented(m core.Mechanism, reg *obs.Registry) core.Mechanism {
 	return &timedMechanism{
 		inner: m,
-		evals: reg.Counter("mechanism_rewards_total",
+		evals: reg.Counter("itree_mechanism_rewards_total",
 			"Reward evaluations, by mechanism.", "mechanism", m.Name()),
-		errs: reg.Counter("mechanism_rewards_errors_total",
+		errs: reg.Counter("itree_mechanism_rewards_errors_total",
 			"Failed reward evaluations, by mechanism.", "mechanism", m.Name()),
-		lat: reg.Histogram("mechanism_rewards_seconds",
+		lat: reg.Histogram("itree_mechanism_rewards_seconds",
 			"Reward evaluation latency in seconds, by mechanism.",
 			nil, "mechanism", m.Name()),
 	}

@@ -40,14 +40,14 @@ func TestInstrumentedPreservesRewards(t *testing.T) {
 	}
 
 	// Two evaluations recorded (the one above).
-	if n := reg.Counter("mechanism_rewards_total", "", "mechanism", m.Name()).Value(); n != 1 {
+	if n := reg.Counter("itree_mechanism_rewards_total", "", "mechanism", m.Name()).Value(); n != 1 {
 		t.Fatalf("evaluations = %d, want 1", n)
 	}
-	h := reg.Histogram("mechanism_rewards_seconds", "", nil, "mechanism", m.Name())
+	h := reg.Histogram("itree_mechanism_rewards_seconds", "", nil, "mechanism", m.Name())
 	if h.Count() != 1 || h.Sum() <= 0 {
 		t.Fatalf("latency histogram count=%d sum=%v", h.Count(), h.Sum())
 	}
-	if n := reg.Counter("mechanism_rewards_errors_total", "", "mechanism", m.Name()).Value(); n != 0 {
+	if n := reg.Counter("itree_mechanism_rewards_errors_total", "", "mechanism", m.Name()).Value(); n != 0 {
 		t.Fatalf("errors = %d, want 0", n)
 	}
 }

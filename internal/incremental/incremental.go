@@ -32,8 +32,8 @@ import (
 // Engine writes are recorded in the process-wide obs registry, split by
 // engine kind and operation, so an operator can compare incremental
 // O(depth) maintenance against full O(n) recomputation in production:
-// incremental_ops_total{engine,op} counts writes and
-// incremental_op_seconds{engine,op} tracks their latency.
+// itree_incremental_ops_total{engine,op} counts writes and
+// itree_incremental_op_seconds{engine,op} tracks their latency.
 type opRecorder struct {
 	ops *obs.Counter
 	lat *obs.Histogram
@@ -41,10 +41,10 @@ type opRecorder struct {
 
 func newOpRecorder(engine, op string) opRecorder {
 	return opRecorder{
-		ops: obs.Default().Counter("incremental_ops_total",
+		ops: obs.Default().Counter("itree_incremental_ops_total",
 			"Engine write operations, by engine kind and op.",
 			"engine", engine, "op", op),
-		lat: obs.Default().Histogram("incremental_op_seconds",
+		lat: obs.Default().Histogram("itree_incremental_op_seconds",
 			"Engine write latency in seconds, by engine kind and op.",
 			nil, "engine", engine, "op", op),
 	}
@@ -137,7 +137,7 @@ func NewGeometricFromTree(m *geometric.Mechanism, t *tree.Tree) *GeometricEngine
 
 // Join implements Engine in O(depth).
 func (e *GeometricEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
-	defer geoJoinOps.done(time.Now())
+	defer geoJoinOps.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -149,7 +149,7 @@ func (e *GeometricEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, erro
 
 // AddContribution implements Engine in O(depth).
 func (e *GeometricEngine) AddContribution(u tree.NodeID, delta float64) error {
-	defer geoContrib.done(time.Now())
+	defer geoContrib.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}
@@ -213,7 +213,7 @@ func NewCDRMFromTree(m *cdrm.Mechanism, t *tree.Tree) *CDRMEngine {
 
 // Join implements Engine in O(depth).
 func (e *CDRMEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
-	defer cdrmJoinOps.done(time.Now())
+	defer cdrmJoinOps.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -225,7 +225,7 @@ func (e *CDRMEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
 
 // AddContribution implements Engine in O(depth).
 func (e *CDRMEngine) AddContribution(u tree.NodeID, delta float64) error {
-	defer cdrmContrib.done(time.Now())
+	defer cdrmContrib.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}
@@ -293,7 +293,7 @@ func (e *FullEngine) recompute() error {
 
 // Join implements Engine in O(n).
 func (e *FullEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
-	defer fullJoinOps.done(time.Now())
+	defer fullJoinOps.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	id, err := e.t.Add(parent, c)
 	if err != nil {
 		return tree.None, err
@@ -306,7 +306,7 @@ func (e *FullEngine) Join(parent tree.NodeID, c float64) (tree.NodeID, error) {
 
 // AddContribution implements Engine in O(n).
 func (e *FullEngine) AddContribution(u tree.NodeID, delta float64) error {
-	defer fullContrib.done(time.Now())
+	defer fullContrib.done(time.Now()) //itreevet:ignore floatorder wall clock feeds only the op-latency histogram, never reward state
 	if err := e.t.AddContribution(u, delta); err != nil {
 		return err
 	}

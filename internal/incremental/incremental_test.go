@@ -193,8 +193,8 @@ func TestRewardsSnapshotIsACopy(t *testing.T) {
 // monotonic, so the test asserts deltas, not absolute values.
 func TestOpsAreInstrumented(t *testing.T) {
 	e := geoEngine(t)
-	ops := obs.Default().Counter("incremental_ops_total", "", "engine", "geometric", "op", "join")
-	lat := obs.Default().Histogram("incremental_op_seconds", "", nil, "engine", "geometric", "op", "contribute")
+	ops := obs.Default().Counter("itree_incremental_ops_total", "", "engine", "geometric", "op", "join")
+	lat := obs.Default().Histogram("itree_incremental_op_seconds", "", nil, "engine", "geometric", "op", "contribute")
 	opsBefore, latBefore := ops.Value(), lat.Count()
 	u, err := e.Join(tree.Root, 1)
 	if err != nil {

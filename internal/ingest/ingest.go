@@ -162,18 +162,18 @@ func New(a Applier, o Options) *Committer {
 		labels:    o.Labels,
 	}
 	if c.reg != nil {
-		c.reg.GaugeFunc("ingest_queue_depth",
+		c.reg.GaugeFunc("itree_ingest_queue_depth",
 			"Operations waiting for the group committer.", func() float64 {
 				return float64(len(c.queue))
 			}, c.labels...)
-		c.mShed = c.reg.Counter("ingest_shed_total",
+		c.mShed = c.reg.Counter("itree_ingest_shed_total",
 			"Writes shed by admission control (queue full).", c.labels...)
-		c.mBatches = c.reg.Counter("ingest_batches_total",
+		c.mBatches = c.reg.Counter("itree_ingest_batches_total",
 			"Group commits executed.", c.labels...)
-		c.mSize = c.reg.Histogram("ingest_batch_size",
+		c.mSize = c.reg.Histogram("itree_ingest_batch_size",
 			"Operations per group commit.",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, c.labels...)
-		c.mCommit = c.reg.Histogram("ingest_commit_seconds",
+		c.mCommit = c.reg.Histogram("itree_ingest_commit_seconds",
 			"Group commit latency (apply + journal + wakeups).", nil, c.labels...)
 	}
 	go c.loop()
@@ -181,7 +181,7 @@ func New(a Applier, o Options) *Committer {
 }
 
 // QueueLen reports how many operations are waiting for the committer
-// (the same reading as the ingest_queue_depth gauge).
+// (the same reading as the itree_ingest_queue_depth gauge).
 func (c *Committer) QueueLen() int { return len(c.queue) }
 
 // Submit enqueues op and blocks until its batch commits, returning the
@@ -229,11 +229,11 @@ func (c *Committer) Close() {
 	<-c.drained
 	if c.reg != nil {
 		for _, name := range []string{
-			"ingest_queue_depth",
-			"ingest_shed_total",
-			"ingest_batches_total",
-			"ingest_batch_size",
-			"ingest_commit_seconds",
+			"itree_ingest_queue_depth",
+			"itree_ingest_shed_total",
+			"itree_ingest_batches_total",
+			"itree_ingest_batch_size",
+			"itree_ingest_commit_seconds",
 		} {
 			c.reg.Unregister(name, c.labels...)
 		}

@@ -199,8 +199,8 @@ func TestQueueFullSheds(t *testing.T) {
 	if _, err := c.Submit(context.Background(), Op{Kind: OpJoin, Name: "shed"}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
-	if got := reg.Counter("ingest_shed_total", "").Value(); got != 1 {
-		t.Fatalf("ingest_shed_total = %d, want 1", got)
+	if got := reg.Counter("itree_ingest_shed_total", "").Value(); got != 1 {
+		t.Fatalf("itree_ingest_shed_total = %d, want 1", got)
 	}
 	close(f.gate)
 	for i := 0; i < 2; i++ {
@@ -304,7 +304,7 @@ func TestMetricsLifecycle(t *testing.T) {
 		}
 		return out
 	}
-	for _, want := range []string{"ingest_queue_depth", "ingest_shed_total", "ingest_batches_total", "ingest_batch_size", "ingest_commit_seconds"} {
+	for _, want := range []string{"itree_ingest_queue_depth", "itree_ingest_shed_total", "itree_ingest_batches_total", "itree_ingest_batch_size", "itree_ingest_commit_seconds"} {
 		if !names()[want] {
 			t.Fatalf("metric %s not registered", want)
 		}

@@ -14,7 +14,7 @@ import (
 
 // metricSyncs counts explicit File.Sync calls issued by FileWriters, so
 // operators can verify a sync policy is actually being exercised.
-var metricSyncs = obs.Default().Counter("journal_syncs_total",
+var metricSyncs = obs.Default().Counter("itree_journal_syncs_total",
 	"Explicit fsync calls issued by journal file writers.")
 
 // SyncPolicy selects when a FileWriter flushes appended events to stable

@@ -82,7 +82,7 @@ func TestFileWriterSyncAlwaysCounts(t *testing.T) {
 		}
 	}
 	if got := metricSyncs.Value() - before; got != 3 {
-		t.Fatalf("journal_syncs_total advanced by %d, want 3", got)
+		t.Fatalf("itree_journal_syncs_total advanced by %d, want 3", got)
 	}
 }
 

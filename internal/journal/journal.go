@@ -23,10 +23,10 @@ import (
 // Journal activity is recorded in the process-wide obs registry so a
 // serving daemon can watch write rates and recovery health.
 var (
-	metricAppends     = obs.Default().Counter("journal_appends_total", "Events appended to the journal.")
-	metricAppendBytes = obs.Default().Counter("journal_append_bytes_total", "Bytes appended to the journal.")
-	metricReplays     = obs.Default().Counter("journal_replay_events_total", "Events replayed from journals.")
-	metricTornTails   = obs.Default().Counter("journal_torn_tails_total", "Journal reads that found a torn final line.")
+	metricAppends     = obs.Default().Counter("itree_journal_appends_total", "Events appended to the journal.")
+	metricAppendBytes = obs.Default().Counter("itree_journal_append_bytes_total", "Bytes appended to the journal.")
+	metricReplays     = obs.Default().Counter("itree_journal_replay_events_total", "Events replayed from journals.")
+	metricTornTails   = obs.Default().Counter("itree_journal_torn_tails_total", "Journal reads that found a torn final line.")
 )
 
 // Kind discriminates event types.

@@ -8,10 +8,10 @@ import (
 
 // Middleware wraps next so every request is recorded into reg:
 //
-//	http_requests_total{route,code}      request count by status class
-//	http_request_duration_seconds{route} latency histogram
-//	http_response_bytes_total{route}     response body bytes
-//	http_requests_in_flight              gauge of concurrent requests
+//	itree_http_requests_total{route,code}      request count by status class
+//	itree_http_request_duration_seconds{route} latency histogram
+//	itree_http_response_bytes_total{route}     response body bytes
+//	itree_http_requests_in_flight              gauge of concurrent requests
 //
 // The route label is the ServeMux pattern that matched (e.g.
 // "POST /v1/join"), so path wildcards like {name} do not explode label
@@ -19,7 +19,7 @@ import (
 // "unmatched". Metrics are recorded after next returns, when the mux
 // has stamped the pattern onto the request.
 func Middleware(reg *Registry, next http.Handler) http.Handler {
-	inFlight := reg.Gauge("http_requests_in_flight",
+	inFlight := reg.Gauge("itree_http_requests_in_flight",
 		"Number of HTTP requests currently being served.")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -31,13 +31,13 @@ func Middleware(reg *Registry, next http.Handler) http.Handler {
 		if route == "" {
 			route = "unmatched"
 		}
-		reg.Counter("http_requests_total",
+		reg.Counter("itree_http_requests_total",
 			"HTTP requests served, by route and status class.",
 			"route", route, "code", statusClass(rec.status())).Inc()
-		reg.Histogram("http_request_duration_seconds",
+		reg.Histogram("itree_http_request_duration_seconds",
 			"HTTP request latency in seconds, by route.",
 			nil, "route", route).Observe(time.Since(start).Seconds())
-		reg.Counter("http_response_bytes_total",
+		reg.Counter("itree_http_response_bytes_total",
 			"HTTP response body bytes written, by route.",
 			"route", route).Add(uint64(rec.bytes))
 	})

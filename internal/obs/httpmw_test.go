@@ -41,21 +41,21 @@ func TestMiddlewareRecordsRoutesAndClasses(t *testing.T) {
 	get("/v1/fail")
 	get("/nowhere")
 
-	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != 2 {
+	if got := reg.Counter("itree_http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != 2 {
 		t.Fatalf("ok 2xx count = %d, want 2", got)
 	}
 	// Wildcard paths collapse into one pattern label.
-	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/items/{id}", "code", "2xx").Value(); got != 2 {
+	if got := reg.Counter("itree_http_requests_total", "", "route", "GET /v1/items/{id}", "code", "2xx").Value(); got != 2 {
 		t.Fatalf("items 2xx count = %d, want 2", got)
 	}
-	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/fail", "code", "4xx").Value(); got != 1 {
+	if got := reg.Counter("itree_http_requests_total", "", "route", "GET /v1/fail", "code", "4xx").Value(); got != 1 {
 		t.Fatalf("fail 4xx count = %d, want 1", got)
 	}
-	if got := reg.Counter("http_requests_total", "", "route", "unmatched", "code", "4xx").Value(); got != 1 {
+	if got := reg.Counter("itree_http_requests_total", "", "route", "unmatched", "code", "4xx").Value(); got != 1 {
 		t.Fatalf("unmatched 4xx count = %d, want 1", got)
 	}
 	// Latency histogram observed every ok request.
-	h := reg.Histogram("http_request_duration_seconds", "", nil, "route", "GET /v1/ok")
+	h := reg.Histogram("itree_http_request_duration_seconds", "", nil, "route", "GET /v1/ok")
 	if got := h.Count(); got != 2 {
 		t.Fatalf("latency observations = %d, want 2", got)
 	}
@@ -63,11 +63,11 @@ func TestMiddlewareRecordsRoutesAndClasses(t *testing.T) {
 		t.Fatalf("latency sum = %v, want > 0", h.Sum())
 	}
 	// Response bytes counted ("okay" is 4 bytes).
-	if got := reg.Counter("http_response_bytes_total", "", "route", "GET /v1/ok").Value(); got != 8 {
+	if got := reg.Counter("itree_http_response_bytes_total", "", "route", "GET /v1/ok").Value(); got != 8 {
 		t.Fatalf("response bytes = %d, want 8", got)
 	}
 	// In-flight gauge returned to zero.
-	if got := reg.Gauge("http_requests_in_flight", "").Value(); got != 0 {
+	if got := reg.Gauge("itree_http_requests_in_flight", "").Value(); got != 0 {
 		t.Fatalf("in-flight = %v, want 0", got)
 	}
 }
@@ -89,7 +89,7 @@ func TestMiddlewareConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := reg.Counter("http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != n {
+	if got := reg.Counter("itree_http_requests_total", "", "route", "GET /v1/ok", "code", "2xx").Value(); got != n {
 		t.Fatalf("count = %d, want %d", got, n)
 	}
 }
@@ -108,7 +108,7 @@ func TestMiddlewareExposition(t *testing.T) {
 	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	body := rec.Body.String()
 	for _, want := range []string{
-		`http_requests_total{code="2xx",route="GET /v1/ok"} 1`,
+		`itree_http_requests_total{code="2xx",route="GET /v1/ok"} 1`,
 		`http_request_duration_seconds_bucket{route="GET /v1/ok",le="+Inf"} 1`,
 		`http_request_duration_seconds_count{route="GET /v1/ok"} 1`,
 	} {

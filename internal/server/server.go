@@ -48,7 +48,7 @@ type Server struct {
 	labels    []string      // metric labels from WithMetricsLabels
 	useEngine bool          // WithIncremental requested
 	batching  *ingest.Options
-	committer *ingest.Committer       // non-nil iff WithBatching
+	committer *ingest.Committer        // non-nil iff WithBatching
 	cache     *query.Cache[*queryView] // versioned read-side views
 
 	mu      sync.RWMutex

@@ -275,14 +275,14 @@ func TestErrorPathsOverHTTP(t *testing.T) {
 
 	// The middleware saw it all: 4 join requests (3 bad, 1 created), 2
 	// contribute requests (both bad).
-	join4xx := reg.Counter("http_requests_total", "", "route", "POST /v1/join", "code", "4xx").Value()
-	join2xx := reg.Counter("http_requests_total", "", "route", "POST /v1/join", "code", "2xx").Value()
-	contrib4xx := reg.Counter("http_requests_total", "", "route", "POST /v1/contribute", "code", "4xx").Value()
+	join4xx := reg.Counter("itree_http_requests_total", "", "route", "POST /v1/join", "code", "4xx").Value()
+	join2xx := reg.Counter("itree_http_requests_total", "", "route", "POST /v1/join", "code", "2xx").Value()
+	contrib4xx := reg.Counter("itree_http_requests_total", "", "route", "POST /v1/contribute", "code", "4xx").Value()
 	if join4xx != 3 || join2xx != 1 || contrib4xx != 2 {
 		t.Fatalf("recorded join4xx=%d join2xx=%d contrib4xx=%d, want 3/1/2", join4xx, join2xx, contrib4xx)
 	}
 	// Latency histograms observed every request on the route.
-	h := reg.Histogram("http_request_duration_seconds", "", nil, "route", "POST /v1/join")
+	h := reg.Histogram("itree_http_request_duration_seconds", "", nil, "route", "POST /v1/join")
 	if h.Count() != 4 {
 		t.Fatalf("join latency observations = %d, want 4", h.Count())
 	}

@@ -157,7 +157,7 @@ func (st *Store) recoverAll() error {
 // recoverCampaign rebuilds one campaign from its directory: meta.json
 // for configuration, snapshot.json for the checkpointed base state, and
 // journal.log for the suffix of events after it. A torn final journal
-// line is truncated away (counted on journal_torn_tails_total); stray
+// line is truncated away (counted on itree_journal_torn_tails_total); stray
 // .tmp files from interrupted checkpoints are removed.
 func (st *Store) recoverCampaign(id string) error {
 	if err := ValidateID(id); err != nil {

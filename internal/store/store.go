@@ -123,8 +123,8 @@ type Campaign struct {
 	Meta Meta
 
 	srv     *server.Server
-	handler http.Handler // cached srv.Handler()
-	dir     string       // "" = ephemeral
+	handler http.Handler        // cached srv.Handler()
+	dir     string              // "" = ephemeral
 	fw      *journal.FileWriter // nil = ephemeral or caller-managed
 
 	// cpMu serializes checkpoints of this campaign.

@@ -292,8 +292,8 @@ func cloneArrangement(a Arrangement) Arrangement {
 }
 
 var (
-	searchesTotal     = obs.Default().Counter("sybil_searches_total", "Completed Sybil attack searches.")
-	arrangementsTotal = obs.Default().Counter("sybil_arrangements_total", "Arrangements evaluated by Sybil attack searches.")
+	searchesTotal     = obs.Default().Counter("itree_sybil_searches_total", "Completed Sybil attack searches.")
+	arrangementsTotal = obs.Default().Counter("itree_sybil_arrangements_total", "Arrangements evaluated by Sybil attack searches.")
 )
 
 // workerBest is one worker's running best together with the global

@@ -85,8 +85,8 @@ func TestUnmarshalWithoutIDs(t *testing.T) {
 // trusted, falling back to preorder numbering.
 func TestUnmarshalMalformedIDs(t *testing.T) {
 	for _, doc := range []string{
-		`{"participants":[{"id":2,"label":"a","c":1},{"id":3,"label":"b","c":2}]}`, // gap: no id 1
-		`{"participants":[{"id":1,"label":"a","c":1},{"id":1,"label":"b","c":2}]}`, // duplicate
+		`{"participants":[{"id":2,"label":"a","c":1},{"id":3,"label":"b","c":2}]}`,          // gap: no id 1
+		`{"participants":[{"id":1,"label":"a","c":1},{"id":1,"label":"b","c":2}]}`,          // duplicate
 		`{"participants":[{"id":2,"label":"a","c":1,"kids":[{"id":1,"label":"b","c":2}]}]}`, // child id below parent
 	} {
 		var tr Tree

@@ -1,0 +1,117 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// RootIdent returns the identifier at the base of a selector/index
+// chain (`s` for s.tree.Add, s.mu, s.byKey[k]) or nil when the chain
+// is rooted in a call or literal.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to its object via Uses or Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// IsMutex reports whether t (possibly behind pointers) is sync.Mutex
+// or sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// NamedReceiver returns the named type of a method's receiver
+// (unwrapping pointers), or nil for plain functions.
+func NamedReceiver(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// ConstString returns the compile-time constant string value of e, if
+// it has one.
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// CalleeFunc resolves the *types.Func a call invokes, whether through
+// a plain identifier or a selector; nil for indirect calls through
+// variables or conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := ObjectOf(info, fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call (pkg.Func): the selection map has no
+		// entry; the Sel identifier resolves directly.
+		f, _ := ObjectOf(info, fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsFloat reports whether t's underlying type is a floating-point
+// basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsMapType reports whether t's underlying type is a map.
+func IsMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/floatorder"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestFloatOrder(t *testing.T) {
+	vettest.Run(t, "testdata", floatorder.New)
+}

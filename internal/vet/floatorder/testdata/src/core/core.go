@@ -1,0 +1,96 @@
+// Package core is the floatorder golden fixture: its package name
+// places it in the deterministic set.
+package core
+
+import (
+	"math/rand" // want `imports math/rand`
+	"sort"
+	"time"
+)
+
+type Rewards map[int]float64
+
+// Total accumulates a float directly over map iteration order.
+func Total(r Rewards) float64 {
+	sum := 0.0
+	for _, v := range r {
+		sum += v // want `floating-point accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+// TotalSorted is the blessed pattern: keys out, sort, then fold.
+func TotalSorted(r Rewards) float64 {
+	keys := make([]int, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += r[k]
+	}
+	return sum
+}
+
+// TotalUnsorted collects the keys but forgets the sort, so the slice
+// inherits the randomized order.
+func TotalUnsorted(r Rewards) float64 {
+	keys := make([]int, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sum := 0.0
+	for _, k := range keys { // want `slice of map keys, without sorting`
+		sum += r[k]
+	}
+	return sum
+}
+
+// Count shows integer accumulation over a map is exact and allowed.
+func Count(r Rewards) int {
+	n := 0
+	for range r {
+		n++
+	}
+	return n
+}
+
+// Max is order-independent selection, not accumulation: allowed.
+func Max(r Rewards) float64 {
+	max := 0.0
+	for _, v := range r {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PerNode only touches floats scoped inside the loop body: allowed.
+func PerNode(r Rewards) Rewards {
+	out := make(Rewards, len(r))
+	for k, v := range r {
+		scaled := v
+		scaled *= 2
+		out[k] = scaled
+	}
+	return out
+}
+
+// Stamp consults the wall clock from a deterministic package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+// StampSuppressed carries a documented waiver, exercising the
+// //itreevet:ignore path end to end: no finding may surface here.
+func StampSuppressed() int64 {
+	//itreevet:ignore floatorder fixture exercising the suppression path
+	return time.Now().UnixNano()
+}
+
+// Roll exists to use the flagged import.
+func Roll() int {
+	return rand.Intn(6)
+}

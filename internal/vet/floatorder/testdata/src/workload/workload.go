@@ -1,0 +1,25 @@
+// Package workload replays every pattern the analyzer flags, but its
+// package name is outside the deterministic set — nothing here may be
+// reported.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(50)) * time.Millisecond
+}
+
+func Mean(samples map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples)+1)
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+package journalfirst_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/journalfirst"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestJournalFirst(t *testing.T) {
+	vettest.Run(t, "testdata", journalfirst.New)
+}

@@ -1,0 +1,28 @@
+// Package journal is a stub with the same package name, type name,
+// and method shapes as the real journal package — the analyzer
+// matches on names, so fixtures exercise it without importing the
+// module.
+package journal
+
+type Event struct {
+	Name string
+	Seq  uint64
+}
+
+type Writer struct {
+	seq uint64
+}
+
+func (w *Writer) Append(e Event) (Event, error) {
+	w.seq++
+	e.Seq = w.seq
+	return e, nil
+}
+
+func (w *Writer) AppendBatch(events []Event) ([]Event, error) {
+	for i := range events {
+		w.seq++
+		events[i].Seq = w.seq
+	}
+	return events, nil
+}

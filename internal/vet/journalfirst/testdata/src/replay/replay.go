@@ -1,0 +1,20 @@
+// Package replay reproduces the worst fixture pattern from the scoped
+// packages — mutate, append, no rollback — but its package name is out
+// of the analyzer's scope, so nothing here may be flagged.
+package replay
+
+import "journal"
+
+type Rebuilder struct {
+	jw    *journal.Writer
+	count int
+}
+
+func (r *Rebuilder) Record(e journal.Event) error {
+	r.count++
+	_, err := r.jw.Append(e)
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Package server is the journalfirst golden fixture: the package name
+// puts it in the analyzer's scope.
+package server
+
+import "journal"
+
+type Server struct {
+	jw    *journal.Writer
+	byKey map[string]int
+	seq   uint64
+}
+
+func (s *Server) rollbackKey(k string) { delete(s.byKey, k) }
+
+func (s *Server) restoreSeq(v uint64) { s.seq = v }
+
+// GoodRollback mutates first but compensates on the error path.
+func (s *Server) GoodRollback(k string) error {
+	s.byKey[k] = 1
+	if _, err := s.jw.Append(journal.Event{Name: k}); err != nil {
+		s.rollbackKey(k)
+		return err
+	}
+	return nil
+}
+
+// GoodJournalFirst appends before touching guarded state: nothing to
+// roll back.
+func (s *Server) GoodJournalFirst(k string) error {
+	if _, err := s.jw.Append(journal.Event{Name: k}); err != nil {
+		return err
+	}
+	s.byKey[k] = 1
+	return nil
+}
+
+// GoodBatch uses the assign-then-check idiom with a compensation.
+func (s *Server) GoodBatch(events []journal.Event) error {
+	mark := s.seq
+	s.seq += uint64(len(events))
+	persisted, err := s.jw.AppendBatch(events)
+	if err != nil {
+		s.restoreSeq(mark)
+		return err
+	}
+	_ = persisted
+	return nil
+}
+
+// BadNoRollback checks the error but leaves memory ahead of the
+// journal.
+func (s *Server) BadNoRollback(k string) error {
+	s.byKey[k] = 1
+	_, err := s.jw.Append(journal.Event{Name: k}) // want `no rollback/undo/restore call`
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// BadIgnoredErr discards the append error entirely.
+func (s *Server) BadIgnoredErr(k string) {
+	s.byKey[k] = 1
+	s.jw.Append(journal.Event{Name: k}) // want `error is not checked`
+}
+
+// BadBatch mutates, batches, and forgets the compensation.
+func (s *Server) BadBatch(events []journal.Event) error {
+	s.seq += uint64(len(events))
+	_, err := s.jw.AppendBatch(events) // want `no rollback/undo/restore call`
+	if err != nil {
+		return err
+	}
+	return nil
+}

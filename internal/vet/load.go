@@ -1,0 +1,221 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule loads and type-checks every non-test package of the
+// module rooted at root (the directory holding go.mod), returning
+// packages sorted by import path. Standard-library imports are
+// resolved by the source importer, so no build artifacts or network
+// access are needed.
+func LoadModule(root string) (*token.FileSet, []*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return Load(root, modPath)
+}
+
+// Load parses every directory under root holding non-test Go files
+// and type-checks them in dependency order. The import path of a
+// directory is modulePath joined with its path relative to root
+// (modulePath itself for root; just the relative path when modulePath
+// is empty — the layout vettest uses for testdata trees).
+func Load(root, modulePath string) (*token.FileSet, []*Package, error) {
+	fset := token.NewFileSet()
+	pkgs := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "bin") {
+			return filepath.SkipDir
+		}
+		p, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rel == ".":
+			p.Path = modulePath
+		case modulePath == "":
+			p.Path = filepath.ToSlash(rel)
+		default:
+			p.Path = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		if p.Path == "" {
+			return nil // rootless layout with files at root: nothing to anchor them to
+		}
+		pkgs[p.Path] = p
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ordered, err := topoSort(pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := &chainImporter{
+		local: pkgs,
+		src:   importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range ordered {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vet: type-check %s: %w", p.Path, err)
+		}
+		p.Types = tpkg
+		p.Info = info
+	}
+	return fset, ordered, nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning
+// nil when there are none.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	p := &Package{Dir: dir}
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every local import precedes its
+// importer; ties break by import path for deterministic pass order.
+func topoSort(pkgs map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("vet: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := pkgs[path]
+		var deps []string
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if _, ok := pkgs[ip]; ok {
+					deps = append(deps, ip)
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		out = append(out, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// chainImporter resolves module-local packages from the loaded set
+// (already type-checked, thanks to topological order) and delegates
+// everything else — the standard library — to the source importer.
+type chainImporter struct {
+	local map[string]*Package
+	src   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("vet: import %s before it was checked", path)
+		}
+		return p.Types, nil
+	}
+	return c.src.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module directive in %s", gomod)
+}

@@ -1,0 +1,194 @@
+// Package lockedcall enforces the repo's *Locked naming contract.
+//
+// Methods whose name ends in "Locked" (rewardsLocked, viewLocked,
+// joinLocked, syncLocked, ...) document that the caller already holds
+// the receiver's mutex. The analyzer mechanically checks both sides
+// of that contract:
+//
+//  1. A *Locked method must never itself call Lock/Unlock (or
+//     RLock/RUnlock) on a mutex reachable from its receiver — that
+//     would self-deadlock (sync.Mutex is not reentrant) or release a
+//     lock the caller owns.
+//  2. A call site x.fooLocked(...) is only legal when the enclosing
+//     function either is itself a *Locked method on the same
+//     receiver object, or acquires a mutex rooted at x (x.mu.Lock(),
+//     x.mu.RLock()) earlier in the same function body.
+//
+// Check 2 is a dominating-path approximation: the acquire must
+// precede the call textually within the innermost enclosing function
+// (closures must acquire for themselves, since they may run after
+// the outer frame returned). A caller that locks, unlocks, and only
+// then calls fooLocked passes the check — the analyzer guards the
+// idiomatic lock-then-delegate layering, not arbitrary control flow.
+package lockedcall
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"incentivetree/internal/vet"
+)
+
+// New returns a fresh analyzer instance.
+func New() *vet.Analyzer {
+	return &vet.Analyzer{
+		Name: "lockedcall",
+		Doc:  "*Locked methods are called only under the receiver's mutex and never lock it themselves",
+		Run:  run,
+	}
+}
+
+// lockNames are the sync.Mutex/RWMutex methods that acquire.
+var lockNames = map[string]bool{"Lock": true, "RLock": true}
+
+// lockishNames additionally include the releases, forbidden inside
+// *Locked methods.
+var lockishNames = map[string]bool{"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true, "TryLock": true, "TryRLock": true}
+
+func run(pass *vet.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+}
+
+// checkFunc applies both contract directions to one top-level
+// function and every function literal nested in it.
+func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {
+	recvObj := receiverObject(pass.Info, fn)
+	isLocked := strings.HasSuffix(fn.Name.Name, "Locked") && recvObj != nil
+
+	// Direction 1: a *Locked method must not touch its own mutex.
+	if isLocked {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !lockishNames[sel.Sel.Name] || !vet.IsMutex(typeOf(pass.Info, sel.X)) {
+				return true
+			}
+			if root := vet.RootIdent(sel.X); root != nil && vet.ObjectOf(pass.Info, root) == recvObj {
+				pass.Report(call.Pos(), "%s is a *Locked method but calls %s on its receiver's mutex; the caller already holds it",
+					fn.Name.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	// Direction 2: every *Locked call site must be covered by an
+	// acquire in its innermost enclosing function. Track the function
+	// nesting stack so closures are checked against their own body.
+	type frame struct {
+		node     ast.Node // *ast.FuncDecl or *ast.FuncLit
+		body     *ast.BlockStmt
+		lockedOn types.Object // non-nil when the frame is a *Locked method on that receiver
+	}
+	stack := []frame{{node: fn, body: fn.Body}}
+	if isLocked {
+		stack[0].lockedOn = recvObj
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				stack = append(stack, frame{node: x, body: x.Body})
+				walk(x.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.CallExpr:
+				checkLockedCall(pass, x, stack[len(stack)-1].lockedOn, stack[len(stack)-1].body)
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+}
+
+// checkLockedCall validates one call expression if it targets a
+// *Locked method.
+func checkLockedCall(pass *vet.Pass, call *ast.CallExpr, lockedOn types.Object, body *ast.BlockStmt) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	callee := vet.CalleeFunc(pass.Info, call)
+	if callee == nil || vet.NamedReceiver(callee) == nil {
+		return // not a method (or unresolvable): out of contract
+	}
+	root := vet.RootIdent(sel.X)
+	if root == nil {
+		pass.Report(call.Pos(), "call to %s on an unnamed receiver; the lock that guards it cannot be verified", sel.Sel.Name)
+		return
+	}
+	rootObj := vet.ObjectOf(pass.Info, root)
+	// Legal inside a *Locked method on the same receiver object.
+	if lockedOn != nil && rootObj == lockedOn {
+		return
+	}
+	// Otherwise an acquire rooted at the same object must appear
+	// earlier in this function body.
+	if acquiresBefore(pass.Info, body, rootObj, call.Pos()) {
+		return
+	}
+	pass.Report(call.Pos(), "call to %s without holding %s's mutex: acquire %s.<mu>.Lock()/RLock() in this function first, or call from a *Locked method",
+		sel.Sel.Name, root.Name, root.Name)
+}
+
+// acquiresBefore reports whether body contains a Lock/RLock call on a
+// mutex rooted at obj at a position before pos, skipping nested
+// function literals (their bodies execute on their own schedule).
+func acquiresBefore(info *types.Info, body *ast.BlockStmt, obj types.Object, limit token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= limit {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockNames[sel.Sel.Name] || !vet.IsMutex(typeOf(info, sel.X)) {
+			return true
+		}
+		if root := vet.RootIdent(sel.X); root != nil && vet.ObjectOf(info, root) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// receiverObject returns the object of fn's receiver identifier, or
+// nil for plain functions and anonymous receivers.
+func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

@@ -1,0 +1,12 @@
+package lockedcall_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/lockedcall"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestLockedCall(t *testing.T) {
+	vettest.Run(t, "testdata", lockedcall.New)
+}

@@ -1,0 +1,81 @@
+// Package locked is the lockedcall golden fixture: every legal shape
+// of the *Locked contract next to every violation the analyzer must
+// catch.
+package locked
+
+import "sync"
+
+type Svc struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (s *Svc) sumLocked() int {
+	total := 0
+	for _, v := range s.data {
+		total += v
+	}
+	return total
+}
+
+func (s *Svc) viewLocked(k string) int { return s.data[k] }
+
+// Sum is legal: the receiver's mutex is acquired before the call.
+func (s *Svc) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sumLocked()
+}
+
+// View is legal: RLock also satisfies the contract.
+func (s *Svc) View(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.viewLocked(k)
+}
+
+// bothLocked is legal: *Locked may delegate to *Locked on the same
+// receiver.
+func (s *Svc) bothLocked() int {
+	return s.sumLocked() + s.viewLocked("a")
+}
+
+// Bad calls a *Locked method with no lock held.
+func (s *Svc) Bad() int {
+	return s.sumLocked() // want `call to sumLocked without holding s's mutex`
+}
+
+// badLocked violates direction 1: a *Locked method touching its own
+// receiver's mutex.
+func (s *Svc) badLocked() int {
+	s.mu.Lock()         // want `badLocked is a \*Locked method but calls Lock`
+	defer s.mu.Unlock() // want `badLocked is a \*Locked method but calls Unlock`
+	return len(s.data)
+}
+
+// Closure is a violation: the literal may run after Closure returned
+// and released the lock, so it must acquire for itself.
+func (s *Svc) Closure() func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return s.sumLocked() // want `call to sumLocked without holding s's mutex`
+	}
+}
+
+// ClosureGood is legal: the literal acquires on its own schedule.
+func (s *Svc) ClosureGood() func() int {
+	return func() int {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.sumLocked()
+	}
+}
+
+// Two locks a's mutex but calls through b: the acquire must be rooted
+// at the same object as the call.
+func Two(a, b *Svc) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.sumLocked() // want `call to sumLocked without holding b's mutex`
+}

@@ -1,0 +1,125 @@
+// Package metricname pins the module's Prometheus surface. Every
+// counter, gauge, or histogram registered on an obs.Registry from
+// non-test code must:
+//
+//  1. carry a compile-time constant name (so the surface is greppable
+//     and can be diffed between releases),
+//  2. match ^itree_[a-z0-9_]+(_total|_seconds|_bytes)?$ — one shared
+//     namespace prefix, lowercase, Prometheus-conventional suffixes,
+//  3. be registered consistently module-wide: re-registering a name
+//     with a different metric type or a different (non-empty) help
+//     string forks the surface silently, since obs registries are
+//     get-or-create.
+//
+// The uniqueness check is cross-package: the analyzer instance keeps
+// the names seen across passes, so construct a fresh one per run.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"incentivetree/internal/vet"
+)
+
+// namePattern is the required shape of a metric name.
+var namePattern = regexp.MustCompile(`^itree_[a-z0-9_]+(_total|_seconds|_bytes)?$`)
+
+// registration records where and how a metric name was first seen.
+type registration struct {
+	kind string
+	help string
+	pos  token.Position
+}
+
+// kinds maps obs.Registry method names to the metric kind they
+// register; the value doubles as the help-argument index sentinel
+// (help is always argument 1).
+var kinds = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+// New returns a fresh analyzer instance (required: it accumulates
+// module-wide state across passes).
+func New() *vet.Analyzer {
+	seen := make(map[string]registration)
+	return &vet.Analyzer{
+		Name: "metricname",
+		Doc:  "obs metric names are literal, itree_-prefixed, and registered consistently module-wide",
+		Run:  func(pass *vet.Pass) { run(pass, seen) },
+	}
+}
+
+func run(pass *vet.Pass, seen map[string]registration) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, isConst := vet.ConstString(pass.Info, call.Args[0])
+			if !isConst {
+				pass.Report(call.Args[0].Pos(), "metric name must be a string literal (or constant), not a computed value: the Prometheus surface has to be auditable statically")
+				return true
+			}
+			if !namePattern.MatchString(name) {
+				pass.Report(call.Args[0].Pos(), "metric name %q does not match %s", name, namePattern)
+			}
+			help := ""
+			if len(call.Args) > 1 {
+				help, _ = vet.ConstString(pass.Info, call.Args[1])
+			}
+			pos := pass.Fset.Position(call.Args[0].Pos())
+			prev, dup := seen[name]
+			if !dup {
+				seen[name] = registration{kind: kind, help: help, pos: pos}
+				return true
+			}
+			switch {
+			case prev.kind != kind:
+				pass.Report(call.Args[0].Pos(), "metric %q re-registered as a %s; first registered as a %s at %s", name, kind, prev.kind, prev.pos)
+			case help != "" && prev.help != "" && help != prev.help:
+				pass.Report(call.Args[0].Pos(), "metric %q re-registered with different help text than at %s: the exposition would depend on registration order", name, prev.pos)
+			case prev.help == "" && help != "":
+				// Later site supplies the help: remember the richer one.
+				seen[name] = registration{kind: kind, help: help, pos: pos}
+			}
+			return true
+		})
+	}
+}
+
+// registryCall reports whether call is a metric registration on an
+// obs.Registry (matched by package and type name, so test stubs work
+// like the real package) and which kind it registers.
+func registryCall(pass *vet.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok := kinds[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn := vet.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	named := vet.NamedReceiver(fn)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return "", false
+	}
+	return kind, true
+}

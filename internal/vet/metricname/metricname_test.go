@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/metricname"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestMetricName(t *testing.T) {
+	vettest.Run(t, "testdata", metricname.New)
+}

@@ -1,0 +1,26 @@
+// Package metrics is the metricname golden fixture: compliant
+// registrations next to each violation class.
+package metrics
+
+import "obs"
+
+var reg = obs.Default()
+
+const latencyName = "itree_apply_seconds"
+
+var (
+	applies = reg.Counter("itree_apply_total", "Total applies.")
+	depth   = reg.Gauge("itree_tree_depth", "Current depth.")
+	latency = reg.Histogram(latencyName, "Apply latency.", nil)
+	badName = reg.Counter("apply_errors_total", "Missing prefix.") // want `does not match`
+	badCase = reg.Gauge("itree_Depth", "Uppercase.")               // want `does not match`
+	dupKind = reg.Gauge("itree_apply_total", "Total applies.")     // want `re-registered as a gauge`
+	dupHelp = reg.Counter("itree_apply_total", "Other help.")      // want `different help text`
+	again   = reg.Counter("itree_apply_total", "Total applies.")
+)
+
+// Register shows the one shape that cannot be audited statically.
+func Register(r *obs.Registry, name string) {
+	r.Counter(name, "computed name") // want `must be a string literal`
+	r.GaugeFunc("itree_live", "Live nodes.", func() float64 { return 1 })
+}

@@ -1,0 +1,29 @@
+// Package obs is a stub mirroring the real obs.Registry surface; the
+// analyzer matches registrations by package and type name.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {}
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}
+
+func Default() *Registry { return &Registry{} }

@@ -1,0 +1,141 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix of a suppression annotation.
+const ignoreDirective = "//itreevet:ignore"
+
+// annotation is one parsed //itreevet:ignore comment.
+type annotation struct {
+	analyzer string
+	reason   string
+	line     int
+}
+
+// Result is the outcome of one Run: findings that stand, findings
+// that were suppressed by annotations (with their reasons), and
+// malformed annotations (reported as findings of the "itreevet"
+// pseudo-analyzer so they cannot silently rot).
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// Run executes every analyzer over every package and applies
+// //itreevet:ignore annotations. Output order is deterministic:
+// findings sort by file, line, column, then analyzer name.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, a := range analyzers {
+		for _, p := range pkgs {
+			pass := &Pass{
+				Fset:   fset,
+				Pkg:    p.Types,
+				Files:  p.Files,
+				Info:   p.Info,
+				report: report,
+				name:   a.Name,
+			}
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(func(pos token.Position, format string, args ...any) {
+			report(Diagnostic{Analyzer: name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+
+	anns, bad := collectAnnotations(fset, pkgs)
+	diags = append(diags, bad...)
+
+	var res Result
+	for _, d := range diags {
+		if ann, ok := matchAnnotation(anns, d); ok {
+			d.Suppressed = true
+			d.Reason = ann.reason
+			res.Suppressed = append(res.Suppressed, d)
+			continue
+		}
+		res.Findings = append(res.Findings, d)
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+// collectAnnotations parses every //itreevet:ignore comment in the
+// loaded files. An annotation missing its analyzer or reason is
+// itself a finding — unexplained suppressions defeat the point.
+func collectAnnotations(fset *token.FileSet, pkgs []*Package) (map[string][]annotation, []Diagnostic) {
+	anns := make(map[string][]annotation)
+	var bad []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Analyzer: "itreevet",
+							Pos:      pos,
+							Message:  "malformed ignore annotation: want //itreevet:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					anns[pos.Filename] = append(anns[pos.Filename], annotation{
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+						line:     pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return anns, bad
+}
+
+// matchAnnotation reports whether d is covered by an annotation for
+// its analyzer on the same line or the line directly above.
+func matchAnnotation(anns map[string][]annotation, d Diagnostic) (annotation, bool) {
+	for _, a := range anns[d.Pos.Filename] {
+		if a.analyzer != d.Analyzer {
+			continue
+		}
+		if a.line == d.Pos.Line || a.line == d.Pos.Line-1 {
+			return a, true
+		}
+	}
+	return annotation{}, false
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,85 @@
+package vet_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incentivetree/internal/vet"
+)
+
+// demoSource exercises every annotation shape against an analyzer
+// that flags each function declaration.
+const demoSource = `package demo
+
+func A() int { return 1 } //itreevet:ignore demo covered by integration tests
+
+//itreevet:ignore demo annotation on the line above also counts
+func B() int { return 2 }
+
+func C() int { return 3 } //itreevet:ignore other wrong analyzer name does not suppress
+
+func D() int { return 4 } //itreevet:ignore demo
+`
+
+func TestIgnoreAnnotations(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "demo")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(demoSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset, pkgs, err := vet.Load(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	demo := &vet.Analyzer{
+		Name: "demo",
+		Doc:  "flags every function declaration",
+		Run: func(p *vet.Pass) {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Report(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+		},
+	}
+	res := vet.Run(fset, pkgs, []*vet.Analyzer{demo})
+
+	// A and B are suppressed (same-line and line-above forms).
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("suppressed = %v, want A and B", res.Suppressed)
+	}
+	if res.Suppressed[0].Message != "func A" || res.Suppressed[0].Reason != "covered by integration tests" {
+		t.Errorf("suppressed[0] = %+v", res.Suppressed[0])
+	}
+	if res.Suppressed[1].Message != "func B" || res.Suppressed[1].Reason != "annotation on the line above also counts" {
+		t.Errorf("suppressed[1] = %+v", res.Suppressed[1])
+	}
+
+	// C stands (analyzer name mismatch), D stands (its annotation is
+	// malformed — no reason), and the malformed annotation is itself a
+	// finding of the itreevet pseudo-analyzer.
+	var got []string
+	for _, d := range res.Findings {
+		got = append(got, d.Analyzer+":"+d.Message)
+	}
+	want := []string{
+		"demo:func C",
+		"demo:func D",
+		"itreevet:malformed ignore annotation: want //itreevet:ignore <analyzer> <reason>",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package vet is the analysis framework behind cmd/itreevet, the
+// repo's project-specific static-analysis suite. It mirrors the shape
+// of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic —
+// but is built entirely on the standard library (go/parser, go/types,
+// and the source importer), so the module stays dependency-free.
+//
+// Analyzers are constructed fresh per run (see the New functions under
+// internal/vet/...), receive one Pass per package in deterministic
+// (import-path) order, and may carry closure state across passes for
+// module-wide invariants (metric-name uniqueness). Findings can be
+// suppressed at the offending line with an inline annotation:
+//
+//	//itreevet:ignore <analyzer> <reason>
+//
+// placed on the same line as the finding or on the line directly
+// above it. The reason is mandatory; the driver counts every
+// suppression and reports it, so suppressed debt stays visible.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run is invoked once per
+// package; Finish, when non-nil, once after every package has been
+// analyzed (for module-wide invariants). Analyzers with cross-pass
+// state must be built fresh per run — use the per-analyzer New
+// constructors, never a shared global.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //itreevet:ignore annotations. Lowercase, no spaces.
+	Name string
+	// Doc is the one-line invariant statement shown by -list.
+	Doc string
+	// Run analyzes one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+	// Finish, if non-nil, runs after all passes; report emits a
+	// finding at an arbitrary (previously recorded) position.
+	Finish func(report func(pos token.Position, format string, args ...any))
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+
+	report func(d Diagnostic)
+	name   string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed and Reason are set by the runner when an
+	// //itreevet:ignore annotation covers the finding.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,117 @@
+// Package vettest is the golden-file test harness for itreevet
+// analyzers — the stdlib-only equivalent of x/tools' analysistest.
+//
+// A test points Run at a testdata directory laid out as
+//
+//	testdata/src/<pkg>/<files>.go
+//
+// where each directory is loaded as a package whose import path is
+// its name (so stub packages — an `obs` or `journal` lookalike — can
+// be imported by fixture code under the same names the analyzers
+// match on). Expected diagnostics are declared in the fixtures as
+// end-of-line comments:
+//
+//	sum += v // want `floating-point accumulation`
+//
+// The argument is a regular expression (quoted or backquoted, several
+// per comment allowed) matched against the diagnostic message; the
+// diagnostic must land on the comment's line. Every finding must be
+// wanted and every want must be found. //itreevet:ignore annotations
+// are honored exactly as in the real driver, so fixtures can assert
+// the suppression path end to end.
+package vettest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"incentivetree/internal/vet"
+)
+
+// Run loads dir/src, executes a freshly constructed analyzer over
+// every package found, and diffs the diagnostics against the // want
+// expectations.
+func Run(t *testing.T, dir string, newAnalyzer func() *vet.Analyzer) {
+	t.Helper()
+	fset, pkgs, err := vet.Load(filepath.Join(dir, "src"), "")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s/src", dir)
+	}
+	res := vet.Run(fset, pkgs, []*vet.Analyzer{newAnalyzer()})
+	wants := collectWants(t, fset, pkgs)
+
+	for _, d := range res.Findings {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation that covers d.
+func claim(wants []*want, d vet.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment in the loaded fixtures.
+// Each comment holds one or more quoted (or backquoted) regular
+// expressions; all anchor to the comment's own line.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*vet.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+						lit, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+						}
+						pattern, err := strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: unquote %s: %v", pos.Filename, pos.Line, lit, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+						rest = rest[len(lit):]
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
