@@ -1,9 +1,9 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke
+.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke replicasmoke replicabench
 
-check: build vet lint fmtcheck test race benchsmoke loadsmoke
+check: build vet lint fmtcheck test race benchsmoke loadsmoke replicasmoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,19 @@ benchsmoke:
 # zero failed requests plus a clean graceful shutdown.
 loadsmoke:
 	GO=$(GO) sh scripts/loadsmoke.sh
+
+# replicasmoke boots a race-built primary plus a follower replicating
+# from it, pushes a write burst, and verifies convergence to
+# byte-identical reads, the X-Itree-Staleness header, the 307 write
+# redirect, replica lag metrics, and clean shutdown of both daemons.
+replicasmoke:
+	GO=$(GO) RACE=1 sh scripts/replicasmoke.sh
+
+# replicabench measures read throughput under write load on a single
+# node vs fanned out across two followers, and writes the next free
+# BENCH_<n>.json point (see scripts/replicabench.sh).
+replicabench:
+	GO=$(GO) sh scripts/replicabench.sh
 
 # bench-json runs the root benchmark suite and writes the next free
 # BENCH_<n>.json snapshot (ns/op, B/op, allocs/op per benchmark), the

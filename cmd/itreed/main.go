@@ -12,6 +12,8 @@
 //	       [-journal-sync os|interval|always] [-journal-sync-interval 1s]
 //	       [-batch-max 64] [-batch-wait 0] [-queue-depth 1024]
 //	       [-journal events.log]
+//	       [-role primary|follower] [-primary http://host:8080]
+//	       [-max-staleness 5s]
 //
 // The daemon hosts many campaigns (POST /v1/campaigns to create one;
 // /v1/campaigns/{id}/... for its API); the pre-multi-tenant /v1/*
@@ -22,6 +24,15 @@
 // journal. The legacy -journal flag instead attaches a single flat
 // journal file to the default campaign (no checkpointing), exactly as
 // earlier releases did; the two flags are mutually exclusive.
+//
+// With -role=follower the daemon is a read replica of another itreed:
+// it bootstraps every campaign from the primary's replication snapshot
+// endpoint, tails its journal stream, and serves reads that carry an
+// X-Itree-Staleness header and are rejected with 503 once staleness
+// exceeds -max-staleness. Writes answer 307 with a Location on the
+// primary. Followers keep no disk state (-data-dir and -journal are
+// rejected); on restart they re-bootstrap. See internal/replica for
+// the protocol.
 //
 // Beyond the API, the daemon serves GET /metrics (Prometheus text
 // exposition: per-route latency histograms, journal counters,
@@ -62,6 +73,7 @@ import (
 	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
+	"incentivetree/internal/replica"
 	"incentivetree/internal/server"
 	"incentivetree/internal/store"
 )
@@ -97,6 +109,50 @@ type daemon struct {
 	// listening, if set, receives each bound address (tests use it to
 	// learn the port of ":0" listeners).
 	listening func(network, addr string)
+	// replicator tails the primary when the daemon runs as a follower
+	// (nil on a primary).
+	replicator *replica.Manager
+}
+
+// setupFollower builds the read-replica variant of the daemon: a
+// follower-mode store populated by a replica.Manager, wrapped in the
+// staleness-enforcing middleware.
+func setupFollower(cfg store.Config, primary string, maxStaleness time.Duration, addr, debugAddr string, reg *obs.Registry, stdout io.Writer) (*daemon, error) {
+	cfg.DataDir = ""
+	cfg.Follower = true
+	// No ingest pipeline: writes never reach a follower (the middleware
+	// redirects them) and replicated events apply inline.
+	cfg.BatchMax = -1
+	st, err := store.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := replica.NewManager(replica.Options{
+		Primary:      primary,
+		Target:       st,
+		Registry:     reg,
+		MaxStaleness: maxStaleness,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	root := http.NewServeMux()
+	root.Handle("/", mgr.Handler(st.Handler()))
+	root.Handle("GET /metrics", reg.Handler())
+	fmt.Fprintf(stdout, "itreed: follower of %s (max staleness %s) on %s\n", primary, maxStaleness, addr)
+	return &daemon{
+		store:      st,
+		handler:    root,
+		addr:       addr,
+		debugAddr:  debugAddr,
+		replicator: mgr,
+		cleanup: func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(stdout, "itreed: store close: %v\n", err)
+			}
+		},
+	}, nil
 }
 
 // setup parses flags, recovers state from disk (if any), and returns
@@ -129,11 +185,38 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		"how long a committer waits to fill a batch after its first op (0 = commit immediately once the queue is drained)")
 	queueDepth := fs.Int("queue-depth", ingest.DefaultQueueDepth,
 		"per-campaign ingest queue bound; a full queue sheds writes with 429")
+	role := fs.String("role", "primary",
+		"primary (serve writes, publish replication) or follower (read replica of -primary)")
+	primaryURL := fs.String("primary", "",
+		"base URL of the primary to replicate from (required with -role=follower)")
+	maxStaleness := fs.Duration("max-staleness", 5*time.Second,
+		"follower read bound: reads answer 503 once replica staleness exceeds this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *wal != "" && *dataDir != "" {
 		return nil, errors.New("-journal and -data-dir are mutually exclusive")
+	}
+	switch *role {
+	case "primary":
+		if *primaryURL != "" {
+			return nil, errors.New("-primary is only meaningful with -role=follower")
+		}
+	case "follower":
+		if *primaryURL == "" {
+			return nil, errors.New("-role=follower requires -primary")
+		}
+		if *wal != "" || *dataDir != "" {
+			return nil, errors.New("a follower keeps no disk state: -journal and -data-dir are not allowed with -role=follower")
+		}
+		if *seed != "" {
+			return nil, errors.New("a follower is read-only: -seed is not allowed with -role=follower")
+		}
+		if *maxStaleness < 0 {
+			return nil, errors.New("-max-staleness must be >= 0")
+		}
+	default:
+		return nil, fmt.Errorf("unknown -role %q (want primary or follower)", *role)
 	}
 	policy, err := journal.ParseSyncPolicy(*syncPolicy)
 	if err != nil {
@@ -168,6 +251,10 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		NewMechanism:       newMechanism,
 		DefaultMechanism:   *mech,
 		DefaultParams:      params,
+	}
+
+	if *role == "follower" {
+		return setupFollower(cfg, *primaryURL, *maxStaleness, *addr, *debugAddr, reg, stdout)
 	}
 
 	cleanup := func() {}
@@ -304,6 +391,9 @@ func recoverJournal(path string, stdout io.Writer) ([]journal.Event, error) {
 // for the lifetime of ctx.
 func run(ctx context.Context, d *daemon, stdout io.Writer) error {
 	go d.store.Run(ctx)
+	if d.replicator != nil {
+		go d.replicator.Run(ctx)
+	}
 	srv := &http.Server{
 		Handler:           d.handler,
 		ReadHeaderTimeout: 5 * time.Second,

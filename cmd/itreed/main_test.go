@@ -407,3 +407,133 @@ func TestSetupDataDirMultiCampaign(t *testing.T) {
 		}
 	}
 }
+
+func TestSetupFollowerFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-role", "follower"}, // no -primary
+		{"-role", "follower", "-primary", "http://x", "-data-dir", "d"},    // no disk state
+		{"-role", "follower", "-primary", "http://x", "-journal", "w.log"}, // no disk state
+		{"-role", "follower", "-primary", "http://x", "-seed", "a"},        // read-only
+		{"-role", "chief"},       // unknown role
+		{"-primary", "http://x"}, // follower-only flag
+	} {
+		if _, err := setup(args, &out); err == nil {
+			t.Errorf("setup(%v) should fail", args)
+		}
+	}
+}
+
+// startDaemon boots a full daemon (setup + run) on a loopback port and
+// returns its API address plus a stopper.
+func startDaemon(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	var out bytes.Buffer
+	d, err := setup(append([]string{"-addr", "127.0.0.1:0"}, args...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	d.listening = func(name, addr string) {
+		if name == "api" {
+			ready <- addr
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, d, &out) }()
+	var api string
+	select {
+	case api = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("api listener not ready; output: %s", out.String())
+	}
+	return api, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not stop")
+		}
+		d.cleanup()
+	}
+}
+
+func TestFollowerDaemonReplicatesPrimary(t *testing.T) {
+	papi, pstop := startDaemon(t, "-data-dir", t.TempDir())
+	defer pstop()
+	fapi, fstop := startDaemon(t, "-role", "follower", "-primary", "http://"+papi)
+	defer fstop()
+
+	for _, body := range []string{
+		`{"name":"ada"}`, `{"name":"bo","sponsor":"ada"}`,
+	} {
+		resp, err := http.Post("http://"+papi+"/v1/join", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("join: HTTP %d", resp.StatusCode)
+		}
+	}
+
+	fetch := func(url string) (int, http.Header, []byte) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, resp.Header, buf.Bytes()
+	}
+
+	// The follower converges to byte-identical rewards, stamped with a
+	// staleness header.
+	_, _, want := fetch("http://" + papi + "/v1/rewards")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, hdr, got := fetch("http://" + fapi + "/v1/rewards")
+		if status == http.StatusOK && bytes.Equal(got, want) {
+			if s := hdr.Get("X-Itree-Staleness"); !strings.HasPrefix(s, "records=") {
+				t.Fatalf("staleness header %q", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: HTTP %d, got %s want %s", status, got, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Writes are redirected to the primary, not applied locally.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noRedirect.Post("http://"+fapi+"/v1/join", "application/json", strings.NewReader(`{"name":"cy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("follower write: HTTP %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://"+papi+"/v1/join" {
+		t.Fatalf("Location %q", loc)
+	}
+
+	// The replica metric family is on the follower's /metrics surface.
+	_, _, metrics := fetch("http://" + fapi + "/metrics")
+	for _, want := range []string{
+		"itree_replica_lag_records", "itree_replica_lag_seconds",
+		"itree_replica_applied_total", "itree_replica_resyncs_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("follower /metrics missing %s", want)
+		}
+	}
+}

@@ -9,19 +9,26 @@
 //	itreeload [-addr http://127.0.0.1:8080] [-campaign id]
 //	          [-workers 8] [-rate 0] [-duration 5s]
 //	          [-participants 64] [-join-frac 0.05] [-seed 1]
+//	          [-read-frac 0] [-read-targets url1,url2]
 //
 // The generator first seeds a population of participants (untimed),
 // then runs the measured phase for -duration: each worker issues
 // contribute requests against random members of the population,
-// mixed with fresh joins at -join-frac. With -rate 0 the load is
-// closed-loop (each worker sends back to back, so offered load tracks
-// service rate); a positive -rate opens the loop, pacing the fleet at
-// that many requests per second regardless of response times.
+// mixed with fresh joins at -join-frac and leaderboard reads at
+// -read-frac. With -rate 0 the load is closed-loop (each worker sends
+// back to back, so offered load tracks service rate); a positive
+// -rate opens the loop, pacing the fleet at that many requests per
+// second regardless of response times.
 //
-// Responses are counted three ways: ok (2xx), shed (429, the ingest
-// queue's admission control doing its job), and failed (anything
-// else). The process exits non-zero when any request failed; shed
-// requests are reported but are not failures.
+// Reads fan out round-robin across -read-targets (default: -addr), so
+// a primary plus its read replicas can be measured as one serving
+// surface; writes always go to -addr. A 503 on a read is counted as
+// shed, not failed — that is a follower enforcing its staleness bound.
+//
+// Responses are counted three ways: ok (2xx), shed (429 admission
+// control, or 503 on reads), and failed (anything else). The process
+// exits non-zero when any request failed; shed requests are reported
+// but are not failures.
 package main
 
 import (
@@ -49,12 +56,14 @@ func main() {
 
 // config is the parsed flag set of one load run.
 type config struct {
-	base         string // API prefix, e.g. http://host:port/v1
+	base         string   // write API prefix, e.g. http://host:port/v1
+	readBases    []string // read API prefixes, round-robin fan-out
 	workers      int
 	rate         float64 // req/s across all workers; 0 = closed loop
 	duration     time.Duration
 	participants int
 	joinFrac     float64
+	readFrac     float64
 	seed         int64
 }
 
@@ -62,6 +71,7 @@ type config struct {
 type counters struct {
 	ok, shed, failed atomic.Uint64
 	joinNames        atomic.Uint64 // allocator for unique join names
+	readRR           atomic.Uint64 // round-robin cursor over readBases
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -74,21 +84,39 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Duration("duration", 5*time.Second, "measured phase length")
 	participants := fs.Int("participants", 64, "population seeded before the measured phase")
 	joinFrac := fs.Float64("join-frac", 0.05, "fraction of measured ops that are fresh joins")
+	readFrac := fs.Float64("read-frac", 0, "fraction of measured ops that are leaderboard reads")
+	readTargets := fs.String("read-targets", "",
+		"comma-separated base URLs reads fan out to round-robin, e.g. a primary and its followers (default: -addr)")
 	seed := fs.Int64("seed", 1, "PRNG seed for workload shape")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := config{
-		base:         strings.TrimRight(*addr, "/") + "/v1",
+		base:         apiBase(*addr, *campaign),
 		workers:      *workers,
 		rate:         *rate,
 		duration:     *duration,
 		participants: *participants,
 		joinFrac:     *joinFrac,
+		readFrac:     *readFrac,
 		seed:         *seed,
 	}
-	if *campaign != "" {
-		cfg.base = strings.TrimRight(*addr, "/") + "/v1/campaigns/" + *campaign
+	if *readTargets == "" {
+		cfg.readBases = []string{cfg.base}
+	} else {
+		for _, t := range strings.Split(*readTargets, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			cfg.readBases = append(cfg.readBases, apiBase(t, *campaign))
+		}
+	}
+	if len(cfg.readBases) == 0 {
+		return fmt.Errorf("-read-targets has no usable URLs")
+	}
+	if cfg.readFrac < 0 || cfg.readFrac > 1 {
+		return fmt.Errorf("-read-frac must be within [0,1]")
 	}
 	if cfg.workers < 1 || cfg.participants < 1 {
 		return fmt.Errorf("need at least 1 worker and 1 participant")
@@ -124,6 +152,16 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d requests failed", failed)
 	}
 	return nil
+}
+
+// apiBase maps a daemon base URL to its API prefix for a campaign
+// ("" = the legacy /v1/* alias).
+func apiBase(addr, campaign string) string {
+	base := strings.TrimRight(addr, "/") + "/v1"
+	if campaign != "" {
+		base += "/campaigns/" + campaign
+	}
+	return base
 }
 
 // seedPopulation joins cfg.participants members (untimed), each
@@ -202,15 +240,19 @@ func measure(client *http.Client, cfg config, names []string, c *counters) []tim
 					return
 				default:
 				}
-				url, body := nextOp(cfg, rng, names, c)
+				method, url, body := nextOp(cfg, rng, names, c)
 				start := time.Now()
-				status, err := post(client, url, body)
+				status, err := do(client, method, url, body)
 				lat = append(lat, time.Since(start))
 				switch {
-				case err != nil || status >= 500 || (status >= 400 && status != http.StatusTooManyRequests):
-					c.failed.Add(1)
-				case status == http.StatusTooManyRequests:
+				case err == nil && status == http.StatusTooManyRequests:
 					c.shed.Add(1)
+				case err == nil && method == http.MethodGet && status == http.StatusServiceUnavailable:
+					// A follower enforcing its staleness bound: backpressure,
+					// not failure.
+					c.shed.Add(1)
+				case err != nil || status >= 400:
+					c.failed.Add(1)
 				default:
 					c.ok.Add(1)
 				}
@@ -221,17 +263,23 @@ func measure(client *http.Client, cfg config, names []string, c *counters) []tim
 	return all
 }
 
-// nextOp picks the next request: a fresh join with probability
-// joinFrac, otherwise a contribution by a random seeded participant.
-func nextOp(cfg config, rng *rand.Rand, names []string, c *counters) (string, map[string]any) {
+// nextOp picks the next request: a leaderboard read with probability
+// readFrac (fanned out round-robin across the read targets), else a
+// fresh join with probability joinFrac, else a contribution by a
+// random seeded participant. Writes always target cfg.base.
+func nextOp(cfg config, rng *rand.Rand, names []string, c *counters) (string, string, map[string]any) {
+	if cfg.readFrac > 0 && rng.Float64() < cfg.readFrac {
+		base := cfg.readBases[int(c.readRR.Add(1))%len(cfg.readBases)]
+		return http.MethodGet, base + "/leaderboard?k=10", nil
+	}
 	if rng.Float64() < cfg.joinFrac {
 		n := c.joinNames.Add(1)
-		return cfg.base + "/join", map[string]any{
+		return http.MethodPost, cfg.base + "/join", map[string]any{
 			"name":    fmt.Sprintf("load-j%08d", n),
 			"sponsor": names[rng.Intn(len(names))],
 		}
 	}
-	return cfg.base + "/contribute", map[string]any{
+	return http.MethodPost, cfg.base + "/contribute", map[string]any{
 		"name":   names[rng.Intn(len(names))],
 		"amount": 0.5 + rng.Float64(),
 	}
@@ -240,11 +288,28 @@ func nextOp(cfg config, rng *rand.Rand, names []string, c *counters) (string, ma
 // post sends one JSON request and returns the status code; the body is
 // drained so connections are reused.
 func post(client *http.Client, url string, body map[string]any) (int, error) {
-	data, err := json.Marshal(body)
+	return do(client, http.MethodPost, url, body)
+}
+
+// do sends one request (JSON body for POSTs) and returns the status
+// code; the response body is drained so connections are reused.
+func do(client *http.Client, method, url string, body map[string]any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}

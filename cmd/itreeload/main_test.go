@@ -120,3 +120,42 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("p99 = %s, want 100ms", got)
 	}
 }
+
+// TestRunReadFanOut exercises -read-frac with reads round-robined
+// across multiple targets (two listeners over the same store, the
+// single-process stand-in for a primary plus its replicas).
+func TestRunReadFanOut(t *testing.T) {
+	st := newStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+	ts2 := httptest.NewServer(st.Handler())
+	defer ts2.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "4",
+		"-duration", "200ms",
+		"-participants", "8",
+		"-read-frac", "0.5",
+		"-read-targets", ts.URL + "," + ts2.URL,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"seeded 8 participants", "0 failed", "throughput"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadReadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-read-frac", "1.5"}, &out); err == nil {
+		t.Error("read-frac > 1 should fail")
+	}
+	if err := run([]string{"-read-targets", " , "}, &out); err == nil {
+		t.Error("blank -read-targets should fail")
+	}
+}

@@ -187,38 +187,20 @@ func (e *TornTailError) Unwrap() []error { return []error{ErrTornTail, e.Cause} 
 // Malformed lines with events after them, and sequence gaps anywhere,
 // remain hard errors — they mean mid-log corruption, not a torn tail.
 func Read(r io.Reader) ([]Event, error) {
-	br := bufio.NewReader(r)
+	d := NewDecoder(r)
 	var out []Event
-	var offset int64 // start of the current line
-	lineNo := 0
 	for {
-		line, readErr := br.ReadBytes('\n')
-		if readErr != nil && readErr != io.EOF {
-			return nil, fmt.Errorf("journal: scan: %w", readErr)
-		}
-		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
-			lineNo++
-			var e Event
-			decErr := json.Unmarshal(trimmed, &e)
-			if decErr == nil {
-				decErr = e.Validate()
-			}
-			switch {
-			case decErr == nil:
-				if len(out) > 0 && e.Seq != out[len(out)-1].Seq+1 {
-					return nil, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, out[len(out)-1].Seq)
-				}
-				out = append(out, e)
-			case readErr == io.EOF || !hasContent(br):
-				metricTornTails.Inc()
-				return out, &TornTailError{Offset: offset, Line: lineNo, Cause: decErr}
-			default:
-				return nil, fmt.Errorf("journal: line %d: %w", lineNo, decErr)
-			}
-		}
-		offset += int64(len(line))
-		if readErr == io.EOF {
+		e, err := d.Next()
+		switch {
+		case err == nil:
+			out = append(out, e)
+		case err == io.EOF:
 			return out, nil
+		case errors.Is(err, ErrTornTail):
+			metricTornTails.Inc()
+			return out, err
+		default:
+			return nil, err
 		}
 	}
 }

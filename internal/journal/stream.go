@@ -1,0 +1,129 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Decoder incrementally decodes journal events from a byte stream — the
+// same JSON-lines format Writer produces and Read consumes in one shot.
+// Where Read materializes a whole log, a Decoder yields one event per
+// Next call and tracks the byte offset of the last complete record, so
+// callers can tail a live journal (or a replication stream) and resume
+// from where they stopped: seek the underlying file to Offset and build
+// a fresh Decoder.
+//
+// Next returns io.EOF when the stream ends at a record boundary and a
+// *TornTailError (matching ErrTornTail) when it ends mid-record — on a
+// live file that usually means a concurrent append is in flight, not
+// corruption, and the caller retries from Offset. Blank lines are
+// skipped, mirroring Read: a replication stream uses them as
+// heartbeats. A Decoder that returned any error must not be reused; its
+// buffered reader may have consumed bytes past Offset.
+type Decoder struct {
+	br     *bufio.Reader
+	offset int64 // byte length of the consumed complete-record prefix
+	line   int   // 1-based number of the last non-blank line seen
+	last   uint64
+	next   uint64 // expected seq of the next event; 0 = accept any
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReader(r)}
+}
+
+// ExpectSeq arms the continuity check before the first event: Next
+// fails unless the first decoded event carries exactly seq. Subsequent
+// events must always be contiguous, with or without ExpectSeq.
+func (d *Decoder) ExpectSeq(seq uint64) { d.next = seq }
+
+// Offset returns the byte length of the stream prefix consumed as
+// complete records (including blank lines). After a torn tail this is
+// the position to truncate at, or to resume tailing from.
+func (d *Decoder) Offset() int64 { return d.offset }
+
+// Next decodes and returns the next event.
+func (d *Decoder) Next() (Event, error) {
+	for {
+		line, readErr := d.br.ReadBytes('\n')
+		if readErr != nil && readErr != io.EOF {
+			return Event{}, fmt.Errorf("journal: scan: %w", readErr)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			// Blank line (or bare EOF): a stream heartbeat, not a record.
+			d.offset += int64(len(line))
+			if readErr == io.EOF {
+				return Event{}, io.EOF
+			}
+			continue
+		}
+		d.line++
+		var e Event
+		decErr := json.Unmarshal(trimmed, &e)
+		if decErr == nil {
+			decErr = e.Validate()
+		}
+		switch {
+		case decErr == nil:
+			if d.last > 0 && e.Seq != d.last+1 {
+				return Event{}, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, d.last)
+			}
+			if d.last == 0 && d.next != 0 && e.Seq != d.next {
+				return Event{}, fmt.Errorf("journal: sequence gap: stream starts at %d, want %d", e.Seq, d.next)
+			}
+			d.last = e.Seq
+			d.offset += int64(len(line))
+			return e, nil
+		case readErr == io.EOF || !hasContent(d.br):
+			// Malformed final line: a torn tail (crash or in-flight
+			// append). Offset excludes it.
+			return Event{}, &TornTailError{Offset: d.offset, Line: d.line, Cause: decErr}
+		default:
+			return Event{}, fmt.Errorf("journal: line %d: %w", d.line, decErr)
+		}
+	}
+}
+
+// Encoder writes already-sequenced events as JSON lines — the exact
+// on-disk journal format, byte for byte (Writer.Append of the same
+// event produces identical output). Unlike Writer it assigns no
+// sequence numbers and takes no lock: it is the wire half of
+// replication, re-encoding events that were already committed by a
+// primary's Writer. Not safe for concurrent use.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode validates e and writes it as one JSON line.
+func (enc *Encoder) Encode(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := enc.w.Write(data); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	return nil
+}
+
+// Heartbeat writes a blank line. Decoders skip it; replication streams
+// send one periodically while idle so intermediaries keep the
+// connection alive.
+func (enc *Encoder) Heartbeat() error {
+	if _, err := io.WriteString(enc.w, "\n"); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	return nil
+}

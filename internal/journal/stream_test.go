@@ -1,0 +1,233 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encodeAll renders events through a Writer, returning the exact
+// on-disk byte form.
+func encodeAll(t *testing.T, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, events[0].Seq)
+	for _, e := range events {
+		if _, err := jw.Append(Event{Kind: e.Kind, Name: e.Name, Sponsor: e.Sponsor, Amount: e.Amount}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestDecoderYieldsEventsAndOffsets(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindJoin, Name: "a"},
+		{Seq: 2, Kind: KindJoin, Name: "b", Sponsor: "a"},
+		{Seq: 3, Kind: KindContribute, Name: "b", Amount: 2.5},
+	}
+	data := encodeAll(t, events)
+	d := NewDecoder(bytes.NewReader(data))
+	for i, want := range events {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	if d.Offset() != int64(len(data)) {
+		t.Fatalf("Offset() = %d, want %d", d.Offset(), len(data))
+	}
+}
+
+func TestDecoderSkipsBlankHeartbeats(t *testing.T) {
+	data := "\n" + `{"seq":1,"kind":"join","name":"a"}` + "\n\n\n" + `{"seq":2,"kind":"contribute","name":"a","amount":1}` + "\n\n"
+	d := NewDecoder(strings.NewReader(data))
+	var seqs []uint64
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("decoded seqs %v, want [1 2]", seqs)
+	}
+	if d.Offset() != int64(len(data)) {
+		t.Fatalf("Offset() = %d, want %d (blank lines count as consumed)", d.Offset(), len(data))
+	}
+}
+
+func TestDecoderTornTailCarriesResumeOffset(t *testing.T) {
+	whole := `{"seq":1,"kind":"join","name":"a"}` + "\n"
+	data := whole + `{"seq":2,"kind":"contri` // append cut mid-record
+	d := NewDecoder(strings.NewReader(data))
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Next()
+	var torn *TornTailError
+	if !errors.As(err, &torn) {
+		t.Fatalf("want TornTailError, got %v", err)
+	}
+	if torn.Offset != int64(len(whole)) {
+		t.Fatalf("torn offset %d, want %d", torn.Offset, len(whole))
+	}
+	if d.Offset() != int64(len(whole)) {
+		t.Fatalf("decoder offset %d, want %d", d.Offset(), len(whole))
+	}
+	// Resuming from Offset on the completed stream yields the event the
+	// tear hid — the tailing contract.
+	completed := whole + `{"seq":2,"kind":"contribute","name":"a","amount":1}` + "\n"
+	d2 := NewDecoder(strings.NewReader(completed[torn.Offset:]))
+	d2.ExpectSeq(2)
+	e, err := d2.Next()
+	if err != nil || e.Seq != 2 {
+		t.Fatalf("resume: got %+v, %v", e, err)
+	}
+}
+
+func TestDecoderSequenceGap(t *testing.T) {
+	data := `{"seq":1,"kind":"join","name":"a"}` + "\n" + `{"seq":3,"kind":"join","name":"b"}` + "\n"
+	d := NewDecoder(strings.NewReader(data))
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("want sequence gap error, got %v", err)
+	}
+}
+
+func TestDecoderExpectSeq(t *testing.T) {
+	data := `{"seq":5,"kind":"join","name":"a"}` + "\n"
+	d := NewDecoder(strings.NewReader(data))
+	d.ExpectSeq(5)
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("matching ExpectSeq failed: %v", err)
+	}
+	d2 := NewDecoder(strings.NewReader(data))
+	d2.ExpectSeq(4)
+	if _, err := d2.Next(); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("want gap error for wrong first seq, got %v", err)
+	}
+}
+
+func TestDecoderMidStreamCorruptionIsHard(t *testing.T) {
+	data := "garbage not json\n" + `{"seq":1,"kind":"join","name":"a"}` + "\n"
+	d := NewDecoder(strings.NewReader(data))
+	_, err := d.Next()
+	if err == nil || errors.Is(err, ErrTornTail) || err == io.EOF {
+		t.Fatalf("mid-stream corruption must be a hard error, got %v", err)
+	}
+}
+
+// TestEncoderMatchesWriterBytes pins the replication invariant: a
+// re-encoded event is byte-identical to what the primary's Writer
+// appended, so follower-side hashes of applied records equal hashes of
+// the primary's journal file.
+func TestEncoderMatchesWriterBytes(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindJoin, Name: "a"},
+		{Seq: 2, Kind: KindJoin, Name: "b", Sponsor: "a"},
+		{Seq: 3, Kind: KindContribute, Name: "b", Amount: 0.1},
+		{Seq: 4, Kind: KindContribute, Name: "a", Amount: 1e-9},
+	}
+	want := encodeAll(t, events)
+
+	// Round-trip: decode the journal bytes, re-encode with Encoder.
+	var got bytes.Buffer
+	enc := NewEncoder(&got)
+	d := NewDecoder(bytes.NewReader(want))
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("re-encoded stream differs from journal bytes:\n got %q\nwant %q", got.Bytes(), want)
+	}
+}
+
+func TestEncoderRejectsInvalidEvents(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if err := enc.Encode(Event{Seq: 1, Kind: KindContribute, Name: "a", Amount: -1}); err == nil {
+		t.Fatal("want validation error for negative amount")
+	}
+}
+
+func TestEncoderHeartbeatIsSkippedByDecoder(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(Event{Seq: 1, Kind: KindJoin, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(&buf)
+	if e, err := d.Next(); err != nil || e.Seq != 1 {
+		t.Fatalf("got %+v, %v", e, err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after trailing heartbeat, got %v", err)
+	}
+}
+
+// TestReadMatchesDecoder cross-checks the batch reader against the
+// incremental one on a log with a torn tail.
+func TestReadMatchesDecoder(t *testing.T) {
+	data := `{"seq":1,"kind":"join","name":"a"}` + "\n" +
+		`{"seq":2,"kind":"contribute","name":"a","amount":3}` + "\n" +
+		`{"seq":3,"kind":"contr`
+	events, err := Read(strings.NewReader(data))
+	var torn *TornTailError
+	if !errors.As(err, &torn) {
+		t.Fatalf("want torn tail from Read, got %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("Read returned %d events, want 2", len(events))
+	}
+
+	d := NewDecoder(strings.NewReader(data))
+	var incr []Event
+	for {
+		e, derr := d.Next()
+		if derr != nil {
+			var dtorn *TornTailError
+			if !errors.As(derr, &dtorn) || dtorn.Offset != torn.Offset || dtorn.Line != torn.Line {
+				t.Fatalf("decoder end state %v, want torn tail at offset %d line %d", derr, torn.Offset, torn.Line)
+			}
+			break
+		}
+		incr = append(incr, e)
+	}
+	if len(incr) != len(events) {
+		t.Fatalf("decoder yielded %d events, Read %d", len(incr), len(events))
+	}
+	for i := range incr {
+		if incr[i] != events[i] {
+			t.Fatalf("event %d: decoder %+v vs Read %+v", i, incr[i], events[i])
+		}
+	}
+}

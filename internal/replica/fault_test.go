@@ -1,0 +1,286 @@
+package replica_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incentivetree/internal/replica"
+	"incentivetree/internal/store"
+)
+
+// flexProxy sits between follower and primary so tests can inject the
+// failures a real network delivers: severed connections mid-record,
+// unreachable primaries, and primaries that change identity (restart).
+type flexProxy struct {
+	target  atomic.Value // string: current primary base URL
+	gateAll atomic.Bool  // refuse everything (primary unreachable)
+	// tearJournal > 0: that many journal responses are truncated
+	// mid-record and the connection severed.
+	tearJournal atomic.Int64
+	tears       atomic.Int64
+}
+
+func newFlexProxy(target string) *flexProxy {
+	p := &flexProxy{}
+	p.target.Store(target)
+	return p
+}
+
+func (p *flexProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.gateAll.Load() {
+		http.Error(w, "proxy gate closed", http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.target.Load().(string)+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	isJournal := strings.Contains(r.URL.Path, "/replica/journal")
+	if isJournal && resp.StatusCode == http.StatusOK && len(bytes.TrimSpace(body)) > 20 &&
+		p.tearJournal.Load() > 0 && p.tearJournal.Add(-1) >= 0 {
+		// Sever the stream mid-record: ship all but the tail of the
+		// body, then abort the connection without a clean close.
+		p.tears.Add(1)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)-10])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+func TestTornStreamResumesToIdenticalState(t *testing.T) {
+	p := startPrimary(t, t.TempDir())
+	defer p.stop()
+	proxy := newFlexProxy(p.ts.URL)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+
+	p.write(store.DefaultID, 0, 2)
+	f := startFollower(t, pts.URL, 0)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+
+	// With the follower synced and tailing, sever the next three
+	// journal streams mid-record while new writes flow.
+	proxy.tearJournal.Store(3)
+	p.write(store.DefaultID, 10, 10)
+	st := f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	if proxy.tears.Load() == 0 {
+		t.Fatal("proxy never tore a stream; fault not exercised")
+	}
+	if st.Disconnects == 0 {
+		t.Fatal("torn streams should surface as disconnects")
+	}
+	if st.Resyncs != 1 {
+		t.Fatalf("torn streams must resume by tailing, not re-bootstrapping (resyncs=%d)", st.Resyncs)
+	}
+	requireIdenticalReads(t, p.ts.URL, f.ts.URL, store.DefaultID)
+
+	// And the applied bytes are still exactly the primary's journal.
+	p.write(store.DefaultID, 50, 5)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	requireIdenticalReads(t, p.ts.URL, f.ts.URL, store.DefaultID)
+}
+
+func TestPrimaryCrashRestartMidTail(t *testing.T) {
+	dir := t.TempDir()
+	p := startPrimary(t, dir)
+	proxy := newFlexProxy(p.ts.URL)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+
+	p.write(store.DefaultID, 0, 10)
+	f := startFollower(t, pts.URL, 0)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+
+	// Kill the primary without flush or checkpoint, then bring a new
+	// process up over the same data directory (journal replay).
+	p.crash()
+	p2 := startPrimary(t, dir)
+	defer p2.stop()
+	proxy.target.Store(p2.ts.URL)
+	if got, want := p2.lastSeq(store.DefaultID), uint64(20); got != want {
+		t.Fatalf("restarted primary recovered to seq %d, want %d", got, want)
+	}
+	p2.write(store.DefaultID, 100, 10)
+
+	st := f.waitApplied(store.DefaultID, p2.lastSeq(store.DefaultID))
+	if st.Resyncs != 1 {
+		t.Fatalf("a primary restart with intact journal should not force a re-bootstrap (resyncs=%d)", st.Resyncs)
+	}
+	requireIdenticalReads(t, p2.ts.URL, f.ts.URL, store.DefaultID)
+}
+
+func TestFollowerRestartMidApply(t *testing.T) {
+	p := startPrimary(t, t.TempDir())
+	defer p.stop()
+	p.write(store.DefaultID, 0, 10)
+
+	f1 := startFollower(t, p.ts.URL, 0)
+	f1.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	f1.stop() // kill the follower (its in-memory state evaporates)
+
+	p.write(store.DefaultID, 200, 10)
+
+	// A restarted follower is a fresh process: it re-bootstraps from
+	// snapshot and lands on the same bytes.
+	f2 := startFollower(t, p.ts.URL, 0)
+	f2.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	requireIdenticalReads(t, p.ts.URL, f2.ts.URL, store.DefaultID)
+}
+
+func TestCompactionGapForcesReBootstrap(t *testing.T) {
+	p := startPrimary(t, t.TempDir())
+	defer p.stop()
+	proxy := newFlexProxy(p.ts.URL)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+
+	p.write(store.DefaultID, 0, 5)
+	f := startFollower(t, pts.URL, 0)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+
+	// Cut the follower off, then advance and compact the primary's
+	// journal past the follower's position. A long-poll that slipped
+	// past the gate may still be held at the primary; let it drain
+	// (empty) before writing, or it would deliver the new records.
+	proxy.gateAll.Store(true)
+	time.Sleep(400 * time.Millisecond)
+	p.write(store.DefaultID, 300, 5)
+	resp, err := http.Post(p.ts.URL+"/v1/campaigns/"+store.DefaultID+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	proxy.gateAll.Store(false)
+
+	// The follower's next poll predates the retained journal: it must
+	// get the 410, re-bootstrap from snapshot, and converge.
+	st := f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	if st.Resyncs < 2 {
+		t.Fatalf("compaction gap must force a re-bootstrap, got %d resyncs", st.Resyncs)
+	}
+	requireIdenticalReads(t, p.ts.URL, f.ts.URL, store.DefaultID)
+}
+
+func TestStalenessBoundAndWriteRedirect(t *testing.T) {
+	p := startPrimary(t, t.TempDir())
+	defer p.stop()
+	proxy := newFlexProxy(p.ts.URL)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+
+	p.write(store.DefaultID, 0, 5)
+	f := startFollower(t, pts.URL, 300*time.Millisecond)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+
+	// Healthy: reads pass with a staleness header.
+	status, hdr, _ := get(t, f.ts.URL+"/v1/rewards")
+	if status != http.StatusOK || !strings.HasPrefix(hdr.Get(replica.HeaderStaleness), "records=") {
+		t.Fatalf("healthy read: HTTP %d, staleness %q", status, hdr.Get(replica.HeaderStaleness))
+	}
+
+	// Writes never apply locally: 307 with the primary's address.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	wresp, err := noRedirect.Post(f.ts.URL+"/v1/contribute", "application/json",
+		strings.NewReader(`{"name":"p0000","amount":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("write on follower: HTTP %d, want 307", wresp.StatusCode)
+	}
+	if loc := wresp.Header.Get("Location"); loc != pts.URL+"/v1/contribute" {
+		t.Fatalf("redirect Location %q, want %q", loc, pts.URL+"/v1/contribute")
+	}
+
+	// Primary gone: once the bound is exceeded, reads are refused.
+	proxy.gateAll.Store(true)
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		status, hdr, body := get(t, f.ts.URL+"/v1/rewards")
+		if status == http.StatusServiceUnavailable {
+			if !strings.HasPrefix(hdr.Get(replica.HeaderStaleness), "records=") {
+				t.Fatalf("503 lost the staleness header: %q", hdr.Get(replica.HeaderStaleness))
+			}
+			if !strings.Contains(string(body), "staleness") {
+				t.Fatalf("503 body %q does not explain staleness", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads never hit the staleness bound after the primary vanished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The rejection is visible on the metric surface too.
+	var stale float64
+	for _, mv := range f.reg.Snapshot() {
+		if mv.Name == "itree_replica_stale_reads_total" {
+			stale = mv.Value
+		}
+	}
+	if stale < 1 {
+		t.Fatalf("itree_replica_stale_reads_total = %v, want >= 1", stale)
+	}
+
+	// Back online: the follower recovers and reads open up again.
+	proxy.gateAll.Store(false)
+	deadline = time.Now().Add(waitTimeout)
+	for {
+		if status, _, _ := get(t, f.ts.URL+"/v1/rewards"); status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads did not recover after the primary returned")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHealthzAndPreSyncReads(t *testing.T) {
+	// A follower pointed at a dead primary: healthz must answer, data
+	// reads must 503 (never a misleading 404).
+	f := startFollower(t, "http://127.0.0.1:1", 0)
+	if status, _, body := get(t, f.ts.URL+"/v1/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz on unsynced follower: HTTP %d (%s)", status, body)
+	}
+	status, hdr, _ := get(t, f.ts.URL+"/v1/rewards")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("pre-sync read: HTTP %d, want 503", status)
+	}
+	if hdr.Get(replica.HeaderStaleness) != "unsynced" {
+		t.Fatalf("pre-sync staleness header %q, want unsynced", hdr.Get(replica.HeaderStaleness))
+	}
+}

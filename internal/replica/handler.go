@@ -1,0 +1,115 @@
+package replica
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// defaultCampaignID mirrors the store's legacy default-campaign id, so
+// staleness gating covers the unprefixed /v1/* routes too. (replica
+// cannot import internal/store — the dependency points the other way.)
+const defaultCampaignID = "default"
+
+// redirectResponse is the 307 body a follower answers writes with.
+type redirectResponse struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary"`
+}
+
+// Handler wraps a follower's API handler with the replication
+// contract:
+//
+//   - Writes (anything but GET/HEAD/OPTIONS) are rejected with 307 and
+//     a Location on the primary — a follower is strictly read-only.
+//   - Reads on replicated campaigns carry X-Itree-Staleness and are
+//     rejected with 503 once staleness exceeds Options.MaxStaleness
+//     (or while the campaign has no replicated state to serve yet).
+//   - /v1/healthz is answered directly: liveness must not depend on
+//     the primary being reachable or a sync having completed.
+func (m *Manager) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead, http.MethodOptions:
+		default:
+			loc := m.primary + r.URL.RequestURI()
+			w.Header().Set("Location", loc)
+			writeJSON(w, http.StatusTemporaryRedirect, redirectResponse{
+				Error:   "follower is read-only; retry the request against the primary",
+				Primary: loc,
+			})
+			return
+		}
+		if r.URL.Path == "/v1/healthz" {
+			// Answered here, not by the store: a follower has no default
+			// campaign until its first sync, and liveness must not depend
+			// on one (or on the primary being reachable).
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+		id, ok := campaignForPath(r.URL.Path)
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		records, age, state := m.Staleness(id)
+		switch state {
+		case Untracked:
+			if m.listed.Load() {
+				// The primary does not have this campaign either; let the
+				// store produce its normal 404.
+				next.ServeHTTP(w, r)
+				return
+			}
+			// Nothing is known yet — the follower has not even listed the
+			// primary's campaigns. 503, not a misleading 404.
+			m.mStaleReads.Inc()
+			w.Header().Set(HeaderStaleness, "unsynced")
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{"follower has not completed its first sync with the primary"})
+			return
+		case Unsynced:
+			m.mStaleReads.Inc()
+			w.Header().Set(HeaderStaleness, "unsynced")
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{fmt.Sprintf("campaign %s has no replicated state yet", id)})
+			return
+		}
+		w.Header().Set(HeaderStaleness, fmt.Sprintf("records=%d seconds=%.3f", records, age.Seconds()))
+		if max := m.opts.MaxStaleness; max > 0 && age > max {
+			m.mStaleReads.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{fmt.Sprintf(
+				"replica staleness %.3fs exceeds the %s bound (lag %d records)",
+				age.Seconds(), max, records)})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// campaignForPath maps an API path to the campaign whose staleness
+// governs it. The campaign list endpoint and non-API paths are not
+// gated (false); unprefixed legacy routes belong to the default
+// campaign.
+func campaignForPath(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	if rest == "campaigns" || rest == "campaigns/" {
+		return "", false
+	}
+	if id, ok := strings.CutPrefix(rest, "campaigns/"); ok {
+		if i := strings.IndexByte(id, '/'); i >= 0 {
+			id = id[:i]
+		}
+		if id == "" {
+			return "", false
+		}
+		return id, true
+	}
+	return defaultCampaignID, true
+}

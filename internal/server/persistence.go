@@ -95,6 +95,53 @@ func (s *Server) adoptState(st *journal.State) {
 	}
 }
 
+// ApplyReplicated applies a contiguous batch of journal events
+// replicated from a primary, under the write lock and through the same
+// replay code as crash recovery — so a follower that applies the
+// primary's journal reaches byte-identical state. The batch must
+// extend the current state exactly (first event at LastSeq+1, no
+// gaps); this is checked before anything mutates. On a replay error
+// the state may be partially advanced: the caller (a replication
+// follower) must discard the deployment and re-bootstrap from a
+// snapshot, which is its recovery path for any divergence.
+func (s *Server) ApplyReplicated(events []journal.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if events[0].Seq != s.lastSeq+1 {
+		return fmt.Errorf("server: replicated batch starts at seq %d, state is at %d", events[0].Seq, s.lastSeq)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			return fmt.Errorf("server: replicated batch has a gap: %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	st := &journal.State{Tree: s.tree, ByName: s.byKey, LastSeq: s.lastSeq}
+	st, err := journal.Replay(st, events)
+	if err != nil {
+		// Keep the cache from serving the partially mutated tree.
+		s.version++
+		return err
+	}
+	s.lastSeq = st.LastSeq
+	s.version++
+	if s.useEngine && s.engine != nil {
+		// Replay bypassed the engine's O(depth) bookkeeping; rebuild its
+		// derived sums from the tree. Followers normally run without an
+		// engine (full evaluation keeps reward bytes identical to the
+		// primary), so this is a programmatic-use safety net, not a hot
+		// path.
+		if e, ok := incremental.ForTree(s.mech, s.tree); ok {
+			s.engine = e
+		} else {
+			s.engine = nil
+		}
+	}
+	return nil
+}
+
 // Recover rebuilds a server from a snapshot plus the journal events
 // recorded after it. Either part may be empty.
 func Recover(s *Server, snap *Snapshot, events []journal.Event) error {

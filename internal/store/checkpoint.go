@@ -185,7 +185,7 @@ func (st *Store) recoverCampaign(id string) error {
 	if err != nil {
 		return fmt.Errorf("store: recover %s: %w", id, err)
 	}
-	events, err := recoverJournal(filepath.Join(dir, "journal.log"))
+	events, err := recoverJournal(filepath.Join(dir, journalFile))
 	if err != nil {
 		return fmt.Errorf("store: recover %s: %w", id, err)
 	}
@@ -213,7 +213,7 @@ func (st *Store) recoverCampaign(id string) error {
 	if snap != nil {
 		c.checkpointedSeq = snap.LastSeq
 	}
-	fw, err := journal.OpenFile(filepath.Join(dir, "journal.log"), st.cfg.Sync, st.cfg.SyncInterval)
+	fw, err := journal.OpenFile(filepath.Join(dir, journalFile), st.cfg.Sync, st.cfg.SyncInterval)
 	if err != nil {
 		return err
 	}

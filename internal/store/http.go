@@ -15,6 +15,9 @@ import (
 //	GET    /v1/campaigns/{id}             -> one summary
 //	DELETE /v1/campaigns/{id}             -> delete campaign and its data
 //	POST   /v1/campaigns/{id}/checkpoint  -> force a checkpoint now
+//	GET    /v1/campaigns/{id}/replica/... -> replication endpoints
+//	                                         (snapshot, journal stream;
+//	                                         see internal/replica)
 //	*      /v1/campaigns/{id}/...         -> the campaign's server API
 //	                                         (join, contribute, rewards, ...)
 //	*      /v1/...                        -> legacy aliases served by the
@@ -30,6 +33,8 @@ func (st *Store) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", st.handleInfo)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", st.handleDelete)
 	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", st.handleCheckpoint)
+	mux.HandleFunc("GET /v1/campaigns/{id}/replica/snapshot", st.handleReplicaSnapshot)
+	mux.HandleFunc("GET /v1/campaigns/{id}/replica/journal", st.handleReplicaJournal)
 	mux.HandleFunc("/v1/campaigns/{id}/{rest...}", st.handleCampaignRoute)
 	mux.HandleFunc("/v1/", st.handleLegacy)
 	return mux

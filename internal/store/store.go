@@ -41,6 +41,7 @@ import (
 	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
 	"incentivetree/internal/obs"
+	"incentivetree/internal/replica"
 	"incentivetree/internal/server"
 )
 
@@ -106,6 +107,12 @@ type Config struct {
 	// the caller, not the store — cmd/itreed uses this to keep the
 	// legacy flat-file -journal mode byte-compatible.
 	DefaultServer *server.Server
+	// Follower marks the store as a replication follower: campaigns are
+	// installed by a replica.Manager (Adopt/Drop) rather than created
+	// locally, no default campaign is provisioned, and DataDir must be
+	// empty — follower state is rebuilt from the primary on start, by
+	// design (see internal/replica).
+	Follower bool
 }
 
 // Meta is the persisted configuration of one campaign (meta.json).
@@ -174,6 +181,10 @@ type Store struct {
 	mCPSeconds   *obs.Histogram
 	mReclaimed   *obs.Counter
 
+	// pub serves the primary side of the replication protocol (see
+	// internal/replica and the replica routes in Handler).
+	pub *replica.Publisher
+
 	kick    chan *Campaign
 	closeMu sync.Mutex
 	closed  bool
@@ -187,6 +198,14 @@ type Store struct {
 func Open(cfg Config) (*Store, error) {
 	if cfg.NewMechanism == nil && cfg.DefaultServer == nil {
 		return nil, errors.New("store: Config.NewMechanism is required")
+	}
+	if cfg.Follower {
+		if cfg.DataDir != "" {
+			return nil, errors.New("store: a follower store cannot have a DataDir (state is replicated, not persisted)")
+		}
+		if cfg.DefaultServer != nil {
+			return nil, errors.New("store: a follower store cannot adopt a DefaultServer")
+		}
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
@@ -237,6 +256,11 @@ func Open(cfg Config) (*Store, error) {
 		if err := st.recoverAll(); err != nil {
 			return nil, err
 		}
+	}
+	st.pub = replica.NewPublisher(cfg.Metrics)
+	if cfg.Follower {
+		// Campaigns arrive via Adopt once the replica.Manager syncs.
+		return st, nil
 	}
 	if cfg.DefaultServer != nil {
 		if _, ok := st.Get(DefaultID); ok {
@@ -342,7 +366,7 @@ func (st *Store) Create(meta Meta) (*Campaign, error) {
 		if err := writeFileAtomic(filepath.Join(c.dir, "meta.json"), mustJSON(meta)); err != nil {
 			return nil, err
 		}
-		fw, err := journal.OpenFile(filepath.Join(c.dir, "journal.log"), st.cfg.Sync, st.cfg.SyncInterval)
+		fw, err := journal.OpenFile(filepath.Join(c.dir, journalFile), st.cfg.Sync, st.cfg.SyncInterval)
 		if err != nil {
 			return nil, err
 		}
