@@ -1,9 +1,9 @@
 GO ?= go
 BENCHTIME ?= 300ms
 
-.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke replicasmoke replicabench
+.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke replicasmoke replicabench auditsmoke auditbench
 
-check: build vet lint fmtcheck test race benchsmoke loadsmoke replicasmoke
+check: build vet lint fmtcheck test race benchsmoke loadsmoke replicasmoke auditsmoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,21 @@ loadsmoke:
 # redirect, replica lag metrics, and clean shutdown of both daemons.
 replicasmoke:
 	GO=$(GO) RACE=1 sh scripts/replicasmoke.sh
+
+# auditsmoke boots a race-built itreed with the audit service on,
+# runs an adversarial itreeload mix (injected Sybil arrangements with
+# ground truth) plus an honest-only mix, and verifies at least one
+# matched finding, zero quarantined honest participants, and
+# byte-identical quarantine state across kill -9 + restart.
+auditsmoke:
+	GO=$(GO) RACE=1 sh scripts/auditsmoke.sh
+
+# auditbench measures contribute throughput with the audit service off
+# vs scanning every 250ms, writes the next free BENCH_<n>.json point,
+# and fails if the auditor costs more than 5% (see
+# scripts/auditbench.sh).
+auditbench:
+	GO=$(GO) sh scripts/auditbench.sh
 
 # replicabench measures read throughput under write load on a single
 # node vs fanned out across two followers, and writes the next free

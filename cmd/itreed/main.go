@@ -12,6 +12,7 @@
 //	       [-journal-sync os|interval|always] [-journal-sync-interval 1s]
 //	       [-batch-max 64] [-batch-wait 0] [-queue-depth 1024]
 //	       [-journal events.log]
+//	       [-audit-interval 10s] [-audit-quarantine]
 //	       [-role primary|follower] [-primary http://host:8080]
 //	       [-max-staleness 5s]
 //
@@ -24,6 +25,16 @@
 // journal. The legacy -journal flag instead attaches a single flat
 // journal file to the default campaign (no checkpointing), exactly as
 // earlier releases did; the two flags are mutually exclusive.
+//
+// With -audit-interval set, every campaign runs the online Sybil audit
+// service (see internal/audit): committed batches mark subtrees dirty,
+// periodic incremental scans score them against the canonical attack
+// shapes (ε-chains, deep single-child chains, star bursts) plus a
+// counterfactual reward probe, and GET /v1/campaigns/{id}/audit serves
+// the findings. Payout quarantine — POST .../audit/quarantine and
+// DELETE .../audit/quarantine/{name}, or automatic with
+// -audit-quarantine — is journaled and crash-recoverable: quarantined
+// subtrees serve zero rewards while raw contributions stay intact.
 //
 // With -role=follower the daemon is a read replica of another itreed:
 // it bootstraps every campaign from the primary's replication snapshot
@@ -185,6 +196,10 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		"how long a committer waits to fill a batch after its first op (0 = commit immediately once the queue is drained)")
 	queueDepth := fs.Int("queue-depth", ingest.DefaultQueueDepth,
 		"per-campaign ingest queue bound; a full queue sheds writes with 429")
+	auditInterval := fs.Duration("audit-interval", 0,
+		"per-campaign Sybil audit scan cadence (0 disables the audit service)")
+	auditQuarantine := fs.Bool("audit-quarantine", false,
+		"let the auditor auto-quarantine quarantine-grade findings (ε-chains, star bursts); otherwise it only reports")
 	role := fs.String("role", "primary",
 		"primary (serve writes, publish replication) or follower (read replica of -primary)")
 	primaryURL := fs.String("primary", "",
@@ -214,6 +229,9 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		}
 		if *maxStaleness < 0 {
 			return nil, errors.New("-max-staleness must be >= 0")
+		}
+		if *auditInterval > 0 {
+			return nil, errors.New("a follower does not audit: the primary's quarantine decisions replicate; -audit-interval is not allowed with -role=follower")
 		}
 	default:
 		return nil, fmt.Errorf("unknown -role %q (want primary or follower)", *role)
@@ -247,6 +265,8 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		BatchMax:           *batchMax,
 		BatchWait:          *batchWait,
 		QueueDepth:         *queueDepth,
+		AuditInterval:      *auditInterval,
+		AuditQuarantine:    *auditQuarantine,
 		Metrics:            reg,
 		NewMechanism:       newMechanism,
 		DefaultMechanism:   *mech,

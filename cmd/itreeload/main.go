@@ -10,6 +10,7 @@
 //	          [-workers 8] [-rate 0] [-duration 5s]
 //	          [-participants 64] [-join-frac 0.05] [-seed 1]
 //	          [-read-frac 0] [-read-targets url1,url2]
+//	          [-scenario steady|honest|adversarial] [-audit-report]
 //
 // The generator first seeds a population of participants (untimed),
 // then runs the measured phase for -duration: each worker issues
@@ -19,6 +20,35 @@
 // back to back, so offered load tracks service rate); a positive
 // -rate opens the loop, pacing the fleet at that many requests per
 // second regardless of response times.
+//
+// # Scenarios
+//
+// -scenario selects the seed-phase shape (see internal/treegen):
+//
+//   - steady (default): flat random-sponsor joins, the historical
+//     behavior.
+//   - honest: organic growth — preferential attachment, viral
+//     cascades, churned contributions — with no planted attacks.
+//   - adversarial: the honest mix plus injected Sybil arrangements
+//     (ε-chains, deep chains, star bursts) with known ground truth,
+//     for exercising the audit service (-audit-interval on itreed).
+//
+// Scenario generation is deterministic in -seed: the same seed
+// produces the identical operation stream (the seed phase applies it
+// sequentially), so audit findings are reproducible run over run. The
+// measured phase then targets only the honest population.
+//
+// With -audit-report, after the measured phase the tool forces two
+// audit scans (hysteresis needs a confirming pass) and prints one
+// parseable line comparing the campaign's audit findings against the
+// scenario's ground truth:
+//
+//	itreeload: audit findings=4 matched_injections=3/3 false_findings=0 quarantined=2 quarantined_honest=0
+//
+// matched_injections counts planted arrangements identified by a
+// flagged finding; false_findings counts flagged findings naming no
+// planted identity; quarantined_honest counts quarantined names
+// outside the planted set (always 0 unless the auditor misfires).
 //
 // Reads fan out round-robin across -read-targets (default: -addr), so
 // a primary plus its read replicas can be measured as one serving
@@ -45,6 +75,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"incentivetree/internal/treegen"
 )
 
 func main() {
@@ -65,6 +97,8 @@ type config struct {
 	joinFrac     float64
 	readFrac     float64
 	seed         int64
+	scenario     string
+	auditReport  bool
 }
 
 // counters aggregates response outcomes across workers.
@@ -87,9 +121,18 @@ func run(args []string, stdout io.Writer) error {
 	readFrac := fs.Float64("read-frac", 0, "fraction of measured ops that are leaderboard reads")
 	readTargets := fs.String("read-targets", "",
 		"comma-separated base URLs reads fan out to round-robin, e.g. a primary and its followers (default: -addr)")
-	seed := fs.Int64("seed", 1, "PRNG seed for workload shape")
+	seed := fs.Int64("seed", 1, "PRNG seed for workload shape; scenario op streams are identical for identical seeds")
+	scenario := fs.String("scenario", "steady",
+		"seed-phase shape: steady (flat random joins), honest (organic growth), adversarial (organic growth + injected Sybil arrangements)")
+	auditReport := fs.Bool("audit-report", false,
+		"after the measured phase, force two audit scans and print findings vs the scenario's ground truth")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *scenario {
+	case "steady", "honest", "adversarial":
+	default:
+		return fmt.Errorf("unknown -scenario %q (want steady, honest, or adversarial)", *scenario)
 	}
 	cfg := config{
 		base:         apiBase(*addr, *campaign),
@@ -100,6 +143,8 @@ func run(args []string, stdout io.Writer) error {
 		joinFrac:     *joinFrac,
 		readFrac:     *readFrac,
 		seed:         *seed,
+		scenario:     *scenario,
+		auditReport:  *auditReport,
 	}
 	if *readTargets == "" {
 		cfg.readBases = []string{cfg.base}
@@ -130,11 +175,12 @@ func run(args []string, stdout io.Writer) error {
 		},
 	}
 
-	names, err := seedPopulation(client, cfg)
+	names, sc, err := seedPopulation(client, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "itreeload: seeded %d participants against %s\n", len(names), cfg.base)
+	fmt.Fprintf(stdout, "itreeload: seeded %d participants against %s (%s scenario, %d injected arrangements)\n",
+		len(names), cfg.base, cfg.scenario, len(sc.Injected))
 
 	var c counters
 	latencies := measure(client, cfg, names, &c)
@@ -147,6 +193,11 @@ func run(args []string, stdout io.Writer) error {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		fmt.Fprintf(stdout, "itreeload: latency p50 %s p95 %s p99 %s\n",
 			percentile(latencies, 0.50), percentile(latencies, 0.95), percentile(latencies, 0.99))
+	}
+	if cfg.auditReport {
+		if err := reportAudit(client, cfg, sc, stdout); err != nil {
+			return err
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed", failed)
@@ -164,12 +215,34 @@ func apiBase(addr, campaign string) string {
 	return base
 }
 
-// seedPopulation joins cfg.participants members (untimed), each
-// sponsored by a random earlier member so the tree has referral depth.
-// Seeding retries shed (429) joins: the population must exist before
-// the measured phase, and a load test that cannot seed is an error.
-func seedPopulation(client *http.Client, cfg config) ([]string, error) {
+// seedPopulation builds the pre-measurement population (untimed) and
+// returns the contribution-target names plus the scenario's ground
+// truth (empty for -scenario=steady). Seeding retries shed (429)
+// requests: the population must exist before the measured phase, and a
+// load test that cannot seed is an error. The op stream is a pure
+// function of -seed, so identical seeds reproduce identical trees.
+func seedPopulation(client *http.Client, cfg config) ([]string, treegen.Scenario, error) {
 	rng := rand.New(rand.NewSource(cfg.seed))
+	if cfg.scenario != "steady" {
+		sc := treegen.Mix(rng, scenarioConfig(cfg))
+		for _, op := range sc.Ops() {
+			var err error
+			switch op.Kind {
+			case treegen.OpJoin:
+				err = seedRequest(client, cfg.base+"/join",
+					map[string]any{"name": op.Name, "sponsor": op.Sponsor})
+			case treegen.OpContribute:
+				err = seedRequest(client, cfg.base+"/contribute",
+					map[string]any{"name": op.Name, "amount": op.Amount})
+			}
+			if err != nil {
+				return nil, sc, err
+			}
+		}
+		// The measured phase drives only the honest population: sybil
+		// identities stay exactly as planted, so audit ground truth holds.
+		return sc.Honest, sc, nil
+	}
 	names := make([]string, 0, cfg.participants)
 	for i := 0; i < cfg.participants; i++ {
 		name := fmt.Sprintf("load-p%04d", i)
@@ -177,26 +250,138 @@ func seedPopulation(client *http.Client, cfg config) ([]string, error) {
 		if len(names) > 0 {
 			sponsor = names[rng.Intn(len(names))]
 		}
-		var status int
-		for attempt := 0; attempt < 50; attempt++ {
-			var err error
-			status, err = post(client, cfg.base+"/join", map[string]any{"name": name, "sponsor": sponsor})
-			if err != nil {
-				return nil, fmt.Errorf("seed %s: %w", name, err)
-			}
-			if status != http.StatusTooManyRequests {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		// 400 means the participant already exists (a rerun against a
-		// warm daemon) — still usable as a contribution target.
-		if status >= 500 {
-			return nil, fmt.Errorf("seed %s: HTTP %d", name, status)
+		if err := seedRequest(client, cfg.base+"/join", map[string]any{"name": name, "sponsor": sponsor}); err != nil {
+			return nil, treegen.Scenario{}, err
 		}
 		names = append(names, name)
 	}
-	return names, nil
+	return names, treegen.Scenario{}, nil
+}
+
+// scenarioConfig maps the flag surface onto a treegen mix: the honest
+// population tracks -participants, and the adversarial variant plants
+// arrangements of every canonical shape, scaled with population.
+func scenarioConfig(cfg config) treegen.ScenarioConfig {
+	sc := treegen.ScenarioConfig{Honest: cfg.participants}
+	if cfg.scenario == "adversarial" {
+		n := cfg.participants / 32
+		if n < 1 {
+			n = 1
+		}
+		sc.EpsilonChains, sc.Chains, sc.Stars = n, n, n
+	}
+	return sc
+}
+
+// seedRequest posts one seed-phase op, retrying shed (429) responses.
+// 4xx is tolerated (a rerun against a warm daemon re-joins existing
+// names); 5xx is fatal.
+func seedRequest(client *http.Client, url string, body map[string]any) error {
+	var status int
+	for attempt := 0; attempt < 50; attempt++ {
+		var err error
+		status, err = post(client, url, body)
+		if err != nil {
+			return fmt.Errorf("seed %v: %w", body["name"], err)
+		}
+		if status != http.StatusTooManyRequests {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status >= 500 {
+		return fmt.Errorf("seed %v: HTTP %d", body["name"], status)
+	}
+	return nil
+}
+
+// reportAudit forces two audit scans (hysteresis needs the confirming
+// pass), fetches the audit report, and prints one parseable line
+// scoring the findings against the scenario's ground truth.
+func reportAudit(client *http.Client, cfg config, sc treegen.Scenario, stdout io.Writer) error {
+	for i := 0; i < 2; i++ {
+		status, err := post(client, cfg.base+"/audit/scan", map[string]any{})
+		if err != nil {
+			return fmt.Errorf("audit scan: %w", err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("audit scan: HTTP %d (is itreed running with -audit-interval?)", status)
+		}
+	}
+	req, err := http.NewRequest(http.MethodGet, cfg.base+"/audit", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("audit report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("audit report: HTTP %d", resp.StatusCode)
+	}
+	var rep struct {
+		Quarantined []string `json:"quarantined"`
+		Report      *struct {
+			Findings []struct {
+				Root    string   `json:"root"`
+				Flagged bool     `json:"flagged"`
+				Members []string `json:"members"`
+			} `json:"findings"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("audit report: %w", err)
+	}
+
+	planted := sc.SybilNames()
+	matched, falseFindings, flagged := 0, 0, 0
+	type finding struct {
+		root    string
+		members []string
+	}
+	var flaggedFindings []finding
+	if rep.Report != nil {
+		for _, f := range rep.Report.Findings {
+			if !f.Flagged {
+				continue
+			}
+			flagged++
+			flaggedFindings = append(flaggedFindings, finding{f.Root, f.Members})
+			hit := planted[f.Root]
+			for _, m := range f.Members {
+				hit = hit || planted[m]
+			}
+			if !hit {
+				falseFindings++
+			}
+		}
+	}
+	for _, inj := range sc.Injected {
+		set := make(map[string]bool, len(inj.Members))
+		for _, m := range inj.Members {
+			set[m] = true
+		}
+		for _, f := range flaggedFindings {
+			ok := set[f.root]
+			for _, m := range f.members {
+				ok = ok || set[m]
+			}
+			if ok {
+				matched++
+				break
+			}
+		}
+	}
+	quarantinedHonest := 0
+	for _, name := range rep.Quarantined {
+		if !planted[name] {
+			quarantinedHonest++
+		}
+	}
+	fmt.Fprintf(stdout, "itreeload: audit findings=%d matched_injections=%d/%d false_findings=%d quarantined=%d quarantined_honest=%d\n",
+		flagged, matched, len(sc.Injected), falseFindings, len(rep.Quarantined), quarantinedHonest)
+	return nil
 }
 
 // measure runs the timed phase and returns every request's latency.

@@ -159,3 +159,118 @@ func TestRunRejectsBadReadFlags(t *testing.T) {
 		t.Error("blank -read-targets should fail")
 	}
 }
+
+// newAuditedStore boots a store with the audit service on and
+// auto-quarantine enabled; scans are driven via POST .../audit/scan.
+func newAuditedStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		AuditInterval:   time.Hour,
+		AuditQuarantine: true,
+		NewMechanism: func(name string, p core.Params) (core.Mechanism, error) {
+			return experiments.ByName(p, name)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestRunAdversarialScenario is the end-to-end precision/recall check
+// through the real HTTP surface: every planted arrangement is matched
+// by a flagged finding, nothing honest is quarantined.
+func TestRunAdversarialScenario(t *testing.T) {
+	st := newAuditedStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "2",
+		"-duration", "100ms",
+		"-participants", "64",
+		"-scenario", "adversarial",
+		"-audit-report",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "6 injected arrangements") {
+		t.Errorf("expected 6 injections (64/32 of each shape):\n%s", got)
+	}
+	if !strings.Contains(got, "matched_injections=6/6") {
+		t.Errorf("audit missed injections:\n%s", got)
+	}
+	if !strings.Contains(got, "quarantined_honest=0") {
+		t.Errorf("audit quarantined honest participants:\n%s", got)
+	}
+}
+
+// TestRunHonestScenarioCleanAudit: organic-only traffic yields zero
+// quarantines (advisory chain findings are permitted — see
+// internal/audit).
+func TestRunHonestScenarioCleanAudit(t *testing.T) {
+	st := newAuditedStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "2",
+		"-duration", "100ms",
+		"-participants", "48",
+		"-scenario", "honest",
+		"-audit-report",
+		"-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "matched_injections=0/0") {
+		t.Errorf("honest scenario reported injections:\n%s", got)
+	}
+	if !strings.Contains(got, "quarantined=0 quarantined_honest=0") {
+		t.Errorf("honest scenario was quarantined:\n%s", got)
+	}
+}
+
+// TestScenarioSeedReproducible: two runs with the same -seed leave the
+// server with byte-identical trees (the documented -seed contract).
+func TestScenarioSeedReproducible(t *testing.T) {
+	tree := func(seed string) string {
+		st := newStore(t)
+		ts := httptest.NewServer(st.Handler())
+		defer ts.Close()
+		var out strings.Builder
+		err := run([]string{
+			"-addr", ts.URL,
+			"-workers", "1",
+			"-duration", "10ms",
+			"-rate", "1", // ~0 measured ops: the tree is the seed phase's
+			"-participants", "32",
+			"-scenario", "adversarial",
+			"-seed", seed,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		r := httptest.NewRequest("GET", "/v1/snapshot", nil)
+		w := httptest.NewRecorder()
+		st.Handler().ServeHTTP(w, r)
+		return w.Body.String()
+	}
+	a, b := tree("42"), tree("42")
+	if a != b {
+		t.Fatalf("same -seed produced different trees:\n%s\n---\n%s", a, b)
+	}
+	if c := tree("43"); a == c {
+		t.Fatal("different -seed produced the identical tree")
+	}
+}

@@ -1,0 +1,128 @@
+package audit
+
+import (
+	"incentivetree/internal/core"
+	"incentivetree/internal/sybil"
+	"incentivetree/internal/tree"
+)
+
+// probeGain runs the bounded counterfactual probe on a detected
+// identity set: rebuild the scenario the members faced (the tree
+// without them, their external children as attachable subtrees),
+// execute their observed arrangement and the single-honest-node
+// arrangement through the sybil Executor, and return the reward
+// difference. A positive gain means the arrangement extracts more than
+// one honest participant with the same total contribution would — the
+// mechanism-level definition of a profitable Sybil attack.
+//
+// Returns ok=false when the probe is skipped: members not forming one
+// attachable group (all external parents must be above the set), a
+// footprint beyond maxNodes, or an evaluation error.
+func probeGain(m core.Mechanism, t *tree.Tree, members []tree.NodeID, maxNodes int) (float64, bool) {
+	if len(members) == 0 || len(members) > maxNodes {
+		return 0, false
+	}
+	n := t.Len()
+	memberIdx := make(map[tree.NodeID]int, len(members))
+	for i, id := range members {
+		if !t.Exists(id) || id == tree.Root {
+			return 0, false
+		}
+		memberIdx[id] = i
+	}
+	// A member's parent must be another member or the common external
+	// parent (members are topological by id, so parents precede them).
+	external := t.Parent(members[0])
+	if _, in := memberIdx[external]; in {
+		return 0, false
+	}
+	for _, id := range members[1:] {
+		p := t.Parent(id)
+		if _, in := memberIdx[p]; !in && p != external {
+			return 0, false
+		}
+	}
+
+	// excluded = members plus all their descendants; downward-closed,
+	// computable in one id-order pass since parent < child.
+	excluded := make([]bool, n)
+	for _, id := range members {
+		excluded[id] = true
+	}
+	footprint := len(members)
+	for id := 1; id < n; id++ {
+		if excluded[id] {
+			continue
+		}
+		if excluded[t.Parent(tree.NodeID(id))] {
+			excluded[id] = true
+			footprint++
+			if footprint > maxNodes {
+				return 0, false
+			}
+		}
+	}
+
+	// The base tree: everything except the excluded set, ids remapped.
+	base := tree.New()
+	mapping := make([]tree.NodeID, n)
+	mapping[tree.Root] = tree.Root
+	total := 0.0
+	for id := 1; id < n; id++ {
+		u := tree.NodeID(id)
+		if excluded[id] {
+			continue
+		}
+		nid, err := base.Add(mapping[t.Parent(u)], t.Contribution(u))
+		if err != nil {
+			return 0, false
+		}
+		mapping[id] = nid
+	}
+
+	// The members' external children become the scenario's attachable
+	// child subtrees, remembering which identity held each.
+	scenario := sybil.Scenario{Base: base, Parent: mapping[external]}
+	var childAssign []int
+	for i, id := range members {
+		for _, k := range t.Children(id) {
+			if _, in := memberIdx[k]; in {
+				continue
+			}
+			spec, err := t.ToSpec(k)
+			if err != nil {
+				return 0, false
+			}
+			scenario.ChildTrees = append(scenario.ChildTrees, spec)
+			childAssign = append(childAssign, i)
+		}
+	}
+
+	observed := sybil.Arrangement{
+		Parts:       make([]float64, len(members)),
+		ParentIdx:   make([]int, len(members)),
+		ChildAssign: childAssign,
+	}
+	for i, id := range members {
+		c := t.Contribution(id)
+		observed.Parts[i] = c
+		total += c
+		if pi, in := memberIdx[t.Parent(id)]; in {
+			observed.ParentIdx[i] = pi
+		} else {
+			observed.ParentIdx[i] = -1
+		}
+	}
+	scenario.Contribution = total
+
+	ex := sybil.NewExecutor(m, scenario)
+	got, err := ex.Execute(observed)
+	if err != nil {
+		return 0, false
+	}
+	honest, err := ex.Execute(sybil.Single(total, len(scenario.ChildTrees)))
+	if err != nil {
+		return 0, false
+	}
+	return got.Reward - honest.Reward, true
+}

@@ -1,0 +1,190 @@
+package audit_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"incentivetree/internal/audit"
+	"incentivetree/internal/core"
+	"incentivetree/internal/geometric"
+	"incentivetree/internal/server"
+	"incentivetree/internal/treegen"
+)
+
+// applyScenario streams a generated scenario into a live server.
+func applyScenario(t *testing.T, s *server.Server, sc treegen.Scenario) {
+	t.Helper()
+	for _, op := range sc.Ops() {
+		var err error
+		switch op.Kind {
+		case treegen.OpJoin:
+			err = s.Join(op.Name, op.Sponsor)
+		case treegen.OpContribute:
+			err = s.Contribute(op.Name, op.Amount)
+		}
+		if err != nil {
+			t.Fatalf("applying %+v: %v", op, err)
+		}
+	}
+}
+
+func newAuditedServer(t *testing.T, cfg audit.Config) (*server.Server, *audit.Auditor) {
+	t.Helper()
+	m, err := geometric.Default(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(m)
+	a := audit.New(cfg, s)
+	s.SetCommitObserver(a.NotifyCommit)
+	return s, a
+}
+
+// matches reports whether a finding identifies the injection: the
+// member sets overlap (star roots are honest sponsors, so root-only
+// matching would miss them).
+func matches(f audit.Finding, inj treegen.Injection) bool {
+	planted := make(map[string]bool, len(inj.Members))
+	for _, m := range inj.Members {
+		planted[m] = true
+	}
+	if planted[f.Root] {
+		return true
+	}
+	for _, m := range f.Members {
+		if planted[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAdversarialRecall is the headline regression: on a mixed
+// adversarial scenario with known ground truth, the auditor must flag
+// at least 90% of the injected arrangements, never flag an honest
+// participant, and auto-quarantine only planted identities.
+func TestAdversarialRecall(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		sc := treegen.Mix(rand.New(rand.NewSource(seed)), treegen.ScenarioConfig{
+			Honest:        64,
+			EpsilonChains: 3,
+			Chains:        3,
+			Stars:         3,
+		})
+		s, a := newAuditedServer(t, audit.Config{AutoQuarantine: true})
+		applyScenario(t, s, sc)
+
+		// Two scans: hysteresis needs a confirming pass before flagging.
+		a.Scan()
+		a.Scan()
+		rep := a.Report()
+
+		matched := 0
+		for _, inj := range sc.Injected {
+			found := false
+			for _, f := range rep.Findings {
+				if f.Flagged && matches(f, inj) {
+					found = true
+					break
+				}
+			}
+			if found {
+				matched++
+			} else {
+				t.Logf("seed %d: missed %s at %q (members %v)", seed, inj.Shape, inj.Root, inj.Members)
+			}
+		}
+		recall := float64(matched) / float64(len(sc.Injected))
+		if recall < 0.9 {
+			t.Errorf("seed %d: recall = %d/%d = %.2f, want >= 0.9", seed, matched, len(sc.Injected), recall)
+		}
+
+		// Precision: no flagged finding may implicate honest members, and
+		// every flagged chain root must itself be planted.
+		syb := sc.SybilNames()
+		for _, f := range rep.Findings {
+			if !f.Flagged {
+				continue
+			}
+			for _, m := range f.Members {
+				if !syb[m] {
+					t.Errorf("seed %d: flagged finding at %q implicates honest %q", seed, f.Root, m)
+				}
+			}
+			if f.Shape != audit.ShapeStar && !syb[f.Root] {
+				t.Errorf("seed %d: flagged %s anchored at honest %q", seed, f.Shape, f.Root)
+			}
+		}
+
+		// Auto-quarantine touches planted identities only.
+		for _, name := range s.QuarantinedNames() {
+			if !strings.HasPrefix(name, "syb-") {
+				t.Errorf("seed %d: quarantined honest participant %q", seed, name)
+			}
+		}
+		if s.QuarantineCount() == 0 {
+			t.Errorf("seed %d: no injection crossed the auto-quarantine gate", seed)
+		}
+	}
+}
+
+// TestHonestOnlyNoQuarantines: organic traffic — preferential
+// attachment, cascades, churn — must never be quarantined, and must
+// never match the equal-split signatures (continuous contribution
+// amounts make exact equality measure-zero). Irregular deep chains DO
+// grow organically, so advisory chain flags are permitted — that is
+// exactly why plain chains never cross the auto-quarantine gate.
+func TestHonestOnlyNoQuarantines(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		sc := treegen.Mix(rand.New(rand.NewSource(seed)), treegen.ScenarioConfig{Honest: 96})
+		s, a := newAuditedServer(t, audit.Config{AutoQuarantine: true})
+		applyScenario(t, s, sc)
+		for i := 0; i < 3; i++ {
+			a.Scan()
+		}
+		for _, f := range a.Report().Findings {
+			if f.Shape != audit.ShapeChain {
+				t.Errorf("seed %d: honest traffic matched equal-split shape %q at %q", seed, f.Shape, f.Root)
+			}
+		}
+		if n := s.QuarantineCount(); n != 0 {
+			t.Errorf("seed %d: %d honest participants quarantined: %v", seed, n, s.QuarantinedNames())
+		}
+	}
+}
+
+// TestIncrementalScanCatchesLateInjection: the dirty-set path (not the
+// initial full pass) must pick up an attack arriving after the auditor
+// has gone idle.
+func TestIncrementalScanCatchesLateInjection(t *testing.T) {
+	sc := treegen.Mix(rand.New(rand.NewSource(11)), treegen.ScenarioConfig{Honest: 32})
+	s, a := newAuditedServer(t, audit.Config{})
+	applyScenario(t, s, sc)
+	a.Scan()
+	if st := a.Scan(); !st.Skipped {
+		t.Fatalf("idle honest server still scanning: %+v", st)
+	}
+
+	sponsor := sc.Honest[0]
+	prev := sponsor
+	chain := []string{"syb-late-0", "syb-late-1", "syb-late-2", "syb-late-3", "syb-late-4"}
+	for _, n := range chain {
+		if err := s.Join(n, prev); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Contribute(n, 0.8); err != nil {
+			t.Fatal(err)
+		}
+		prev = n
+	}
+	a.Scan()
+	st := a.Scan()
+	if st.Flagged != 1 {
+		t.Fatalf("late ε-chain not flagged: %+v, report %+v", st, a.Report())
+	}
+	rep := a.Report()
+	if len(rep.Findings) != 1 || rep.Findings[0].Root != chain[0] || rep.Findings[0].Shape != audit.ShapeEpsilonChain {
+		t.Fatalf("findings %+v, want one ε-chain at %q", rep.Findings, chain[0])
+	}
+}

@@ -1,7 +1,7 @@
 // Package journal provides an append-only event log for Incentive Tree
-// deployments: every state change (join, contribute) is recorded as one
-// JSON line, and a log replays into the exact referral tree it
-// witnessed. Together with the tree's JSON snapshot format this gives
+// deployments: every state change (join, contribute, quarantine) is
+// recorded as one JSON line, and a log replays into the exact referral
+// tree — and payout-quarantine set — it witnessed. Together with the tree's JSON snapshot format this gives
 // the in-memory HTTP service (internal/server) crash-recovery semantics:
 // snapshot + suffix-of-journal = current state.
 package journal
@@ -38,6 +38,13 @@ const (
 	KindJoin Kind = "join"
 	// KindContribute records a contribution increase.
 	KindContribute Kind = "contribute"
+	// KindQuarantine flags a participant: the whole subtree rooted at
+	// the named node is withheld from payout (rewards served as zero)
+	// while raw contributions stay intact. Journaled like any other
+	// state change so the flag survives crashes and replicates.
+	KindQuarantine Kind = "quarantine"
+	// KindUnquarantine clears a previously set quarantine flag.
+	KindUnquarantine Kind = "unquarantine"
 )
 
 // Event is one journal entry. Participants are identified by name, as in
@@ -72,6 +79,16 @@ func (e Event) Validate() error {
 		}
 		if e.Amount <= 0 {
 			return fmt.Errorf("journal: contribute amount %v must be positive", e.Amount)
+		}
+	case KindQuarantine, KindUnquarantine:
+		if e.Name == "" {
+			return fmt.Errorf("journal: %s event without name", e.Kind)
+		}
+		if e.Sponsor != "" {
+			return fmt.Errorf("journal: %s event carries a sponsor", e.Kind)
+		}
+		if e.Amount != 0 {
+			return fmt.Errorf("journal: %s event carries an amount", e.Kind)
 		}
 	default:
 		return fmt.Errorf("journal: unknown event kind %q", e.Kind)
@@ -230,6 +247,9 @@ type State struct {
 	// LastSeq is the sequence number of the last applied event (0 for an
 	// empty journal).
 	LastSeq uint64
+	// Quarantined holds the names whose subtrees are currently withheld
+	// from payout.
+	Quarantined map[string]bool
 }
 
 // Replay applies events (in order) on top of an optional base state.
@@ -238,6 +258,9 @@ func Replay(base *State, events []Event) (*State, error) {
 	st := base
 	if st == nil {
 		st = &State{Tree: tree.New(), ByName: make(map[string]tree.NodeID)}
+	}
+	if st.Quarantined == nil {
+		st.Quarantined = make(map[string]bool)
 	}
 	for _, e := range events {
 		if err := e.Validate(); err != nil {
@@ -275,6 +298,19 @@ func Replay(base *State, events []Event) (*State, error) {
 			if err := st.Tree.AddContribution(id, e.Amount); err != nil {
 				return nil, fmt.Errorf("journal: seq %d: %w", e.Seq, err)
 			}
+		case KindQuarantine:
+			if _, ok := st.ByName[e.Name]; !ok {
+				return nil, fmt.Errorf("journal: quarantine of unknown %q at seq %d", e.Name, e.Seq)
+			}
+			if st.Quarantined[e.Name] {
+				return nil, fmt.Errorf("journal: duplicate quarantine of %q at seq %d", e.Name, e.Seq)
+			}
+			st.Quarantined[e.Name] = true
+		case KindUnquarantine:
+			if !st.Quarantined[e.Name] {
+				return nil, fmt.Errorf("journal: unquarantine of unflagged %q at seq %d", e.Name, e.Seq)
+			}
+			delete(st.Quarantined, e.Name)
 		}
 		st.LastSeq = e.Seq
 		metricReplays.Inc()
@@ -286,7 +322,7 @@ func Replay(base *State, events []Event) (*State, error) {
 // (e.g. a decoded snapshot), assigning it the given last sequence
 // number. Labels must be unique.
 func StateFromTree(t *tree.Tree, lastSeq uint64) (*State, error) {
-	st := &State{Tree: t, ByName: make(map[string]tree.NodeID, t.NumParticipants()), LastSeq: lastSeq}
+	st := &State{Tree: t, ByName: make(map[string]tree.NodeID, t.NumParticipants()), LastSeq: lastSeq, Quarantined: make(map[string]bool)}
 	for _, u := range t.Nodes() {
 		name := t.Label(u)
 		if _, dup := st.ByName[name]; dup {

@@ -1,0 +1,195 @@
+package replica_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"incentivetree/internal/replica"
+	"incentivetree/internal/store"
+)
+
+// startAuditPrimary is startPrimary with the audit service attached:
+// a long interval (tests drive scans directly) and auto-quarantine on.
+func startAuditPrimary(t *testing.T, dir string) *primary {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		DataDir:            dir,
+		CheckpointInterval: -1,
+		CheckpointBytes:    -1,
+		BatchMax:           1,
+		NewMechanism:       newMech,
+		AuditInterval:      time.Hour,
+		AuditQuarantine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &primary{t: t, dir: dir, st: st, ts: httptest.NewServer(st.Handler())}
+}
+
+// plantEpsilonChain grafts an ε-chain of n identities under sponsor,
+// each contributing the same amount — the signature the auditor
+// auto-quarantines. A decoy sibling keeps the sponsor branching so the
+// chain head anchors at the graft point.
+func plantEpsilonChain(t *testing.T, p *primary, campaign, sponsor string, n int) []string {
+	t.Helper()
+	c, ok := p.st.Get(campaign)
+	if !ok {
+		t.Fatalf("campaign %s not found", campaign)
+	}
+	srv := c.Server()
+	if err := srv.Join("decoy", sponsor); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Contribute("decoy", 1.37); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	parent := sponsor
+	for i := range names {
+		names[i] = fmt.Sprintf("syb-%02d", i)
+		if err := srv.Join(names[i], parent); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Contribute(names[i], 0.8); err != nil {
+			t.Fatal(err)
+		}
+		parent = names[i]
+	}
+	return names
+}
+
+// followerReward reads one participant's payout from the follower's
+// rewards document.
+func followerReward(t *testing.T, baseURL, campaign, name string) float64 {
+	t.Helper()
+	var doc struct {
+		Participants []struct {
+			Name   string  `json:"name"`
+			Reward float64 `json:"reward"`
+		} `json:"participants"`
+	}
+	body := mustGet(t, baseURL+"/v1/campaigns/"+campaign+"/rewards")
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("rewards decode: %v (%s)", err, body)
+	}
+	for _, p := range doc.Participants {
+		if p.Name == name {
+			return p.Reward
+		}
+	}
+	t.Fatalf("participant %s missing from follower rewards", name)
+	return 0
+}
+
+// TestQuarantineReplicatesThroughFaults is the replication interplay
+// contract for the audit service: quarantine and unquarantine records
+// written by the primary's auditor replay on followers to byte-identical
+// reads — through torn journal streams, a primary crash-restart, and a
+// fresh follower bootstrap. Followers themselves never audit; they
+// inherit the primary's quarantine decisions from the journal.
+func TestQuarantineReplicatesThroughFaults(t *testing.T) {
+	dir := t.TempDir()
+	p := startAuditPrimary(t, dir)
+	proxy := newFlexProxy(p.ts.URL)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+
+	p.write(store.DefaultID, 0, 6)
+	chain := plantEpsilonChain(t, p, store.DefaultID, "p0000", 5)
+
+	f := startFollower(t, pts.URL, 0)
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	if c, ok := f.st.Get(store.DefaultID); !ok || c.Auditor() != nil {
+		t.Fatal("follower must not run its own auditor")
+	}
+
+	// Sever the next journal streams mid-record while the auditor's
+	// quarantine records flow: the follower must resume by tailing and
+	// still land on the primary's exact bytes.
+	proxy.tearJournal.Store(2)
+	c, _ := p.st.Get(store.DefaultID)
+	c.Auditor().Scan()
+	if stats := c.Auditor().Scan(); stats.Quarantined == 0 {
+		t.Fatalf("auditor did not quarantine the planted chain: %+v", stats)
+	}
+	st := f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	if proxy.tears.Load() == 0 {
+		t.Fatal("proxy never tore a stream; fault not exercised")
+	}
+	if st.Resyncs != 1 {
+		t.Fatalf("torn quarantine stream must resume by tailing, not re-bootstrapping (resyncs=%d)", st.Resyncs)
+	}
+	requireIdenticalReads(t, p.ts.URL, f.ts.URL, store.DefaultID)
+	if r := followerReward(t, f.ts.URL, store.DefaultID, chain[0]); r != 0 {
+		t.Fatalf("quarantined chain head paid %v on the follower", r)
+	}
+	if r := followerReward(t, f.ts.URL, store.DefaultID, "decoy"); r <= 0 {
+		t.Fatalf("honest decoy unpaid on the follower: %v", r)
+	}
+
+	// An operator lifting the flag replicates the same way.
+	req, _ := http.NewRequest(http.MethodDelete,
+		p.ts.URL+"/v1/campaigns/"+store.DefaultID+"/audit/quarantine/"+chain[0], nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unquarantine: HTTP %d", resp.StatusCode)
+	}
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+	requireIdenticalReads(t, p.ts.URL, f.ts.URL, store.DefaultID)
+	if r := followerReward(t, f.ts.URL, store.DefaultID, chain[0]); r <= 0 {
+		t.Fatalf("unquarantined chain head still zeroed on the follower: %v", r)
+	}
+
+	// Re-quarantine by hand, then kill the primary without flush or
+	// checkpoint. The restarted primary replays the quarantine record
+	// from its journal; the follower resumes tailing against it.
+	qresp, err := http.Post(p.ts.URL+"/v1/campaigns/"+store.DefaultID+"/audit/quarantine",
+		"application/json", strings.NewReader(fmt.Sprintf(`{"name":%q}`, chain[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("re-quarantine: HTTP %d", qresp.StatusCode)
+	}
+	f.waitApplied(store.DefaultID, p.lastSeq(store.DefaultID))
+
+	p.crash()
+	p2 := startAuditPrimary(t, dir)
+	defer p2.stop()
+	proxy.target.Store(p2.ts.URL)
+	p2.write(store.DefaultID, 100, 4)
+	st = f.waitApplied(store.DefaultID, p2.lastSeq(store.DefaultID))
+	if st.Resyncs != 1 {
+		t.Fatalf("primary restart with intact journal should not force a re-bootstrap (resyncs=%d)", st.Resyncs)
+	}
+	requireIdenticalReads(t, p2.ts.URL, f.ts.URL, store.DefaultID)
+	if r := followerReward(t, f.ts.URL, store.DefaultID, chain[0]); r != 0 {
+		t.Fatalf("quarantine lost across primary crash-restart: follower pays %v", r)
+	}
+
+	// A fresh follower is a cold bootstrap: the quarantine must arrive
+	// through the snapshot/journal hand-off, not just the live tail.
+	f2 := startFollower(t, pts.URL, 0)
+	f2.waitApplied(store.DefaultID, p2.lastSeq(store.DefaultID))
+	requireIdenticalReads(t, p2.ts.URL, f2.ts.URL, store.DefaultID)
+	if r := followerReward(t, f2.ts.URL, store.DefaultID, chain[0]); r != 0 {
+		t.Fatalf("fresh follower bootstrap dropped the quarantine: pays %v", r)
+	}
+
+	// And staleness surfacing still works over the quarantined state.
+	_, hdr, _ := get(t, f2.ts.URL+"/v1/campaigns/"+store.DefaultID+"/rewards")
+	if s := hdr.Get(replica.HeaderStaleness); s == "" {
+		t.Fatal("follower reads lost the staleness header")
+	}
+}

@@ -109,7 +109,7 @@ func (s *Server) ApplyBatch(ops []ingest.Op) []ingest.Result {
 	if !committed {
 		return results
 	}
-	rewards, rerr := s.rewardsLocked()
+	rewards, mask, rerr := s.servedRewardsLocked()
 	for i, op := range ops {
 		if errs[i] != nil {
 			continue
@@ -122,7 +122,7 @@ func (s *Server) ApplyBatch(ops []ingest.Op) []ingest.Result {
 		if op.Kind == ingest.OpJoin {
 			name = strings.TrimSpace(name)
 		}
-		results[i].Value = s.viewLocked(s.byKey[name], rewards)
+		results[i].Value = s.viewLocked(s.byKey[name], rewards, mask)
 	}
 	return results
 }
@@ -182,6 +182,13 @@ func (s *Server) applyLocked(ops []ingest.Op) []error {
 		s.lastSeq += uint64(len(events))
 	}
 	s.version++
+	if s.commitHook != nil {
+		touched := make([]string, len(events))
+		for i, e := range events {
+			touched[i] = e.Name
+		}
+		s.commitHook(s.version, touched)
+	}
 	return errs
 }
 

@@ -27,6 +27,9 @@ type Snapshot struct {
 	LastSeq uint64 `json:"last_seq"`
 	// Tree is the full referral tree with labels and contributions.
 	Tree *tree.Tree `json:"tree"`
+	// Quarantined lists the payout-quarantine flags in force, sorted by
+	// name. Absent in pre-quarantine snapshots, which decode as none.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // SnapshotState exports the current deployment state.
@@ -44,7 +47,7 @@ func (s *Server) SnapshotState() Snapshot {
 func (s *Server) SnapshotAt(fn func()) Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	snap := Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone()}
+	snap := Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone(), Quarantined: s.quarantinedNamesLocked()}
 	if fn != nil {
 		fn()
 	}
@@ -61,18 +64,34 @@ func (s *Server) LastSeq() uint64 {
 // RestoreState replaces the deployment state with the snapshot. The
 // snapshot's participant names must be unique (they are the API keys).
 func (s *Server) RestoreState(snap Snapshot) error {
-	if snap.Tree == nil {
-		return fmt.Errorf("server: snapshot without tree")
-	}
-	if err := snap.Tree.Validate(); err != nil {
-		return fmt.Errorf("server: snapshot invalid: %w", err)
-	}
-	st, err := journal.StateFromTree(snap.Tree, snap.LastSeq)
+	st, err := stateFromSnapshot(snap)
 	if err != nil {
-		return fmt.Errorf("server: %w", err)
+		return err
 	}
 	s.adoptState(st)
 	return nil
+}
+
+// stateFromSnapshot validates a snapshot and converts it to replay
+// state, including its quarantine flags.
+func stateFromSnapshot(snap Snapshot) (*journal.State, error) {
+	if snap.Tree == nil {
+		return nil, fmt.Errorf("server: snapshot without tree")
+	}
+	if err := snap.Tree.Validate(); err != nil {
+		return nil, fmt.Errorf("server: snapshot invalid: %w", err)
+	}
+	st, err := journal.StateFromTree(snap.Tree, snap.LastSeq)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	for _, name := range snap.Quarantined {
+		if _, ok := st.ByName[name]; !ok {
+			return nil, fmt.Errorf("server: snapshot quarantines unknown participant %q", name)
+		}
+		st.Quarantined[name] = true
+	}
+	return st, nil
 }
 
 // adoptState installs a replayed state, rebuilding the incremental
@@ -83,6 +102,10 @@ func (s *Server) adoptState(st *journal.State) {
 	s.tree = st.Tree
 	s.byKey = st.ByName
 	s.lastSeq = st.LastSeq
+	s.quarantined = st.Quarantined
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]bool)
+	}
 	// lastSeq may move backwards on a restore, but the cache version must
 	// not alias old numbers onto new state — keep it strictly advancing.
 	s.version++
@@ -92,6 +115,10 @@ func (s *Server) adoptState(st *journal.State) {
 		} else {
 			s.engine = nil
 		}
+	}
+	if s.commitHook != nil {
+		// A restore invalidates any incremental knowledge downstream.
+		s.commitHook(s.version, nil)
 	}
 }
 
@@ -118,7 +145,7 @@ func (s *Server) ApplyReplicated(events []journal.Event) error {
 			return fmt.Errorf("server: replicated batch has a gap: %d after %d", events[i].Seq, events[i-1].Seq)
 		}
 	}
-	st := &journal.State{Tree: s.tree, ByName: s.byKey, LastSeq: s.lastSeq}
+	st := &journal.State{Tree: s.tree, ByName: s.byKey, LastSeq: s.lastSeq, Quarantined: s.quarantined}
 	st, err := journal.Replay(st, events)
 	if err != nil {
 		// Keep the cache from serving the partially mutated tree.
@@ -126,6 +153,7 @@ func (s *Server) ApplyReplicated(events []journal.Event) error {
 		return err
 	}
 	s.lastSeq = st.LastSeq
+	s.quarantined = st.Quarantined
 	s.version++
 	if s.useEngine && s.engine != nil {
 		// Replay bypassed the engine's O(depth) bookkeeping; rebuild its
@@ -147,10 +175,7 @@ func (s *Server) ApplyReplicated(events []journal.Event) error {
 func Recover(s *Server, snap *Snapshot, events []journal.Event) error {
 	base := (*journal.State)(nil)
 	if snap != nil {
-		if err := s.RestoreState(*snap); err != nil {
-			return err
-		}
-		st, err := journal.StateFromTree(s.tree, snap.LastSeq)
+		st, err := stateFromSnapshot(*snap)
 		if err != nil {
 			return err
 		}

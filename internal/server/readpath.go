@@ -47,7 +47,10 @@ func (s *Server) stateVersion() uint64 {
 func (s *Server) buildQueryView() (uint64, *queryView, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	rewards, err := s.rewardsLocked()
+	// servedRewardsLocked zeroes quarantined subtrees, so both views —
+	// and TotalReward, which sums the served table — reflect withheld
+	// payouts while Total (raw contribution) stays as recorded.
+	rewards, mask, err := s.servedRewardsLocked()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -59,7 +62,7 @@ func (s *Server) buildQueryView() (uint64, *queryView, error) {
 		Participants: make([]Participant, 0, s.tree.NumParticipants()),
 	}
 	for _, u := range s.tree.Nodes() {
-		resp.Participants = append(resp.Participants, s.viewLocked(u, rewards))
+		resp.Participants = append(resp.Participants, s.viewLocked(u, rewards, mask))
 	}
 	// Sorted by name so the table is deterministic even across snapshot
 	// restores, which renumber node ids in DFS preorder.

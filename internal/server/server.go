@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"sync"
 
+	"incentivetree/internal/audit"
 	"incentivetree/internal/core"
 	"incentivetree/internal/incremental"
 	"incentivetree/internal/ingest"
@@ -55,6 +56,15 @@ type Server struct {
 	tree    *tree.Tree
 	byKey   map[string]tree.NodeID
 	lastSeq uint64
+	// quarantined holds names whose subtrees are withheld from payout;
+	// journaled alongside joins/contributions (see quarantine.go).
+	quarantined map[string]bool
+	// commitHook, when set, observes committed batches and restores; it
+	// runs under the write lock (see SetCommitObserver).
+	commitHook func(version uint64, touched []string)
+	// auditor, when set, backs the audit report/scan endpoints (see
+	// audit_http.go and SetAuditor).
+	auditor *audit.Auditor
 	// version counts committed batches and state restores; it keys the
 	// read cache and, unlike lastSeq, never moves backwards in-process.
 	version uint64
@@ -65,7 +75,7 @@ type Server struct {
 
 // New creates an empty deployment under the mechanism.
 func New(m core.Mechanism, opts ...Option) *Server {
-	s := &Server{mech: m, tree: tree.New(), byKey: make(map[string]tree.NodeID)}
+	s := &Server{mech: m, tree: tree.New(), byKey: make(map[string]tree.NodeID), quarantined: make(map[string]bool)}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -109,6 +119,10 @@ type Participant struct {
 	Reward       float64 `json:"reward"`
 	Profit       float64 `json:"profit"`
 	Recruits     int     `json:"recruits"`
+	// Quarantined marks a participant whose payout is withheld because
+	// it (or an ancestor) carries a quarantine flag; the contribution
+	// stays as recorded.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 type joinRequest struct {
@@ -147,6 +161,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("POST /v1/audit/scan", s.handleAuditScan)
+	mux.HandleFunc("POST /v1/audit/quarantine", s.handleQuarantine)
+	mux.HandleFunc("DELETE /v1/audit/quarantine/{name}", s.handleUnquarantine)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -217,11 +235,11 @@ func (s *Server) participant(name string) (Participant, error) {
 	if !ok {
 		return Participant{}, fmt.Errorf("unknown participant %q", name)
 	}
-	rewards, err := s.rewardsLocked()
+	rewards, mask, err := s.servedRewardsLocked()
 	if err != nil {
 		return Participant{}, err
 	}
-	return s.viewLocked(id, rewards), nil
+	return s.viewLocked(id, rewards, mask), nil
 }
 
 // rewardsLocked returns the current reward table, served from the
@@ -234,7 +252,10 @@ func (s *Server) rewardsLocked() (core.Rewards, error) {
 	return s.mech.Rewards(s.tree)
 }
 
-func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
+// viewLocked builds one participant's wire view. rewards is the table
+// as served (already masked when a quarantine is active); mask, when
+// non-nil, flags the nodes whose payout is withheld.
+func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards, mask []bool) Participant {
 	sponsor := ""
 	if p := s.tree.Parent(id); p != tree.Root {
 		sponsor = s.tree.Label(p)
@@ -246,6 +267,7 @@ func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards) Participant {
 		Reward:       rewards.Of(id),
 		Profit:       core.Profit(s.tree, rewards, id),
 		Recruits:     len(s.tree.Children(id)),
+		Quarantined:  mask != nil && int(id) < len(mask) && mask[id],
 	}
 }
 
@@ -259,14 +281,18 @@ func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
 // paper-level budget view (R(T), Phi*C(T), and their ratio) and, when
 // metrics are attached, a structured snapshot of every recorded metric.
 type statsResponse struct {
-	Mechanism         string            `json:"mechanism"`
-	Params            core.Params       `json:"params"`
-	Tree              tree.Stats        `json:"tree"`
-	TotalReward       float64           `json:"total_reward"`
-	Budget            float64           `json:"budget"`
-	BudgetUtilization float64           `json:"budget_utilization"`
-	LastSeq           uint64            `json:"last_seq"`
-	Metrics           []obs.MetricValue `json:"metrics,omitempty"`
+	Mechanism         string      `json:"mechanism"`
+	Params            core.Params `json:"params"`
+	Tree              tree.Stats  `json:"tree"`
+	TotalReward       float64     `json:"total_reward"`
+	Budget            float64     `json:"budget"`
+	BudgetUtilization float64     `json:"budget_utilization"`
+	LastSeq           uint64      `json:"last_seq"`
+	// Quarantined counts the quarantine flags currently set. TotalReward
+	// above stays the mechanism-level R(T): budget accounting is about
+	// what the mechanism allocates, not what payout withholds.
+	Quarantined int               `json:"quarantined,omitempty"`
+	Metrics     []obs.MetricValue `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -284,6 +310,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		TotalReward: rewards.Total(),
 		Budget:      s.mech.Params().Phi * s.tree.Total(),
 		LastSeq:     s.lastSeq,
+		Quarantined: len(s.quarantined),
 	}
 	s.mu.RUnlock()
 	if resp.Budget > 0 {

@@ -16,10 +16,11 @@ import (
 	"incentivetree/internal/server"
 )
 
-// Run drives the background checkpointer until ctx is cancelled: every
-// CheckpointInterval it checkpoints campaigns with uncheckpointed
-// events, and in between it services size-trigger kicks posted by the
-// HTTP layer when a journal passes CheckpointBytes.
+// Run drives the store's background services until ctx is cancelled:
+// every CheckpointInterval it checkpoints campaigns with
+// uncheckpointed events, in between it services size-trigger kicks
+// posted by the HTTP layer when a journal passes CheckpointBytes, and
+// every AuditInterval it runs one incremental audit scan per campaign.
 func (st *Store) Run(ctx context.Context) {
 	var tick <-chan time.Time
 	if st.cfg.CheckpointInterval > 0 {
@@ -27,12 +28,20 @@ func (st *Store) Run(ctx context.Context) {
 		defer t.Stop()
 		tick = t.C
 	}
+	var auditTick <-chan time.Time
+	if st.cfg.AuditInterval > 0 && !st.cfg.Follower {
+		t := time.NewTicker(st.cfg.AuditInterval)
+		defer t.Stop()
+		auditTick = t.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-tick:
 			st.CheckpointAll()
+		case <-auditTick:
+			st.AuditAll()
 		case c := <-st.kick:
 			c.kickMu.Lock()
 			c.kicked = false
@@ -67,6 +76,21 @@ func (st *Store) maybeKick(c *Campaign) {
 		c.kickMu.Lock()
 		c.kicked = false
 		c.kickMu.Unlock()
+	}
+}
+
+// AuditAll runs one audit scan on every campaign with an attached
+// auditor. Scans with nothing dirty return immediately; scans that
+// auto-quarantined appended journal records, so the size trigger is
+// re-checked.
+func (st *Store) AuditAll() {
+	for _, c := range st.List() {
+		if c.auditor == nil {
+			continue
+		}
+		if stats := c.auditor.Scan(); stats.Quarantined > 0 {
+			st.maybeKick(c)
+		}
 	}
 }
 
@@ -228,6 +252,7 @@ func (st *Store) recoverCampaign(id string) error {
 		fw.Close()
 		return fmt.Errorf("store: duplicate campaign %q on disk", id)
 	}
+	st.attachAudit(c)
 	return nil
 }
 

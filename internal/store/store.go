@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"incentivetree/internal/audit"
 	"incentivetree/internal/core"
 	"incentivetree/internal/ingest"
 	"incentivetree/internal/journal"
@@ -93,6 +94,16 @@ type Config struct {
 	// control); a full queue sheds writes with 429. Zero means
 	// ingest.DefaultQueueDepth.
 	QueueDepth int
+	// AuditInterval enables the online Sybil audit service: every
+	// campaign gets a background auditor (see internal/audit) whose
+	// incremental scans run on this period from the store's Run loop.
+	// Zero or negative disables the service; followers never audit (the
+	// primary's quarantine decisions replicate like any other write).
+	AuditInterval time.Duration
+	// AuditQuarantine lets auditors auto-quarantine flagged findings of
+	// quarantine-grade severity (ε-chains, star bursts). Off, the
+	// auditor only reports; quarantine stays an operator action.
+	AuditQuarantine bool
 	// Metrics, when set, receives the store's gauges/counters and every
 	// campaign's per-campaign domain gauges (labelled campaign="<id>").
 	Metrics *obs.Registry
@@ -133,6 +144,7 @@ type Campaign struct {
 	handler http.Handler        // cached srv.Handler()
 	dir     string              // "" = ephemeral
 	fw      *journal.FileWriter // nil = ephemeral or caller-managed
+	auditor *audit.Auditor      // nil = audit service disabled
 
 	// cpMu serializes checkpoints of this campaign.
 	cpMu sync.Mutex
@@ -148,6 +160,33 @@ type Campaign struct {
 // Server exposes the campaign's underlying deployment (for seeding,
 // tests, and direct programmatic writes).
 func (c *Campaign) Server() *server.Server { return c.srv }
+
+// Auditor exposes the campaign's background auditor; nil when the
+// audit service is disabled.
+func (c *Campaign) Auditor() *audit.Auditor { return c.auditor }
+
+// attachAudit wires the audit service onto a freshly installed
+// campaign: the auditor subscribes to committed batches through the
+// server's commit observer and backs the audit HTTP endpoints. The
+// auditor's first scan is always a full pass, so installation order
+// relative to early writes does not matter.
+func (st *Store) attachAudit(c *Campaign) {
+	if st.cfg.AuditInterval <= 0 || st.cfg.Follower {
+		return
+	}
+	var labels []string
+	if st.cfg.Metrics != nil {
+		labels = []string{"campaign", c.Meta.ID}
+	}
+	a := audit.New(audit.Config{
+		AutoQuarantine: st.cfg.AuditQuarantine,
+		Registry:       st.cfg.Metrics,
+		Labels:         labels,
+	}, c.srv)
+	c.auditor = a
+	c.srv.SetCommitObserver(a.NotifyCommit)
+	c.srv.SetAuditor(a)
+}
 
 var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`)
 
@@ -272,6 +311,7 @@ func Open(cfg Config) (*Store, error) {
 		}
 		c.handler = c.srv.Handler()
 		st.put(c)
+		st.attachAudit(c)
 	} else if _, ok := st.Get(DefaultID); !ok {
 		if _, err := st.Create(Meta{ID: DefaultID, Mechanism: cfg.DefaultMechanism, Params: cfg.DefaultParams}); err != nil {
 			return nil, fmt.Errorf("store: default campaign: %w", err)
@@ -386,6 +426,7 @@ func (st *Store) Create(meta Meta) (*Campaign, error) {
 		}
 		return nil, fmt.Errorf("store: campaign %q already exists", meta.ID)
 	}
+	st.attachAudit(c)
 	return c, nil
 }
 
@@ -443,6 +484,9 @@ func (st *Store) Delete(id string) error {
 	// is out of the map, and post-drain ones get ErrClosed), then
 	// exclude a concurrent checkpoint before tearing down files.
 	c.srv.CloseIngest()
+	if c.auditor != nil {
+		c.auditor.Close()
+	}
 	c.cpMu.Lock()
 	defer c.cpMu.Unlock()
 	if c.fw != nil {
@@ -474,6 +518,9 @@ func (st *Store) Close() error {
 		// Drain queued writes into the journal before the final
 		// checkpoint so shutdown loses nothing that was admitted.
 		c.srv.CloseIngest()
+		if c.auditor != nil {
+			c.auditor.Close()
+		}
 		if _, err := st.Checkpoint(c); err != nil && first == nil {
 			first = err
 		}

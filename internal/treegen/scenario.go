@@ -1,0 +1,337 @@
+package treegen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file generates *operation streams* rather than trees: scripted
+// scenarios for the load generator (cmd/itreeload) and the audit tests,
+// mixing organic growth patterns — preferential attachment, viral
+// cascades, churn — with injected Sybil arrangements whose identities
+// are known, so auditor precision and recall can be computed against
+// ground truth. All randomness flows through the injected *rand.Rand:
+// identical seeds generate identical op streams.
+
+// OpKind discriminates scenario operations.
+type OpKind int
+
+// The scenario operation kinds.
+const (
+	// OpJoin registers Name under Sponsor ("" = top level).
+	OpJoin OpKind = iota
+	// OpContribute adds Amount to Name's contribution.
+	OpContribute
+)
+
+// Op is one API operation of a scenario.
+type Op struct {
+	Kind    OpKind
+	Name    string
+	Sponsor string
+	Amount  float64
+}
+
+// Unit is a sequence of ops that must execute in order (a join before
+// its contributions, a Sybil arrangement bottom-up); independent units
+// may interleave freely.
+type Unit []Op
+
+// Injection is one planted Sybil arrangement with its ground truth.
+type Injection struct {
+	// Shape is the planted shape: audit's "epsilon-chain", "chain", or
+	// "star" (string-typed here to keep treegen free of audit imports).
+	Shape string
+	// Root is the name a correct auditor anchors the finding at: the
+	// chain head identity, or the star's sponsor (which may be honest —
+	// match stars by Members, not Root).
+	Root string
+	// Members are the planted identity names.
+	Members []string
+}
+
+// ScenarioConfig controls Mix. The zero value yields a small default
+// mix; sybil counts of zero with Honest > 0 yield honest-only traffic.
+type ScenarioConfig struct {
+	// Honest is the number of organically joining participants.
+	// Default 32.
+	Honest int
+	// Contributions is the number of honest contribution ops streamed
+	// over the population. Default 4 * Honest.
+	Contributions int
+	// Cascades is the number of viral bursts: a random recent joiner
+	// recruits a flurry of direct children in one unit. Default
+	// Honest/16.
+	Cascades int
+	// ChurnWindow focuses contribution traffic: 70% of contributions
+	// target the most recent ChurnWindow joiners, modelling cohorts
+	// that go quiet. Default Honest/2, minimum 4.
+	ChurnWindow int
+	// EpsilonChains, Chains, Stars count the injected arrangements of
+	// each canonical shape. All default to 0 (honest-only).
+	EpsilonChains int
+	Chains        int
+	Stars         int
+	// ChainLen is the identity count of injected chains. Default 6.
+	ChainLen int
+	// StarFanout is the identity count of injected stars. Default 8.
+	StarFanout int
+	// Prefix names honest participants ("<prefix>-h0001"). Default
+	// "load". Sybil identities are always prefixed "syb-".
+	Prefix string
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Honest <= 0 {
+		c.Honest = 32
+	}
+	if c.Contributions <= 0 {
+		c.Contributions = 4 * c.Honest
+	}
+	if c.Cascades < 0 {
+		c.Cascades = 0
+	} else if c.Cascades == 0 {
+		c.Cascades = c.Honest / 16
+	}
+	if c.ChurnWindow <= 0 {
+		c.ChurnWindow = c.Honest / 2
+	}
+	if c.ChurnWindow < 4 {
+		c.ChurnWindow = 4
+	}
+	if c.ChainLen <= 0 {
+		c.ChainLen = 6
+	}
+	if c.StarFanout <= 0 {
+		c.StarFanout = 8
+	}
+	if c.Prefix == "" {
+		c.Prefix = "load"
+	}
+	return c
+}
+
+// Scenario is a generated op stream plus its ground truth.
+type Scenario struct {
+	// Units execute in order within themselves; the slice order is a
+	// valid (deterministic) global schedule.
+	Units []Unit
+	// Honest lists the honest participant names in join order.
+	Honest []string
+	// Injected lists the planted Sybil arrangements.
+	Injected []Injection
+}
+
+// Ops flattens the units into one sequential op stream.
+func (s Scenario) Ops() []Op {
+	var out []Op
+	for _, u := range s.Units {
+		out = append(out, u...)
+	}
+	return out
+}
+
+// SybilNames returns the set of planted identity names.
+func (s Scenario) SybilNames() map[string]bool {
+	set := make(map[string]bool)
+	for _, inj := range s.Injected {
+		for _, m := range inj.Members {
+			set[m] = true
+		}
+	}
+	return set
+}
+
+// Mix generates a scenario from cfg, drawing all randomness from r.
+// Honest growth uses preferential attachment with continuous
+// contribution amounts (so equal-split detectors cannot fire on it);
+// Sybil units are spliced into the honest stream at random positions,
+// each attached under a random honest sponsor, with identities confined
+// to the arrangement (no honest descendants), so quarantining exactly
+// the planted names is the correct outcome.
+func Mix(r *rand.Rand, cfg ScenarioConfig) Scenario {
+	cfg = cfg.withDefaults()
+	var sc Scenario
+
+	// Honest joins: preferential attachment over the honest population.
+	// weights[i] = 1 + children(i); index -1 is "top level".
+	children := make([]int, 0, cfg.Honest)
+	pickSponsor := func() int {
+		total := 1 + len(children) // top level weight 1
+		for _, k := range children {
+			total += k
+		}
+		pick := r.Intn(total)
+		if pick == 0 {
+			return -1
+		}
+		pick--
+		for i, k := range children {
+			if pick < 1+k {
+				return i
+			}
+			pick -= 1 + k
+		}
+		return len(children) - 1
+	}
+	amount := func() float64 { return 0.5 + 4*r.Float64() }
+
+	var honestUnits []Unit
+	join := func() {
+		name := fmt.Sprintf("%s-h%04d", cfg.Prefix, len(sc.Honest))
+		sponsor := ""
+		if s := pickSponsor(); s >= 0 {
+			sponsor = sc.Honest[s]
+			children[s]++
+		}
+		honestUnits = append(honestUnits, Unit{
+			{Kind: OpJoin, Name: name, Sponsor: sponsor},
+			{Kind: OpContribute, Name: name, Amount: amount()},
+		})
+		sc.Honest = append(sc.Honest, name)
+		children = append(children, 0)
+	}
+	for i := 0; i < cfg.Honest; i++ {
+		join()
+	}
+	// Sybil sponsors are drawn from this base population (and cascade
+	// sponsors may extend past it): every base join precedes every
+	// spliced unit in the schedule, so sponsors always exist by the
+	// time they are referenced.
+	basePop := len(sc.Honest)
+	baseChildren := append([]int{}, children...)
+
+	// Viral cascades: one recent joiner recruits a burst of children.
+	for b := 0; b < cfg.Cascades && len(sc.Honest) > 0; b++ {
+		lo := len(sc.Honest) - cfg.ChurnWindow
+		if lo < 0 {
+			lo = 0
+		}
+		sponsor := sc.Honest[lo+r.Intn(len(sc.Honest)-lo)]
+		burst := Unit{}
+		for n := 2 + r.Intn(4); n > 0; n-- {
+			name := fmt.Sprintf("%s-h%04d", cfg.Prefix, len(sc.Honest))
+			burst = append(burst,
+				Op{Kind: OpJoin, Name: name, Sponsor: sponsor},
+				Op{Kind: OpContribute, Name: name, Amount: amount()})
+			sc.Honest = append(sc.Honest, name)
+			children = append(children, 0)
+		}
+		honestUnits = append(honestUnits, burst)
+	}
+
+	// Churned contribution stream: mostly the recent cohort.
+	for i := 0; i < cfg.Contributions; i++ {
+		var name string
+		if r.Float64() < 0.7 {
+			lo := len(sc.Honest) - cfg.ChurnWindow
+			if lo < 0 {
+				lo = 0
+			}
+			name = sc.Honest[lo+r.Intn(len(sc.Honest)-lo)]
+		} else {
+			name = sc.Honest[r.Intn(len(sc.Honest))]
+		}
+		honestUnits = append(honestUnits, Unit{{Kind: OpContribute, Name: name, Amount: amount()}})
+	}
+
+	// Sybil units. Each is self-contained: identities join top-down,
+	// then contribute, all under one honest sponsor from the base
+	// population.
+	sponsorName := func() string { return sc.Honest[r.Intn(basePop)] }
+	// Chain sponsors need a second child, or the auditor's chain-head
+	// walk would (correctly, structurally) ascend into the honest
+	// sponsor and the ground-truth root would be off by one.
+	chainSponsor := func() string {
+		for attempt := 0; attempt < 4*basePop; attempt++ {
+			i := r.Intn(basePop)
+			if baseChildren[i] >= 1 {
+				return sc.Honest[i]
+			}
+		}
+		return sponsorName()
+	}
+	// Distinct star sponsors: two equal-split bursts under one center
+	// would merge into a single finding and cost recall.
+	usedStar := make(map[string]bool)
+	starSponsor := func() string {
+		s := sponsorName()
+		for attempt := 0; usedStar[s] && attempt < 4*basePop; attempt++ {
+			s = sponsorName()
+		}
+		usedStar[s] = true
+		return s
+	}
+	var sybilUnits []Unit
+	sybIdx := 0
+	addInjection := func(shape string, unit Unit, root string, members []string) {
+		sybilUnits = append(sybilUnits, unit)
+		sc.Injected = append(sc.Injected, Injection{Shape: shape, Root: root, Members: members})
+	}
+	for i := 0; i < cfg.EpsilonChains; i++ {
+		// Equal mu-blocks down a chain, head holding one block too —
+		// the TDRM reward-tree split.
+		mu := 0.25 + r.Float64()
+		names := sybNames(&sybIdx, cfg.ChainLen)
+		unit := chainUnit(names, chainSponsor(), func(int) float64 { return mu })
+		addInjection("epsilon-chain", unit, names[0], names)
+	}
+	for i := 0; i < cfg.Chains; i++ {
+		// Irregular parts: hits the depth detector, not the ε-fit.
+		names := sybNames(&sybIdx, cfg.ChainLen)
+		unit := chainUnit(names, chainSponsor(), func(int) float64 { return 0.5 + 3*r.Float64() })
+		addInjection("chain", unit, names[0], names)
+	}
+	for i := 0; i < cfg.Stars; i++ {
+		part := 0.5 + 2*r.Float64()
+		names := sybNames(&sybIdx, cfg.StarFanout)
+		sponsor := starSponsor()
+		unit := Unit{}
+		for _, n := range names {
+			unit = append(unit,
+				Op{Kind: OpJoin, Name: n, Sponsor: sponsor},
+				Op{Kind: OpContribute, Name: n, Amount: part})
+		}
+		addInjection("star", unit, sponsor, names)
+	}
+
+	// Splice: honest units in order, sybil units at random positions
+	// after the sponsor pool exists (sponsors were drawn from the full
+	// honest population, so sybil units go after all honest joins but
+	// shuffled among the contribution stream tail).
+	joins := cfg.Honest
+	if joins > len(honestUnits) {
+		joins = len(honestUnits)
+	}
+	tail := append([]Unit{}, honestUnits[joins:]...)
+	for _, u := range sybilUnits {
+		pos := r.Intn(len(tail) + 1)
+		tail = append(tail[:pos], append([]Unit{u}, tail[pos:]...)...)
+	}
+	sc.Units = append(append([]Unit{}, honestUnits[:joins]...), tail...)
+	return sc
+}
+
+// sybNames allocates the next n planted identity names.
+func sybNames(idx *int, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("syb-%03d-%02d", *idx, i)
+	}
+	*idx++
+	return names
+}
+
+// chainUnit joins names as a descending chain under sponsor, each
+// contributing part(i).
+func chainUnit(names []string, sponsor string, part func(i int) float64) Unit {
+	unit := Unit{}
+	parent := sponsor
+	for i, n := range names {
+		unit = append(unit,
+			Op{Kind: OpJoin, Name: n, Sponsor: parent},
+			Op{Kind: OpContribute, Name: n, Amount: part(i)})
+		parent = n
+	}
+	return unit
+}

@@ -1,0 +1,99 @@
+package treegen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testMix = ScenarioConfig{
+	Honest:        48,
+	EpsilonChains: 2,
+	Chains:        2,
+	Stars:         2,
+}
+
+// TestMixDeterministic is the seed-reproducibility contract: identical
+// seeds generate identical op streams, byte for byte.
+func TestMixDeterministic(t *testing.T) {
+	a := Mix(rand.New(rand.NewSource(7)), testMix)
+	b := Mix(rand.New(rand.NewSource(7)), testMix)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	c := Mix(rand.New(rand.NewSource(8)), testMix)
+	if reflect.DeepEqual(a.Ops(), c.Ops()) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}
+
+// TestMixStreamIsApplicable replays the flattened stream against a map,
+// checking every op references existing names in schedule order.
+func TestMixStreamIsApplicable(t *testing.T) {
+	sc := Mix(rand.New(rand.NewSource(7)), testMix)
+	joined := make(map[string]bool)
+	for i, op := range sc.Ops() {
+		switch op.Kind {
+		case OpJoin:
+			if joined[op.Name] {
+				t.Fatalf("op %d: duplicate join of %q", i, op.Name)
+			}
+			if op.Sponsor != "" && !joined[op.Sponsor] {
+				t.Fatalf("op %d: %q joins under %q before the sponsor joined", i, op.Name, op.Sponsor)
+			}
+			joined[op.Name] = true
+		case OpContribute:
+			if !joined[op.Name] {
+				t.Fatalf("op %d: contribution by unjoined %q", i, op.Name)
+			}
+			if op.Amount <= 0 {
+				t.Fatalf("op %d: non-positive amount %v", i, op.Amount)
+			}
+		}
+	}
+}
+
+func TestMixGroundTruth(t *testing.T) {
+	sc := Mix(rand.New(rand.NewSource(7)), testMix)
+	if got, want := len(sc.Injected), testMix.EpsilonChains+testMix.Chains+testMix.Stars; got != want {
+		t.Fatalf("injections = %d, want %d", got, want)
+	}
+	syb := sc.SybilNames()
+	for name := range syb {
+		if !strings.HasPrefix(name, "syb-") {
+			t.Fatalf("sybil name %q lacks the syb- prefix", name)
+		}
+	}
+	for _, h := range sc.Honest {
+		if syb[h] {
+			t.Fatalf("honest name %q is also a sybil member", h)
+		}
+	}
+	for _, inj := range sc.Injected {
+		if inj.Shape == "star" {
+			// Star roots are honest sponsors; members carry the truth.
+			for _, m := range inj.Members {
+				if !syb[m] {
+					t.Fatalf("star member %q not in sybil set", m)
+				}
+			}
+			continue
+		}
+		if !syb[inj.Root] {
+			t.Fatalf("%s root %q not in sybil set", inj.Shape, inj.Root)
+		}
+	}
+}
+
+func TestMixHonestOnly(t *testing.T) {
+	sc := Mix(rand.New(rand.NewSource(3)), ScenarioConfig{Honest: 32})
+	if len(sc.Injected) != 0 {
+		t.Fatalf("honest-only mix has %d injections", len(sc.Injected))
+	}
+	for _, op := range sc.Ops() {
+		if strings.HasPrefix(op.Name, "syb-") {
+			t.Fatalf("honest-only mix emitted sybil op %+v", op)
+		}
+	}
+}

@@ -1,5 +1,6 @@
 // Package journalfirst guards the durability contract of the write
-// path: in the serving packages (server, store, ingest), in-memory
+// path: in the serving packages (server, store, ingest, replica,
+// audit), in-memory
 // guarded state and the journal must never diverge. A function that
 // mutates receiver-reachable state BEFORE calling journal.Append /
 // AppendBatch must roll the mutations back on the append-error path
@@ -41,7 +42,7 @@ func New() *vet.Analyzer {
 
 // scopedPackages are the package names the invariant applies to (the
 // serving write path).
-var scopedPackages = map[string]bool{"server": true, "store": true, "ingest": true, "replica": true}
+var scopedPackages = map[string]bool{"server": true, "store": true, "ingest": true, "replica": true, "audit": true}
 
 // mutatorName matches method names that (by this repo's conventions)
 // mutate state.
