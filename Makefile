@@ -1,9 +1,10 @@
 GO ?= go
 BENCHTIME ?= 300ms
+FUZZTIME ?= 10s
 
-.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json loadsmoke replicasmoke replicabench auditsmoke auditbench
+.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json fuzzsmoke loadsmoke replicasmoke replicabench auditsmoke auditbench
 
-check: build vet lint fmtcheck test race benchsmoke loadsmoke replicasmoke auditsmoke
+check: build vet lint fmtcheck test race benchsmoke fuzzsmoke loadsmoke replicasmoke auditsmoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,16 @@ bench:
 # silently rot.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# fuzzsmoke runs each native fuzz target of the binary codecs for
+# FUZZTIME: the journal record decoder and the snapshot codec must
+# reject arbitrary corruption cleanly and round-trip accepted input
+# byte-identically. Corpus finds are kept under testdata/fuzz/ by go
+# test; commit any that reproduce bugs.
+fuzzsmoke:
+	$(GO) test -run=^$$ -fuzz=FuzzJournalRecordDecode -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run=^$$ -fuzz=FuzzEventConstructive -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run=^$$ -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME) ./internal/server/
 
 # loadsmoke boots a real itreed on a temp data dir, runs a short
 # itreeload burst through the batched ingest pipeline, and verifies

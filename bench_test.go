@@ -8,10 +8,12 @@
 package incentivetree_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -446,4 +448,177 @@ func BenchmarkTreeOps(b *testing.B) {
 			}
 		}
 	})
+	b.Run("CloneInto", func(b *testing.B) {
+		var dst tree.Tree
+		t.CloneInto(&dst) // warm the backing arrays; steady state is 0 allocs
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.CloneInto(&dst)
+		}
+	})
+	b.Run("ResetTo", func(b *testing.B) {
+		sc := t.Clone()
+		mark := sc.Mark()
+		for k := 0; k < 8; k++ { // warm the arena past the mark
+			sc.MustAdd(tree.Root, 1)
+		}
+		if err := sc.ResetTo(mark); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 8; k++ {
+				sc.MustAdd(tree.Root, 1)
+			}
+			if err := sc.ResetTo(mark); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchCodecSizes returns the campaign sizes the snapshot-codec and
+// recovery benchmarks run at: 10^4 always, plus the 10^6 acceptance
+// point when ITREE_BENCH_LARGE is set (a million-participant fixture is
+// too slow for the 1x CI bench smoke).
+func benchCodecSizes() []int {
+	sizes := []int{10_000}
+	if os.Getenv("ITREE_BENCH_LARGE") != "" {
+		sizes = append(sizes, 1_000_000)
+	}
+	return sizes
+}
+
+// BenchmarkSnapshotCodec contrasts the JSON debug/export snapshot with
+// the binary checkpoint format (DESIGN.md §8) on encode and decode.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	for _, n := range benchCodecSizes() {
+		snap := &server.Snapshot{
+			LastSeq:     uint64(n),
+			Tree:        benchTree(n),
+			Quarantined: []string{"p3", "p7"},
+		}
+		jsonData, err := json.Marshal(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binData, err := server.EncodeSnapshotBinary(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("encode/json/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("encode/binary/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := server.EncodeSnapshotBinary(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode/json/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := server.DecodeSnapshot(jsonData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode/binary/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := server.DecodeSnapshot(binData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures cold campaign recovery — full journal
+// replay vs snapshot adoption — in both wire formats. The n=1000000
+// points (ITREE_BENCH_LARGE=1) are the acceptance numbers for the
+// binary-codec work: binary recovery must beat JSON by 5x or more.
+func BenchmarkRecovery(b *testing.B) {
+	m, err := tdrm.Default(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range benchCodecSizes() {
+		for _, mode := range []journal.Mode{journal.ModeJSON, journal.ModeBinary} {
+			label := "json"
+			if mode == journal.ModeBinary {
+				label = "binary"
+			}
+			var log bytes.Buffer
+			srv := server.New(m, server.WithJournal(journal.NewWriterMode(&log, 1, mode)))
+			rng := rand.New(rand.NewSource(int64(n)))
+			names := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("p%d", i)
+				sponsor := ""
+				if len(names) > 0 {
+					sponsor = names[rng.Intn(len(names))]
+				}
+				if err := srv.Join(name, sponsor); err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.Contribute(name, 0.5+rng.Float64()*4); err != nil {
+					b.Fatal(err)
+				}
+				names = append(names, name)
+			}
+			snap := srv.SnapshotAt(nil)
+			var snapData []byte
+			if mode == journal.ModeBinary {
+				snapData, err = server.EncodeSnapshotBinary(&snap)
+			} else {
+				snapData, err = json.Marshal(&snap)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			logData := log.Bytes()
+			b.Run(fmt.Sprintf("journal/%s/n=%d", label, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					events, err := journal.Read(bytes.NewReader(logData))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rec := server.New(m)
+					if err := server.Recover(rec, nil, events); err != nil {
+						b.Fatal(err)
+					}
+					if rec.LastSeq() != srv.LastSeq() {
+						b.Fatalf("replay recovered seq %d, want %d", rec.LastSeq(), srv.LastSeq())
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("snapshot/%s/n=%d", label, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					decoded, err := server.DecodeSnapshot(snapData)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rec := server.New(m)
+					if err := server.Recover(rec, decoded, nil); err != nil {
+						b.Fatal(err)
+					}
+					if rec.LastSeq() != srv.LastSeq() {
+						b.Fatalf("snapshot recovered seq %d, want %d", rec.LastSeq(), srv.LastSeq())
+					}
+				}
+			})
+		}
+	}
 }

@@ -69,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 300ms, 1x); empty = go default")
 	pkg := fs.String("pkg", ".", "package pattern to benchmark")
 	count := fs.Int("count", 1, "go test -count value")
+	timeout := fs.String("timeout", "0", "go test -timeout value (0 = no limit; large fixtures exceed the go default of 10m)")
 	compare := fs.String("compare", "", "prior BENCH_*.json to print ratios against")
 	maxRegress := fs.Float64("max-regress", 0, "fail when a matched benchmark's ns/op grew by more than this factor (0 = report only)")
 	dir := fs.String("dir", ".", "repository root to run in and write to")
@@ -76,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), "-timeout", *timeout}
 	if *benchtime != "" {
 		goArgs = append(goArgs, "-benchtime", *benchtime)
 	}

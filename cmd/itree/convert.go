@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"incentivetree/internal/journal"
+	"incentivetree/internal/server"
+)
+
+// runConvert implements `itree convert`: translate snapshots and
+// journals between the binary on-disk format and the JSON debug/export
+// format. The input representation is auto-detected, so converting a
+// file to the format it is already in is a clean (canonicalizing)
+// no-op.
+//
+//	itree convert -kind snapshot -to json  snapshot.bin  > snapshot.json
+//	itree convert -kind journal  -to binary journal.log -o journal.bin
+//
+// Journals convert record by record; a torn tail or mid-log corruption
+// aborts with an error rather than silently emitting a shortened log —
+// repair (or recover) the journal first.
+func runConvert(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("itree convert", flag.ContinueOnError)
+	kind := fs.String("kind", "", "what the input is: snapshot or journal (required)")
+	to := fs.String("to", "", "target format: json or binary (required)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The flag package stops at the first positional argument, but the
+	// documented invocations put -o after the input file; keep parsing
+	// flags that follow it so those are honored, not silently dropped.
+	input := ""
+	for fs.NArg() > 0 {
+		if input != "" {
+			return fmt.Errorf("unexpected argument %q (give one input file; flags may come before or after it)", fs.Arg(0))
+		}
+		input = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	mode, err := journal.ParseMode(*to)
+	if err != nil {
+		return fmt.Errorf("-to: %w", err)
+	}
+
+	in := stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("read input: %w", err)
+	}
+
+	var converted []byte
+	switch *kind {
+	case "snapshot":
+		converted, err = convertSnapshot(data, mode)
+	case "journal":
+		converted, err = convertJournal(data, mode)
+	default:
+		return fmt.Errorf("-kind must be snapshot or journal (got %q)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		_, err := stdout.Write(converted)
+		return err
+	}
+	return os.WriteFile(*out, converted, 0o644)
+}
+
+func convertSnapshot(data []byte, mode journal.Mode) ([]byte, error) {
+	snap, err := server.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if mode == journal.ModeBinary {
+		return server.EncodeSnapshotBinary(snap)
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func convertJournal(data []byte, mode journal.Mode) ([]byte, error) {
+	dec := journal.NewDecoder(bytes.NewReader(data))
+	var out bytes.Buffer
+	enc := journal.NewEncoderMode(&out, mode)
+	n := 0
+	for {
+		e, err := dec.Next()
+		if err == io.EOF {
+			return out.Bytes(), nil
+		}
+		if errors.Is(err, journal.ErrTornTail) {
+			return nil, fmt.Errorf("journal has a torn tail after %d records (%v); recover it before converting", n, err)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal record %d: %w", n+1, err)
+		}
+		if err := enc.Encode(e); err != nil {
+			return nil, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incentivetree/internal/journal"
+	"incentivetree/internal/server"
+	"incentivetree/internal/tree"
+)
+
+// convertRun invokes the convert subcommand with stdin/stdout buffers.
+func convertRun(t *testing.T, args []string, stdin []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(append([]string{"convert"}, args...), bytes.NewReader(stdin), &out); err != nil {
+		t.Fatalf("convert %v: %v", args, err)
+	}
+	return out.Bytes()
+}
+
+// TestConvertJournalRoundTrip: json → binary → json reproduces the
+// original log bytes (Writer output is already canonical JSON).
+func TestConvertJournalRoundTrip(t *testing.T) {
+	var log bytes.Buffer
+	w := journal.NewWriter(&log, 1)
+	w.Append(journal.Event{Kind: journal.KindJoin, Name: "alice"})
+	w.Append(journal.Event{Kind: journal.KindJoin, Name: "bob", Sponsor: "alice"})
+	w.Append(journal.Event{Kind: journal.KindContribute, Name: "bob", Amount: 2.5})
+
+	bin := convertRun(t, []string{"-kind", "journal", "-to", "binary"}, log.Bytes())
+	if bytes.Equal(bin, log.Bytes()) {
+		t.Fatal("binary conversion left the log unchanged")
+	}
+	back := convertRun(t, []string{"-kind", "journal", "-to", "json"}, bin)
+	if !bytes.Equal(back, log.Bytes()) {
+		t.Fatalf("json round trip differs:\nin:  %q\nout: %q", log.Bytes(), back)
+	}
+	// Converting to the format the input is already in is the identity.
+	if again := convertRun(t, []string{"-kind", "journal", "-to", "binary"}, bin); !bytes.Equal(again, bin) {
+		t.Fatal("binary → binary conversion changed bytes")
+	}
+}
+
+// TestConvertJournalRefusesTornTail: a torn journal aborts instead of
+// silently emitting a shortened log.
+func TestConvertJournalRefusesTornTail(t *testing.T) {
+	var log bytes.Buffer
+	w := journal.NewWriter(&log, 1)
+	w.Append(journal.Event{Kind: journal.KindJoin, Name: "alice"})
+	log.WriteString(`{"seq":2,"kind":"contrib`)
+	var out bytes.Buffer
+	err := run([]string{"convert", "-kind", "journal", "-to", "binary"}, bytes.NewReader(log.Bytes()), &out)
+	if err == nil || !strings.Contains(err.Error(), "torn tail") {
+		t.Fatalf("err = %v, want torn-tail refusal", err)
+	}
+}
+
+// TestConvertSnapshotRoundTrip: binary → json → binary is the identity
+// on the binary bytes, via files and -o.
+func TestConvertSnapshotRoundTrip(t *testing.T) {
+	tr := tree.New()
+	a, _ := tr.Add(tree.Root, 1.5)
+	tr.SetLabel(a, "alice")
+	b, _ := tr.Add(a, 2.25)
+	tr.SetLabel(b, "bob")
+	bin, err := server.EncodeSnapshotBinary(&server.Snapshot{LastSeq: 7, Tree: tr, Quarantined: []string{"bob"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "snapshot.bin")
+	if err := os.WriteFile(inPath, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "snapshot.json")
+	var out bytes.Buffer
+	if err := run([]string{"convert", "-kind", "snapshot", "-to", "json", "-o", jsonPath, inPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jsonData, []byte(`"last_seq": 7`)) {
+		t.Fatalf("JSON snapshot missing last_seq: %s", jsonData)
+	}
+	back := convertRun(t, []string{"-kind", "snapshot", "-to", "binary"}, jsonData)
+	if !bytes.Equal(back, bin) {
+		t.Fatal("binary round trip through JSON changed bytes")
+	}
+}
+
+// TestConvertRejectsGarbage: corrupt input of either kind errors.
+func TestConvertRejectsGarbage(t *testing.T) {
+	for _, kind := range []string{"snapshot", "journal"} {
+		var out bytes.Buffer
+		err := run([]string{"convert", "-kind", kind, "-to", "json"},
+			bytes.NewReader([]byte("\xb1\xff\xffgarbage")), &out)
+		if err == nil {
+			t.Fatalf("%s: garbage converted cleanly", kind)
+		}
+	}
+}
+
+// TestConvertTrailingOutputFlag: the documented invocation puts -o
+// after the input file; the re-parse loop must honor it (and reject a
+// second positional argument).
+func TestConvertTrailingOutputFlag(t *testing.T) {
+	var log bytes.Buffer
+	w := journal.NewWriter(&log, 1)
+	w.Append(journal.Event{Kind: journal.KindJoin, Name: "alice"})
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "journal.log")
+	out := filepath.Join(dir, "journal.bin")
+	if err := os.WriteFile(in, log.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"convert", "-kind", "journal", "-to", "binary", in, "-o", out}, nil, &stdout); err != nil {
+		t.Fatalf("convert with trailing -o: %v", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("wrote %d bytes to stdout despite -o", stdout.Len())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("-o file not written: %v", err)
+	}
+	want := convertRun(t, []string{"-kind", "journal", "-to", "binary"}, log.Bytes())
+	if !bytes.Equal(data, want) {
+		t.Fatal("-o file bytes differ from stdout conversion")
+	}
+	err = run([]string{"convert", "-kind", "journal", "-to", "binary", in, in}, nil, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+		t.Fatalf("err = %v, want unexpected-argument refusal", err)
+	}
+}

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	itree -mechanism tdrm -phi 0.5 -fair 0.05 [-dot] [-render] [tree.json]
+//	itree convert -kind snapshot|journal -to json|binary [-o out] [in]
+//
+// The convert subcommand translates checkpoint snapshots and journals
+// between the binary on-disk format and the JSON debug/export format
+// (see cmd/itree/convert.go).
 package main
 
 import (
@@ -31,6 +36,9 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "convert" {
+		return runConvert(args[1:], stdin, stdout)
+	}
 	fs := flag.NewFlagSet("itree", flag.ContinueOnError)
 	mech := fs.String("mechanism", "tdrm",
 		"mechanism: "+strings.Join(experiments.MechanismNames(), ", "))
@@ -87,7 +95,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintln(w, "participant\tC(u)\tR(u)\tprofit\trecruits")
 	for _, u := range t.Nodes() {
 		fmt.Fprintf(w, "%s\t%.6g\t%.6g\t%.6g\t%d\n",
-			t.Label(u), t.Contribution(u), r.Of(u), core.Profit(&t, r, u), len(t.Children(u)))
+			t.Label(u), t.Contribution(u), r.Of(u), core.Profit(&t, r, u), t.NumChildren(u))
 	}
 	return w.Flush()
 }

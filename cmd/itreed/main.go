@@ -186,6 +186,8 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		"periodic checkpoint cadence; <0 disables periodic checkpoints")
 	cpBytes := fs.Int64("checkpoint-bytes", store.DefaultCheckpointBytes,
 		"checkpoint a campaign once its journal exceeds this many bytes; <0 disables the size trigger")
+	format := fs.String("format", "binary",
+		"on-disk wire format for journals and snapshots: binary (CRC-checked records) or json (debug/export); recovery reads both regardless")
 	syncPolicy := fs.String("journal-sync", string(journal.SyncOS),
 		"journal durability: os (page cache), interval (fsync periodically), always (fsync per event)")
 	syncEvery := fs.Duration("journal-sync-interval", time.Second,
@@ -255,8 +257,13 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		return nil, err
 	}
 
+	if _, err := journal.ParseMode(*format); err != nil {
+		return nil, err
+	}
+
 	cfg := store.Config{
 		DataDir:            *dataDir,
+		Format:             *format,
 		Shards:             *shards,
 		CheckpointInterval: *cpInterval,
 		CheckpointBytes:    *cpBytes,

@@ -1,4 +1,4 @@
-// Command itreevet is the repo's static-analysis suite: four
+// Command itreevet is the repo's static-analysis suite: five
 // project-specific analyzers that mechanically enforce invariants the
 // codebase otherwise holds only by convention.
 //
@@ -10,6 +10,8 @@
 //	              over map iteration order nor consult time/rand
 //	metricname    obs metric names are literal, itree_-prefixed,
 //	              and unique module-wide
+//	arenaindex    arena node indices stay int32: NodeID declarations,
+//	              tree's exported API, widening/truncating conversions
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ import (
 	"strings"
 
 	"incentivetree/internal/vet"
+	"incentivetree/internal/vet/arenaindex"
 	"incentivetree/internal/vet/floatorder"
 	"incentivetree/internal/vet/journalfirst"
 	"incentivetree/internal/vet/lockedcall"
@@ -79,6 +82,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		journalfirst.New(),
 		floatorder.New(),
 		metricname.New(),
+		arenaindex.New(),
 	}
 	if *list {
 		for _, a := range analyzers {

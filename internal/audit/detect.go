@@ -94,7 +94,7 @@ func chainHead(t *tree.Tree, u tree.NodeID) tree.NodeID {
 	}
 	for {
 		p := t.Parent(u)
-		if p == tree.Root || len(t.Children(p)) != 1 {
+		if p == tree.Root || t.NumChildren(p) != 1 {
 			return u
 		}
 		u = p
@@ -124,12 +124,8 @@ func detectShapes(t *tree.Tree, id tree.NodeID, cfg Config) []detection {
 func detectChain(t *tree.Tree, head tree.NodeID, cfg Config) (detection, bool) {
 	members := []tree.NodeID{head}
 	cur := head
-	for {
-		kids := t.Children(cur)
-		if len(kids) != 1 {
-			break
-		}
-		cur = kids[0]
+	for t.NumChildren(cur) == 1 {
+		cur = t.FirstChild(cur)
 		members = append(members, cur)
 	}
 	if len(members) < cfg.MinChainDepth {
@@ -168,16 +164,15 @@ func isEpsilonSplit(t *tree.Tree, members []tree.NodeID, tol float64) bool {
 // attaches the real solicitees under one identity). Zero-contribution
 // children never group — freshly joined honest recruits all sit at 0.
 func detectStar(t *tree.Tree, center tree.NodeID, cfg Config) (detection, bool) {
-	kids := t.Children(center)
-	if len(kids) < cfg.MinStarFanout {
+	if t.NumChildren(center) < cfg.MinStarFanout {
 		return detection{}, false
 	}
 	type kc struct {
 		id tree.NodeID
 		c  float64
 	}
-	group := make([]kc, 0, len(kids))
-	for _, k := range kids {
+	group := make([]kc, 0, t.NumChildren(center))
+	for k := t.FirstChild(center); k != tree.None; k = t.NextSibling(k) {
 		if c := t.Contribution(k); c > 0 {
 			group = append(group, kc{k, c})
 		}
@@ -208,7 +203,7 @@ func detectStar(t *tree.Tree, center tree.NodeID, cfg Config) (detection, bool) 
 	run := group[bestLo:bestHi]
 	withKids := 0
 	for _, m := range run {
-		if len(t.Children(m.id)) > 0 {
+		if t.NumChildren(m.id) > 0 {
 			withKids++
 		}
 	}

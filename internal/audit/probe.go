@@ -85,7 +85,7 @@ func probeGain(m core.Mechanism, t *tree.Tree, members []tree.NodeID, maxNodes i
 	scenario := sybil.Scenario{Base: base, Parent: mapping[external]}
 	var childAssign []int
 	for i, id := range members {
-		for _, k := range t.Children(id) {
+		for k := t.FirstChild(id); k != tree.None; k = t.NextSibling(k) {
 			if _, in := memberIdx[k]; in {
 				continue
 			}

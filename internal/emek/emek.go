@@ -130,12 +130,12 @@ func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, e
 	height := sc.height[:n]
 	s := core.ResizeRewards(buf, n)
 	// Ids are topological, so children's sums and heights are final when
-	// their parent is reached. Children() ascends in id (= join) order, so
-	// strict comparisons reproduce the sort's tie-break exactly.
+	// their parent is reached. The sibling chain ascends in id (= join)
+	// order, so strict comparisons reproduce the sort's tie-break exactly.
 	for id := n - 1; id >= 0; id-- {
 		u := tree.NodeID(id)
 		b1, b2 := tree.None, tree.None
-		for _, k := range t.Children(u) {
+		for k := t.FirstChild(u); k != tree.None; k = t.NextSibling(k) {
 			if b1 == tree.None || height[k] > height[b1] {
 				b1, b2 = k, b1
 			} else if b2 == tree.None || height[k] > height[b2] {

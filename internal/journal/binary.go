@@ -1,0 +1,234 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary journal record format. A journal is a byte stream of records;
+// each record is self-describing via its first byte, so JSON lines and
+// binary records can coexist in one file (which is exactly what happens
+// when a binary-mode Writer appends to a journal recovered from an older
+// JSON deployment). There is deliberately no stream-level header: the
+// checkpointer's CompactTo keeps an arbitrary record-boundary suffix of
+// the file, replication re-streams records from arbitrary offsets, and a
+// follower's rolling hash must equal the hash of the primary's file
+// bytes — all three would break if the format were negotiated anywhere
+// but in the records themselves.
+//
+// Record framing (all integers little-endian, varints canonical):
+//
+//	0xB1                     tag: binary record, version 1
+//	uvarint                  payload length in bytes
+//	payload                  see below
+//	4-byte LE uint32         CRC-32C (Castagnoli) of the payload
+//
+// Payload:
+//
+//	byte                     kind (0 join, 1 contribute, 2 quarantine,
+//	                         3 unquarantine)
+//	uvarint                  seq
+//	uvarint + bytes          name
+//	uvarint + bytes          sponsor ("" when absent)
+//	8-byte LE float64        amount (0 for kinds that carry none)
+//
+// A first byte of '{' (or whitespace) means a JSON-lines record —
+// the format every journal used before the binary codec; '\n' alone is
+// the stream heartbeat in both modes. Any other first byte is
+// corruption.
+//
+// The encoding is canonical: one event has exactly one binary
+// representation, so re-encoding a decoded record reproduces its bytes
+// — the property replication's rolling SHA-256 and
+// FuzzJournalRecordDecode both depend on.
+
+// Mode selects the wire format of journal records.
+type Mode int
+
+const (
+	// ModeJSON writes one JSON object per line — the legacy format,
+	// kept as the debug/export representation (see `itree convert`).
+	ModeJSON Mode = iota
+	// ModeBinary writes length-prefixed CRC-checked binary records.
+	ModeBinary
+)
+
+// String names the mode as used by flags and `itree convert`.
+func (m Mode) String() string {
+	switch m {
+	case ModeJSON:
+		return "json"
+	case ModeBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses "json" or "binary".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "json":
+		return ModeJSON, nil
+	case "binary":
+		return ModeBinary, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown format %q (want json or binary)", s)
+	}
+}
+
+// tagBinaryV1 is the first byte of a version-1 binary record. It is not
+// valid leading whitespace and not a valid first byte of a JSON value,
+// so the three record classes (binary, JSON, heartbeat) are disjoint on
+// their first byte.
+const tagBinaryV1 = 0xB1
+
+// maxBinaryPayload bounds the declared payload length, so a corrupt
+// length prefix cannot make the decoder allocate gigabytes. Events hold
+// two short names and a float; 1 MiB is generous.
+const maxBinaryPayload = 1 << 20
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errBinaryRecord = errors.New("journal: invalid binary record")
+
+func kindToByte(k Kind) (byte, error) {
+	switch k {
+	case KindJoin:
+		return 0, nil
+	case KindContribute:
+		return 1, nil
+	case KindQuarantine:
+		return 2, nil
+	case KindUnquarantine:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown event kind %q", k)
+	}
+}
+
+func byteToKind(b byte) (Kind, error) {
+	switch b {
+	case 0:
+		return KindJoin, nil
+	case 1:
+		return KindContribute, nil
+	case 2:
+		return KindQuarantine, nil
+	case 3:
+		return KindUnquarantine, nil
+	default:
+		return "", fmt.Errorf("%w: unknown kind byte %#x", errBinaryRecord, b)
+	}
+}
+
+// uvarintLen returns the canonical varint length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// binaryPayloadSize returns the payload length of e's binary record.
+func binaryPayloadSize(e Event) int {
+	return 1 + uvarintLen(e.Seq) +
+		uvarintLen(uint64(len(e.Name))) + len(e.Name) +
+		uvarintLen(uint64(len(e.Sponsor))) + len(e.Sponsor) + 8
+}
+
+// AppendBinaryRecord appends the framed binary encoding of e to dst.
+// The event must already carry its sequence number and validate.
+func AppendBinaryRecord(dst []byte, e Event) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return dst, err
+	}
+	kb, err := kindToByte(e.Kind)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, tagBinaryV1)
+	dst = binary.AppendUvarint(dst, uint64(binaryPayloadSize(e)))
+	start := len(dst)
+	dst = append(dst, kb)
+	dst = binary.AppendUvarint(dst, e.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Name)))
+	dst = append(dst, e.Name...)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Sponsor)))
+	dst = append(dst, e.Sponsor...)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Amount))
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	return dst, nil
+}
+
+// decodeBinaryPayload decodes (and validates) the payload of a binary
+// record whose CRC already checked out.
+func decodeBinaryPayload(p []byte) (Event, error) {
+	off := 0
+	if len(p) == 0 {
+		return Event{}, fmt.Errorf("%w: empty payload", errBinaryRecord)
+	}
+	kind, err := byteToKind(p[0])
+	if err != nil {
+		return Event{}, err
+	}
+	off++
+	seq, err := readUvarint(p, &off, "seq")
+	if err != nil {
+		return Event{}, err
+	}
+	name, err := readString(p, &off, "name")
+	if err != nil {
+		return Event{}, err
+	}
+	sponsor, err := readString(p, &off, "sponsor")
+	if err != nil {
+		return Event{}, err
+	}
+	if len(p)-off != 8 {
+		return Event{}, fmt.Errorf("%w: payload length mismatch", errBinaryRecord)
+	}
+	amount := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+	e := Event{Seq: seq, Kind: kind, Name: name, Sponsor: sponsor, Amount: amount}
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// readUvarint decodes a canonical uvarint at *off. Non-minimal
+// encodings are rejected so decode∘encode is the identity on valid
+// records.
+func readUvarint(p []byte, off *int, what string) (uint64, error) {
+	v, n := binary.Uvarint(p[*off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s varint", errBinaryRecord, what)
+	}
+	if n != uvarintLen(v) {
+		return 0, fmt.Errorf("%w: non-canonical %s varint", errBinaryRecord, what)
+	}
+	*off += n
+	return v, nil
+}
+
+// readString decodes a length-prefixed string at *off.
+func readString(p []byte, off *int, what string) (string, error) {
+	n, err := readUvarint(p, off, what+" length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p)-*off) {
+		return "", fmt.Errorf("%w: %s overruns payload", errBinaryRecord, what)
+	}
+	s := string(p[*off : *off+int(n)])
+	*off += int(n)
+	return s, nil
+}

@@ -8,8 +8,6 @@ package journal
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -96,36 +94,49 @@ func (e Event) Validate() error {
 	return nil
 }
 
-// Writer appends events as JSON lines. It is safe for concurrent use.
+// Writer appends events in one of the journal wire formats (JSON lines
+// or binary records; see binary.go). It is safe for concurrent use.
 type Writer struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq uint64
+	mu   sync.Mutex
+	w    io.Writer
+	seq  uint64
+	mode Mode
+	buf  []byte // encode scratch, reused under mu
 }
 
-// NewWriter wraps w. Use nextSeq = 1 for a fresh log, or the successor
-// of the last persisted sequence number when appending.
+// NewWriter wraps w, writing JSON lines — the legacy format, still the
+// default for callers that pin byte-level compatibility. Use nextSeq =
+// 1 for a fresh log, or the successor of the last persisted sequence
+// number when appending.
 func NewWriter(w io.Writer, nextSeq uint64) *Writer {
+	return NewWriterMode(w, nextSeq, ModeJSON)
+}
+
+// NewWriterMode is NewWriter with an explicit record format. Appending
+// binary records to a journal holding JSON lines (or vice versa) is
+// legal: records are self-describing, and every reader handles mixed
+// logs — this is how existing deployments migrate in place.
+func NewWriterMode(w io.Writer, nextSeq uint64, mode Mode) *Writer {
 	if nextSeq == 0 {
 		nextSeq = 1
 	}
-	return &Writer{w: w, seq: nextSeq}
+	return &Writer{w: w, seq: nextSeq, mode: mode}
 }
 
+// Mode reports the format the writer appends in.
+func (jw *Writer) Mode() Mode { return jw.mode }
+
 // Append assigns the next sequence number, validates, and writes the
-// event as one JSON line. It returns the persisted event.
+// event as one record. It returns the persisted event.
 func (jw *Writer) Append(e Event) (Event, error) {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	e.Seq = jw.seq
-	if err := e.Validate(); err != nil {
+	data, err := appendRecord(jw.buf[:0], e, jw.mode)
+	if err != nil {
 		return Event{}, err
 	}
-	data, err := json.Marshal(e)
-	if err != nil {
-		return Event{}, fmt.Errorf("journal: encode: %w", err)
-	}
-	data = append(data, '\n')
+	jw.buf = data[:0]
 	if _, err := jw.w.Write(data); err != nil {
 		return Event{}, fmt.Errorf("journal: write: %w", err)
 	}
@@ -136,7 +147,7 @@ func (jw *Writer) Append(e Event) (Event, error) {
 }
 
 // AppendBatch assigns consecutive sequence numbers to events and writes
-// them as JSON lines with a single Write to the underlying writer — the
+// them as records with a single Write to the underlying writer — the
 // group-commit primitive: a FileWriter backing jw issues at most one
 // fsync for the whole batch, and the bytes are identical to len(events)
 // individual Appends. Validation and encoding happen before any byte is
@@ -148,27 +159,24 @@ func (jw *Writer) AppendBatch(events []Event) ([]Event, error) {
 	}
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
-	var buf bytes.Buffer
+	buf := jw.buf[:0]
 	out := make([]Event, len(events))
 	for i, e := range events {
 		e.Seq = jw.seq + uint64(i)
-		if err := e.Validate(); err != nil {
+		var err error
+		buf, err = appendRecord(buf, e, jw.mode)
+		if err != nil {
 			return nil, err
 		}
-		data, err := json.Marshal(e)
-		if err != nil {
-			return nil, fmt.Errorf("journal: encode: %w", err)
-		}
-		buf.Write(data)
-		buf.WriteByte('\n')
 		out[i] = e
 	}
-	if _, err := jw.w.Write(buf.Bytes()); err != nil {
+	jw.buf = buf[:0]
+	if _, err := jw.w.Write(buf); err != nil {
 		return nil, fmt.Errorf("journal: write: %w", err)
 	}
 	jw.seq += uint64(len(events))
 	metricAppends.Add(uint64(len(events)))
-	metricAppendBytes.Add(uint64(buf.Len()))
+	metricAppendBytes.Add(uint64(len(buf)))
 	return out, nil
 }
 

@@ -3,32 +3,38 @@ package journal
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Decoder incrementally decodes journal events from a byte stream — the
-// same JSON-lines format Writer produces and Read consumes in one shot.
-// Where Read materializes a whole log, a Decoder yields one event per
-// Next call and tracks the byte offset of the last complete record, so
-// callers can tail a live journal (or a replication stream) and resume
-// from where they stopped: seek the underlying file to Offset and build
-// a fresh Decoder.
+// Decoder incrementally decodes journal events from a byte stream —
+// JSON lines, binary records, or any record-wise mixture of the two
+// (see binary.go for the framing; each record declares its own format
+// in its first byte). Where Read materializes a whole log, a Decoder
+// yields one event per Next call and tracks the byte offset of the last
+// complete record, so callers can tail a live journal (or a replication
+// stream) and resume from where they stopped: seek the underlying file
+// to Offset and build a fresh Decoder.
 //
 // Next returns io.EOF when the stream ends at a record boundary and a
 // *TornTailError (matching ErrTornTail) when it ends mid-record — on a
 // live file that usually means a concurrent append is in flight, not
-// corruption, and the caller retries from Offset. Blank lines are
-// skipped, mirroring Read: a replication stream uses them as
-// heartbeats. A Decoder that returned any error must not be reused; its
-// buffered reader may have consumed bytes past Offset.
+// corruption, and the caller retries from Offset. A failed CRC or
+// malformed record with further content behind it is mid-log corruption
+// and stays a hard error. Blank lines are skipped in both formats: a
+// replication stream uses them as heartbeats. A Decoder that returned
+// any error must not be reused; its buffered reader may have consumed
+// bytes past Offset.
 type Decoder struct {
 	br     *bufio.Reader
 	offset int64 // byte length of the consumed complete-record prefix
-	line   int   // 1-based number of the last non-blank line seen
+	line   int   // 1-based number of the last record seen (JSON or binary)
 	last   uint64
 	next   uint64 // expected seq of the next event; 0 = accept any
+	mode   Mode   // format of the last decoded record
 }
 
 // NewDecoder wraps r.
@@ -46,84 +52,225 @@ func (d *Decoder) ExpectSeq(seq uint64) { d.next = seq }
 // the position to truncate at, or to resume tailing from.
 func (d *Decoder) Offset() int64 { return d.offset }
 
+// Mode reports the wire format of the record most recently returned by
+// Next. Replication re-encodes each applied event in this mode, so the
+// follower's rolling hash matches the primary's file bytes regardless
+// of which format (or mixture) the journal uses.
+func (d *Decoder) Mode() Mode { return d.mode }
+
 // Next decodes and returns the next event.
 func (d *Decoder) Next() (Event, error) {
 	for {
-		line, readErr := d.br.ReadBytes('\n')
-		if readErr != nil && readErr != io.EOF {
-			return Event{}, fmt.Errorf("journal: scan: %w", readErr)
+		head, err := d.br.Peek(1)
+		if err == io.EOF {
+			return Event{}, io.EOF
 		}
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 {
-			// Blank line (or bare EOF): a stream heartbeat, not a record.
-			d.offset += int64(len(line))
-			if readErr == io.EOF {
-				return Event{}, io.EOF
+		if err != nil {
+			return Event{}, fmt.Errorf("journal: scan: %w", err)
+		}
+		switch c := head[0]; {
+		case c == '\n' || c == '\r' || c == ' ' || c == '\t':
+			// Heartbeat / blank-line bytes between records.
+			if _, err := d.br.ReadByte(); err != nil {
+				return Event{}, fmt.Errorf("journal: scan: %w", err)
 			}
+			d.offset++
 			continue
-		}
-		d.line++
-		var e Event
-		decErr := json.Unmarshal(trimmed, &e)
-		if decErr == nil {
-			decErr = e.Validate()
-		}
-		switch {
-		case decErr == nil:
-			if d.last > 0 && e.Seq != d.last+1 {
-				return Event{}, fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, d.last)
-			}
-			if d.last == 0 && d.next != 0 && e.Seq != d.next {
-				return Event{}, fmt.Errorf("journal: sequence gap: stream starts at %d, want %d", e.Seq, d.next)
-			}
-			d.last = e.Seq
-			d.offset += int64(len(line))
-			return e, nil
-		case readErr == io.EOF || !hasContent(d.br):
-			// Malformed final line: a torn tail (crash or in-flight
-			// append). Offset excludes it.
-			return Event{}, &TornTailError{Offset: d.offset, Line: d.line, Cause: decErr}
+		case c == tagBinaryV1:
+			return d.nextBinary()
 		default:
-			return Event{}, fmt.Errorf("journal: line %d: %w", d.line, decErr)
+			// Anything else is handed to the JSON-line path, whose
+			// malformed-line handling classifies torn tails vs corruption.
+			return d.nextJSON()
 		}
 	}
 }
 
-// Encoder writes already-sequenced events as JSON lines — the exact
-// on-disk journal format, byte for byte (Writer.Append of the same
-// event produces identical output). Unlike Writer it assigns no
-// sequence numbers and takes no lock: it is the wire half of
-// replication, re-encoding events that were already committed by a
-// primary's Writer. Not safe for concurrent use.
-type Encoder struct {
-	w io.Writer
+// checkSeq enforces sequence contiguity and records e as consumed.
+func (d *Decoder) checkSeq(e Event) error {
+	if d.last > 0 && e.Seq != d.last+1 {
+		return fmt.Errorf("journal: sequence gap: %d after %d", e.Seq, d.last)
+	}
+	if d.last == 0 && d.next != 0 && e.Seq != d.next {
+		return fmt.Errorf("journal: sequence gap: stream starts at %d, want %d", e.Seq, d.next)
+	}
+	d.last = e.Seq
+	return nil
 }
 
-// NewEncoder wraps w.
+// nextJSON consumes one JSON line.
+func (d *Decoder) nextJSON() (Event, error) {
+	line, readErr := d.br.ReadBytes('\n')
+	if readErr != nil && readErr != io.EOF {
+		return Event{}, fmt.Errorf("journal: scan: %w", readErr)
+	}
+	d.line++
+	trimmed := bytes.TrimSpace(line)
+	var e Event
+	decErr := json.Unmarshal(trimmed, &e)
+	if decErr == nil {
+		decErr = e.Validate()
+	}
+	switch {
+	case decErr == nil:
+		if err := d.checkSeq(e); err != nil {
+			return Event{}, err
+		}
+		d.offset += int64(len(line))
+		d.mode = ModeJSON
+		return e, nil
+	case readErr == io.EOF || !hasContent(d.br):
+		// Malformed final line: a torn tail (crash or in-flight
+		// append). Offset excludes it.
+		return Event{}, &TornTailError{Offset: d.offset, Line: d.line, Cause: decErr}
+	default:
+		return Event{}, fmt.Errorf("journal: line %d: %w", d.line, decErr)
+	}
+}
+
+// nextBinary consumes one framed binary record. The tag byte has been
+// peeked but not consumed.
+func (d *Decoder) nextBinary() (Event, error) {
+	d.line++
+	if _, err := d.br.ReadByte(); err != nil { // tag
+		return Event{}, fmt.Errorf("journal: scan: %w", err)
+	}
+	fail := func(cause error) (Event, error) {
+		return Event{}, &TornTailError{Offset: d.offset, Line: d.line, Cause: cause}
+	}
+	plen, n, err := readStreamUvarint(d.br)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fail(fmt.Errorf("%w: truncated length prefix", errBinaryRecord))
+		}
+		return Event{}, fmt.Errorf("journal: record %d: %w", d.line, err)
+	}
+	if plen > maxBinaryPayload {
+		// A length this large is a corrupt prefix, not a real record;
+		// classify by whether the stream ends here like any other
+		// malformed record.
+		cause := fmt.Errorf("%w: declared payload of %d bytes", errBinaryRecord, plen)
+		if !hasContent(d.br) {
+			return fail(cause)
+		}
+		return Event{}, fmt.Errorf("journal: record %d: %w", d.line, cause)
+	}
+	frame := make([]byte, int(plen)+4) // payload + CRC
+	if _, err := io.ReadFull(d.br, frame); err != nil {
+		return fail(fmt.Errorf("%w: truncated record: %v", errBinaryRecord, err))
+	}
+	payload, sum := frame[:plen], binary.LittleEndian.Uint32(frame[plen:])
+	var decErr error
+	var e Event
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		decErr = fmt.Errorf("%w: CRC mismatch (%08x != %08x)", errBinaryRecord, got, sum)
+	} else {
+		e, decErr = decodeBinaryPayload(payload)
+	}
+	switch {
+	case decErr == nil:
+		if err := d.checkSeq(e); err != nil {
+			return Event{}, err
+		}
+		d.offset += int64(1 + n + len(frame))
+		d.mode = ModeBinary
+		return e, nil
+	case !hasContent(d.br):
+		// The damaged record is the last thing in the stream: a torn
+		// tail (crash mid-append), repairable by truncating at Offset.
+		return fail(decErr)
+	default:
+		return Event{}, fmt.Errorf("journal: record %d: %w", d.line, decErr)
+	}
+}
+
+// readStreamUvarint reads a canonical uvarint from br, returning the
+// value and the number of bytes consumed.
+func readStreamUvarint(br *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var n int
+	for shift := uint(0); ; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && n > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, n, err
+		}
+		n++
+		if n > binary.MaxVarintLen64 || (shift == 63 && b > 1) {
+			return 0, n, fmt.Errorf("%w: varint overflow", errBinaryRecord)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if n != uvarintLen(v) {
+				return 0, n, fmt.Errorf("%w: non-canonical varint", errBinaryRecord)
+			}
+			return v, n, nil
+		}
+	}
+}
+
+// Encoder writes already-sequenced events in the exact on-disk journal
+// format, byte for byte (a Writer in the same mode produces identical
+// output for the same event). Unlike Writer it assigns no sequence
+// numbers and takes no lock: it is the wire half of replication,
+// re-encoding events that were already committed by a primary's Writer.
+// Not safe for concurrent use.
+type Encoder struct {
+	w    io.Writer
+	mode Mode
+	buf  []byte
+}
+
+// NewEncoder wraps w, encoding in ModeJSON.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
-// Encode validates e and writes it as one JSON line.
+// NewEncoderMode wraps w, encoding in the given mode.
+func NewEncoderMode(w io.Writer, m Mode) *Encoder { return &Encoder{w: w, mode: m} }
+
+// SetMode switches the format of subsequent Encode calls. Replication
+// sets it per record, from Decoder.Mode, so a re-encoded stream is
+// byte-identical to the file it was decoded from.
+func (enc *Encoder) SetMode(m Mode) { enc.mode = m }
+
+// Encode validates e and writes it as one record in the current mode.
 func (enc *Encoder) Encode(e Event) error {
-	if err := e.Validate(); err != nil {
+	data, err := appendRecord(enc.buf[:0], e, enc.mode)
+	if err != nil {
 		return err
 	}
-	data, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("journal: encode: %w", err)
-	}
-	data = append(data, '\n')
+	enc.buf = data[:0] // retain the grown buffer
 	if _, err := enc.w.Write(data); err != nil {
 		return fmt.Errorf("journal: write: %w", err)
 	}
 	return nil
 }
 
-// Heartbeat writes a blank line. Decoders skip it; replication streams
-// send one periodically while idle so intermediaries keep the
-// connection alive.
+// Heartbeat writes a blank line. Decoders skip it in both formats;
+// replication streams send one periodically while idle so
+// intermediaries keep the connection alive.
 func (enc *Encoder) Heartbeat() error {
 	if _, err := io.WriteString(enc.w, "\n"); err != nil {
 		return fmt.Errorf("journal: write: %w", err)
 	}
 	return nil
+}
+
+// appendRecord appends the on-disk encoding of e in the given mode.
+func appendRecord(dst []byte, e Event, mode Mode) ([]byte, error) {
+	switch mode {
+	case ModeBinary:
+		return AppendBinaryRecord(dst, e)
+	default:
+		if err := e.Validate(); err != nil {
+			return dst, err
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			return dst, fmt.Errorf("journal: encode: %w", err)
+		}
+		dst = append(dst, data...)
+		return append(dst, '\n'), nil
+	}
 }

@@ -187,7 +187,9 @@ func (p *Pachira) SharesInto(t *tree.Tree, buf Shares) (Shares, error) {
 	for id := 1; id < t.Len(); id++ {
 		u := tree.NodeID(id)
 		share := p.Pi(sums[u] / total)
-		for _, q := range t.Children(u) {
+		// Sibling-chain order is join order, keeping the float
+		// subtraction sequence — and thus the bytes — unchanged.
+		for q := t.FirstChild(u); q != tree.None; q = t.NextSibling(q) {
 			share -= p.Pi(sums[q] / total)
 		}
 		if share < 0 {

@@ -130,7 +130,7 @@ func (mk *Market) Settle() (Books, error) {
 			Payment:  core.Payment(mk.tree, r, u),
 			Profit:   core.Profit(mk.tree, r, u),
 			Sponsor:  mk.tree.Parent(u),
-			Recruits: len(mk.tree.Children(u)),
+			Recruits: mk.tree.NumChildren(u),
 		})
 	}
 	return b, nil

@@ -239,6 +239,9 @@ func (s *journalStream) scan() (stop bool) {
 			return true
 		}
 		s.sendHeader()
+		// Re-encode in the mode the record had on disk, so the bytes a
+		// follower hashes equal the bytes in this file.
+		s.enc.SetMode(dec.Mode())
 		if err := s.enc.Encode(e); err != nil {
 			return true // client went away
 		}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"incentivetree/internal/tree"
+)
+
+// FuzzSnapshotRoundTrip throws arbitrary bytes at DecodeSnapshot and
+// checks the binary snapshot codec's safety properties:
+//
+//  1. No input panics; corrupt input is rejected with an error, never
+//     decoded into a tree that fails validation.
+//  2. Decoding is canonical: any binary snapshot the decoder accepts
+//     re-encodes to exactly the input bytes.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	// Seed with real snapshots: labelled chain, star with quarantines,
+	// bare single node.
+	chain := tree.New()
+	p := tree.Root
+	for i, name := range []string{"alice", "bob", "carol"} {
+		id, _ := chain.Add(p, float64(i)+0.5)
+		chain.SetLabel(id, name)
+		p = id
+	}
+	star := tree.FromSpecs(tree.Star(2, 1, 1, 1))
+	for _, snap := range []*Snapshot{
+		{LastSeq: 3, Tree: chain},
+		{LastSeq: 9, Tree: star, Quarantined: []string{"2", "4"}},
+		{Tree: tree.New()},
+	} {
+		data, err := EncodeSnapshotBinary(snap)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// A JSON document, so the fallback path gets fuzzed too.
+	f.Add([]byte(`{"last_seq":1,"tree":{"nodes":[]}}`))
+	// Magic with a garbage body.
+	f.Add(append([]byte("ITS1"), 0x01, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if snap.Tree != nil {
+			if verr := snap.Tree.Validate(); verr != nil {
+				t.Fatalf("decoded snapshot holds an invalid tree: %v", verr)
+			}
+		}
+		if !IsBinarySnapshot(data) {
+			return // JSON tolerates whitespace/field-order variants
+		}
+		reenc, err := EncodeSnapshotBinary(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, reenc) {
+			t.Fatalf("decode∘encode not identity:\nin:  %x\nout: %x", data, reenc)
+		}
+	})
+}

@@ -266,7 +266,7 @@ func (s *Server) viewLocked(id tree.NodeID, rewards core.Rewards, mask []bool) P
 		Contribution: s.tree.Contribution(id),
 		Reward:       rewards.Of(id),
 		Profit:       core.Profit(s.tree, rewards, id),
-		Recruits:     len(s.tree.Children(id)),
+		Recruits:     s.tree.NumChildren(id),
 		Quarantined:  mask != nil && int(id) < len(mask) && mask[id],
 	}
 }

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"incentivetree/internal/tree"
+)
+
+// Binary snapshot codec. The JSON snapshot remains the HTTP wire format
+// (/v1/snapshot, /v1/restore, the replica bootstrap document) and the
+// debug/export representation; the binary form is what checkpoints
+// write to disk, because decoding it is a handful of linear array scans
+// instead of a million-node recursive JSON unmarshal.
+//
+// Layout (integers little-endian, varints canonical):
+//
+//	"ITS1"              4-byte magic
+//	byte                version (1)
+//	uvarint             last_seq
+//	tree payload        tree.AppendBinary (flat arena arrays)
+//	uvarint             number of quarantined names
+//	uvarint + bytes     each quarantined name, in the snapshot's
+//	                    (sorted) order
+//	4-byte LE uint32    CRC-32C of everything before it
+//
+// DecodeSnapshot also accepts the JSON form — documents are
+// distinguished by their first byte — so recovery reads snapshots
+// written by any version, and `itree convert` translates both ways.
+
+// snapshotMagic marks a binary snapshot file.
+var snapshotMagic = []byte("ITS1")
+
+const snapshotVersion = 1
+
+var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSnapshotCorrupt reports a binary snapshot that failed structural or
+// CRC validation.
+var ErrSnapshotCorrupt = errors.New("server: corrupt binary snapshot")
+
+// EncodeSnapshotBinary serializes snap in the binary snapshot format.
+func EncodeSnapshotBinary(snap *Snapshot) ([]byte, error) {
+	if snap.Tree == nil {
+		return nil, fmt.Errorf("server: snapshot without tree")
+	}
+	size := len(snapshotMagic) + 1 + 10 + snap.Tree.BinarySize() + 10 + 4
+	for _, q := range snap.Quarantined {
+		size += 10 + len(q)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, snap.LastSeq)
+	buf = snap.Tree.AppendBinary(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Quarantined)))
+	for _, q := range snap.Quarantined {
+		buf = binary.AppendUvarint(buf, uint64(len(q)))
+		buf = append(buf, q...)
+	}
+	crc := crc32.Checksum(buf, snapCastagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf, nil
+}
+
+// IsBinarySnapshot reports whether data starts like a binary snapshot.
+func IsBinarySnapshot(data []byte) bool {
+	return bytes.HasPrefix(data, snapshotMagic)
+}
+
+// DecodeSnapshot decodes either snapshot representation, detected by
+// the leading bytes: the binary magic, or a JSON document.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if IsBinarySnapshot(data) {
+		return decodeSnapshotBinary(data)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("server: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+func decodeSnapshotBinary(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapshotMagic)+1+4 {
+		return nil, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.Checksum(body, snapCastagnoli); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrSnapshotCorrupt, got, want)
+	}
+	off := len(snapshotMagic)
+	if body[off] != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, body[off])
+	}
+	off++
+	lastSeq, err := snapUvarint(body, &off, "last_seq")
+	if err != nil {
+		return nil, err
+	}
+	t, used, err := tree.DecodeBinary(body[off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	off += used
+	nq, err := snapUvarint(body, &off, "quarantine count")
+	if err != nil {
+		return nil, err
+	}
+	if nq > uint64(len(body)-off) {
+		return nil, fmt.Errorf("%w: quarantine count %d overruns input", ErrSnapshotCorrupt, nq)
+	}
+	var quarantined []string
+	for i := uint64(0); i < nq; i++ {
+		ln, err := snapUvarint(body, &off, "quarantine name length")
+		if err != nil {
+			return nil, err
+		}
+		if ln > uint64(len(body)-off) {
+			return nil, fmt.Errorf("%w: truncated quarantine name %d", ErrSnapshotCorrupt, i)
+		}
+		quarantined = append(quarantined, string(body[off:off+int(ln)]))
+		off += int(ln)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(body)-off)
+	}
+	return &Snapshot{LastSeq: lastSeq, Tree: t, Quarantined: quarantined}, nil
+}
+
+// snapUvarint reads a canonical uvarint — non-minimal encodings are
+// rejected so that decoding then re-encoding a valid snapshot
+// reproduces its bytes exactly (the FuzzSnapshotRoundTrip property).
+func snapUvarint(body []byte, off *int, what string) (uint64, error) {
+	v, n := binary.Uvarint(body[*off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrSnapshotCorrupt, what)
+	}
+	min := 1
+	for x := v; x >= 0x80; x >>= 7 {
+		min++
+	}
+	if n != min {
+		return 0, fmt.Errorf("%w: non-canonical %s varint", ErrSnapshotCorrupt, what)
+	}
+	*off += n
+	return v, nil
+}

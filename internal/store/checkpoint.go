@@ -110,14 +110,26 @@ func (st *Store) CheckpointAll() error {
 	return first
 }
 
+// Snapshot checkpoint files. Binary-format stores write snapBinFile;
+// JSON-format stores write snapJSONFile. Recovery prefers the binary
+// file when both exist, which is safe because a checkpoint removes the
+// other-format file *before* compacting the journal: a crash in the
+// window where both files exist always leaves a journal that still
+// covers every event past the older file's sequence.
+const (
+	snapBinFile  = "snapshot.bin"
+	snapJSONFile = "snapshot.json"
+)
+
 // Checkpoint atomically snapshots one campaign and compacts its
 // journal, returning the number of journal bytes reclaimed. The
 // protocol is crash-safe at every step:
 //
 //  1. Under the server's read lock, clone the state at sequence k and
 //     record the journal byte offset holding exactly events 1..k.
-//  2. Write snapshot.json.tmp, fsync, rename to snapshot.json — the
-//     snapshot is now durable; every event <= k is garbage.
+//  2. Write the snapshot file via temp + fsync + rename — the snapshot
+//     is now durable; every event <= k is garbage. Remove the
+//     other-format snapshot file if a previous configuration left one.
 //  3. Compact the journal to its suffix after the recorded offset
 //     (copy + fsync + rename, see journal.FileWriter.CompactTo).
 //
@@ -138,7 +150,7 @@ func (st *Store) Checkpoint(c *Campaign) (reclaimed int64, err error) {
 		return 0, nil // nothing new since the last checkpoint
 	}
 	start := time.Now()
-	if err := writeFileAtomic(filepath.Join(c.dir, "snapshot.json"), mustJSON(snap)); err != nil {
+	if err := st.writeSnapshot(c.dir, &snap); err != nil {
 		if st.mCPErrors != nil {
 			st.mCPErrors.Inc()
 		}
@@ -158,6 +170,29 @@ func (st *Store) Checkpoint(c *Campaign) (reclaimed int64, err error) {
 		st.mReclaimed.Add(uint64(reclaimed))
 	}
 	return reclaimed, nil
+}
+
+// writeSnapshot durably writes the checkpoint snapshot in the store's
+// configured format and clears the other format's file, so a campaign
+// directory holds one authoritative snapshot (modulo the documented
+// crash window, which recovery resolves by preferring the binary file).
+func (st *Store) writeSnapshot(dir string, snap *server.Snapshot) error {
+	if st.mode == journal.ModeBinary {
+		data, err := server.EncodeSnapshotBinary(snap)
+		if err != nil {
+			return fmt.Errorf("store: encode snapshot: %w", err)
+		}
+		if err := writeFileAtomic(filepath.Join(dir, snapBinFile), data); err != nil {
+			return err
+		}
+		os.Remove(filepath.Join(dir, snapJSONFile))
+		return nil
+	}
+	if err := writeFileAtomic(filepath.Join(dir, snapJSONFile), mustJSON(snap)); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(dir, snapBinFile))
+	return nil
 }
 
 // recoverAll scans the data directory and rebuilds every campaign
@@ -201,11 +236,12 @@ func (st *Store) recoverCampaign(id string) error {
 		return err
 	}
 	// Interrupted atomic writes never got renamed; they are garbage.
-	os.Remove(filepath.Join(dir, "snapshot.json.tmp"))
+	os.Remove(filepath.Join(dir, snapBinFile+".tmp"))
+	os.Remove(filepath.Join(dir, snapJSONFile+".tmp"))
 	os.Remove(filepath.Join(dir, "journal.log.tmp"))
 	os.Remove(filepath.Join(dir, "meta.json.tmp"))
 
-	snap, err := readSnapshot(filepath.Join(dir, "snapshot.json"))
+	snap, err := readSnapshot(dir)
 	if err != nil {
 		return fmt.Errorf("store: recover %s: %w", id, err)
 	}
@@ -256,21 +292,28 @@ func (st *Store) recoverCampaign(id string) error {
 	return nil
 }
 
-// readSnapshot loads a snapshot file; a missing file means no
-// checkpoint has been taken yet.
-func readSnapshot(path string) (*server.Snapshot, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+// readSnapshot loads the campaign's checkpoint snapshot, preferring the
+// binary file (see the crash-window note on the file constants). Either
+// file may hold either representation — server.DecodeSnapshot detects
+// the format from the leading bytes — so hand-converted files recover
+// too. No file at all means no checkpoint has been taken yet.
+func readSnapshot(dir string) (*server.Snapshot, error) {
+	for _, name := range []string{snapBinFile, snapJSONFile} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		snap, err := server.DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", path, err)
+		}
+		return snap, nil
 	}
-	if err != nil {
-		return nil, err
-	}
-	var snap server.Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	return &snap, nil
+	return nil, nil
 }
 
 // recoverJournal reads a journal file, repairing a torn tail by

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptionFixture provisions a campaign with a binary journal of a
+// few events (no checkpoint, so recovery replays everything), crashes
+// the store without Close, and returns the journal path plus the
+// pre-crash rewards table.
+func corruptionFixture(t *testing.T) (cfg Config, logPath string, preRewards []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg = testConfig(dir)
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(Meta{ID: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := st.Get("acme")
+	sponsor := ""
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("p%d", i)
+		if err := c.Server().Join(name, sponsor); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Server().Contribute(name, 1.5+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		sponsor = name
+	}
+	pre := rewardsBytes(t, st.Handler(), "acme")
+	// No Close: the journal keeps all 12 events for recovery to chew on.
+	return cfg, filepath.Join(dir, "campaigns", "acme", "journal.log"), pre
+}
+
+// lastRecordStart returns the byte offset where the final binary
+// record of the journal begins (records start with the 0xB1 tag; the
+// payload-length byte pins down the frame walk from offset 0).
+func lastRecordStart(t *testing.T, data []byte) int {
+	t.Helper()
+	off, last := 0, -1
+	for off < len(data) {
+		if data[off] != 0xb1 {
+			t.Fatalf("offset %d: not a binary record (byte %#x)", off, data[off])
+		}
+		last = off
+		plen := int(data[off+1]) // test journals have sub-128-byte payloads
+		off += 2 + plen + 4
+	}
+	if off != len(data) || last < 0 {
+		t.Fatalf("journal did not parse as whole binary records (%d != %d)", off, len(data))
+	}
+	return last
+}
+
+// TestBinaryJournalCorruptTailRecovers: a bit flip anywhere in the
+// final binary record fails its CRC, which feeds the existing
+// torn-tail repair — recovery truncates the record away and serves the
+// state of the surviving prefix.
+func TestBinaryJournalCorruptTailRecovers(t *testing.T) {
+	cfg, logPath, _ := corruptionFixture(t)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := lastRecordStart(t, full)
+
+	for _, flip := range []int{tail, tail + 1, tail + 2, (tail + len(full)) / 2, len(full) - 1} {
+		data := append([]byte(nil), full...)
+		data[flip] ^= 0x20
+		if err := os.WriteFile(logPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("flip at %d: recovery failed: %v", flip, err)
+		}
+		c, _ := st.Get("acme")
+		if got := c.Server().LastSeq(); got != 11 {
+			t.Fatalf("flip at %d: recovered lastSeq = %d, want 11 (final record dropped)", flip, got)
+		}
+		repaired, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(repaired, full[:tail]) {
+			t.Fatalf("flip at %d: journal not truncated at the damaged record (len %d, want %d)",
+				flip, len(repaired), tail)
+		}
+		st.Close()
+	}
+}
+
+// TestBinaryJournalTruncatedTailRecovers: a crash mid-append leaves a
+// partial final frame; recovery keeps every complete record and trims
+// the fragment.
+func TestBinaryJournalTruncatedTailRecovers(t *testing.T) {
+	cfg, logPath, _ := corruptionFixture(t)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := lastRecordStart(t, full)
+	if err := os.Truncate(logPath, int64(tail+3)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer st.Close()
+	c, _ := st.Get("acme")
+	if got := c.Server().LastSeq(); got != 11 {
+		t.Fatalf("recovered lastSeq = %d, want 11", got)
+	}
+	repaired, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) != tail {
+		t.Fatalf("journal trimmed to %d bytes, want %d", len(repaired), tail)
+	}
+	// Appends continue cleanly after the repair.
+	if err := c.Server().Join("post-crash", ""); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+// TestBinaryJournalMidLogCorruptionFailsLoudly: damage with valid
+// records behind it is not a torn tail — startup must refuse to serve
+// rather than silently drop interior events.
+func TestBinaryJournalMidLogCorruptionFailsLoudly(t *testing.T) {
+	cfg, logPath, _ := corruptionFixture(t)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), full...)
+	data[len(full)/3] ^= 0x20
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("mid-log corruption recovered silently; want a hard startup error")
+	}
+	// The damaged journal must be left untouched for forensics.
+	after, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, data) {
+		t.Fatal("failed recovery modified the corrupt journal")
+	}
+}
+
+// TestRecoveryAfterFormatFlip: a JSON-era campaign recovered by a
+// binary-format store keeps its state, appends binary records to the
+// same journal, and its next checkpoint converts the snapshot file —
+// the in-place migration path.
+func TestRecoveryAfterFormatFlip(t *testing.T) {
+	dir := t.TempDir()
+	jsonCfg := testConfig(dir)
+	jsonCfg.Format = "json"
+	st, err := Open(jsonCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(Meta{ID: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := st.Get("acme")
+	for i := 0; i < 3; i++ {
+		if err := c.Server().Join(fmt.Sprintf("p%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Checkpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Server().Join("p3", ""); err != nil {
+		t.Fatal(err)
+	}
+	pre := rewardsBytes(t, st.Handler(), "acme")
+	// Crash (no Close); reopen with the binary default.
+	st2 := openStore(t, testConfig(dir))
+	defer st2.Close()
+	if post := rewardsBytes(t, st2.Handler(), "acme"); !bytes.Equal(pre, post) {
+		t.Fatalf("format-flip recovery differs\npre:  %s\npost: %s", pre, post)
+	}
+	c2, _ := st2.Get("acme")
+	if err := c2.Server().Join("p4", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Checkpoint(c2); err != nil {
+		t.Fatal(err)
+	}
+	campDir := filepath.Join(dir, "campaigns", "acme")
+	if _, err := os.Stat(filepath.Join(campDir, "snapshot.bin")); err != nil {
+		t.Fatalf("binary snapshot missing after migration checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(campDir, "snapshot.json")); !os.IsNotExist(err) {
+		t.Fatalf("stale JSON snapshot survived migration: %v", err)
+	}
+	// And the migrated directory still recovers.
+	st3 := openStore(t, testConfig(dir))
+	defer st3.Close()
+	c3, _ := st3.Get("acme")
+	if got := c3.Server().LastSeq(); got != c2.Server().LastSeq() {
+		t.Fatalf("post-migration recovery lastSeq = %d, want %d", got, c2.Server().LastSeq())
+	}
+}

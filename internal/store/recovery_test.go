@@ -230,7 +230,7 @@ func TestCheckpointCompactsJournal(t *testing.T) {
 	if after.Size() >= before.Size() {
 		t.Fatalf("journal grew: %d -> %d bytes", before.Size(), after.Size())
 	}
-	if _, err := os.Stat(filepath.Join(dir, "campaigns", "acme", "snapshot.json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "campaigns", "acme", "snapshot.bin")); err != nil {
 		t.Fatalf("snapshot missing after checkpoint: %v", err)
 	}
 
@@ -253,6 +253,7 @@ func TestCheckpointCompactsJournal(t *testing.T) {
 func TestRecoveryGapDetection(t *testing.T) {
 	dir := t.TempDir()
 	cfg := testConfig(dir)
+	cfg.Format = "json" // the doctoring below splices line-based records
 	st, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +309,7 @@ func TestSizeTriggeredCheckpoint(t *testing.T) {
 	go st.Run(ctx)
 	h := st.Handler()
 
-	snapPath := filepath.Join(dir, "campaigns", DefaultID, "snapshot.json")
+	snapPath := filepath.Join(dir, "campaigns", DefaultID, "snapshot.bin")
 	deadline := time.Now().Add(5 * time.Second)
 	for i := 0; ; i++ {
 		if err := postJSON(h, "/v1/join", fmt.Sprintf(`{"name":"p%d"}`, i)); err != nil {

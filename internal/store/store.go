@@ -8,7 +8,8 @@
 // # Data directory layout
 //
 //	<data-dir>/campaigns/<id>/meta.json      campaign config (mechanism, params)
-//	<data-dir>/campaigns/<id>/snapshot.json  last durable checkpoint
+//	<data-dir>/campaigns/<id>/snapshot.bin   last durable checkpoint (binary;
+//	                                         snapshot.json under Format "json")
 //	<data-dir>/campaigns/<id>/journal.log    events after the checkpoint
 //
 // # Durability contract
@@ -16,12 +17,13 @@
 // Every write is appended to the campaign's journal before the HTTP
 // response is sent (see internal/journal for the sync policy knob). A
 // background checkpointer periodically — and whenever a journal exceeds
-// a size threshold — writes an atomic snapshot (snapshot.json.tmp +
+// a size threshold — writes an atomic snapshot (temp file + fsync +
 // rename) and then compacts the journal down to the events the snapshot
 // does not cover, so recovery cost is O(snapshot + suffix) instead of
 // O(all events ever). Recovery rebuilds each campaign from snapshot +
-// journal suffix, tolerating a torn final journal line (crash
-// mid-append) by truncating it away.
+// journal suffix — either snapshot file, either journal record format,
+// in any mixture, regardless of Config.Format — tolerating a torn final
+// journal record (crash mid-append) by truncating it away.
 package store
 
 import (
@@ -75,6 +77,15 @@ type Config struct {
 	// exceeds this many bytes. Zero means DefaultCheckpointBytes;
 	// negative disables the size trigger.
 	CheckpointBytes int64
+	// Format selects the on-disk wire format for campaign journals and
+	// checkpoint snapshots: "binary" (length-prefixed CRC-checked
+	// records + flat-array snapshots, the default) or "json" (one JSON
+	// object per journal line, JSON snapshots — the debug/export
+	// format, and the only format older deployments wrote). Recovery
+	// reads either format regardless of this setting; the knob only
+	// governs what new bytes look like, so flipping it migrates a data
+	// directory in place.
+	Format string
 	// Sync is the journal sync policy for campaign journals (see
 	// journal.SyncPolicy). Empty means journal.SyncOS, the historical
 	// behavior.
@@ -212,6 +223,7 @@ type Store struct {
 	cfg    Config
 	shards []shard
 	mask   uint32
+	mode   journal.Mode // parsed cfg.Format
 
 	// checkpoint instrumentation (nil-safe wrappers when cfg.Metrics is
 	// unset).
@@ -265,7 +277,15 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.DefaultParams == (core.Params{}) {
 		cfg.DefaultParams = core.DefaultParams()
 	}
+	mode := journal.ModeBinary
+	if cfg.Format != "" {
+		var err error
+		if mode, err = journal.ParseMode(cfg.Format); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
 	st := &Store{
+		mode:   mode,
 		cfg:    cfg,
 		shards: make([]shard, n),
 		mask:   uint32(n - 1),
@@ -447,7 +467,7 @@ func (st *Store) newMechanism(meta Meta) (core.Mechanism, error) {
 func (st *Store) serverOptions(c *Campaign, nextSeq uint64) []server.Option {
 	var opts []server.Option
 	if c.fw != nil {
-		opts = append(opts, server.WithJournal(journal.NewWriter(c.fw, nextSeq)))
+		opts = append(opts, server.WithJournal(journal.NewWriterMode(c.fw, nextSeq, st.mode)))
 	}
 	if st.cfg.Metrics != nil {
 		opts = append(opts, server.WithMetricsLabels(st.cfg.Metrics, "campaign", c.Meta.ID))

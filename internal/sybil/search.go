@@ -269,8 +269,8 @@ func (r Report) ProfitGain() float64 { return r.Best.Profit() - r.Baseline.Profi
 // RewardGain in the returned report is a USA violation witness.
 func BestRewardAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, error) {
 	o.ContributionFactors = []float64{1}
-	return search(m, s, o, func(candidate, best Outcome) bool {
-		return candidate.Reward > best.Reward
+	return search(m, s, o, func(reward, contribution float64, best Outcome) bool {
+		return reward > best.Reward
 	})
 }
 
@@ -278,8 +278,8 @@ func BestRewardAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, er
 // contribution increases allowed (the UGSA attack model). A strictly
 // positive ProfitGain in the returned report is a UGSA violation witness.
 func BestProfitAttack(m core.Mechanism, s Scenario, o SearchOptions) (Report, error) {
-	return search(m, s, o, func(candidate, best Outcome) bool {
-		return candidate.Profit() > best.Profit()
+	return search(m, s, o, func(reward, contribution float64, best Outcome) bool {
+		return reward-contribution > best.Profit()
 	})
 }
 
@@ -316,8 +316,10 @@ type workerBest struct {
 // baseline in global position order with the same strict comparison.
 // The globally earliest maximum-scoring arrangement is necessarily its
 // own worker's kept best and wins the merge, so the result is identical
-// to the serial fold at every worker count.
-func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate, best Outcome) bool) (Report, error) {
+// to the serial fold at every worker count. The comparator takes the
+// candidate as a bare (reward, contribution) pair so the inner loop
+// never materializes an Outcome for arrangements that don't win.
+func search(m core.Mechanism, s Scenario, o SearchOptions, better func(reward, contribution float64, best Outcome) bool) (Report, error) {
 	if err := o.validate(); err != nil {
 		return Report{}, err
 	}
@@ -332,14 +334,13 @@ func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate
 		// reference: one Executor, plain Enumerate fold.
 		ex := NewExecutor(m, s)
 		err := Enumerate(s, o, func(a Arrangement) error {
-			out, err := ex.Execute(a)
+			reward, contribution, err := ex.executeScore(a)
 			if err != nil {
 				return err
 			}
 			rep.Evaluated++
-			if better(out, rep.Best) {
-				out.Arrangement = cloneArrangement(a)
-				rep.Best = out
+			if better(reward, contribution, rep.Best) {
+				rep.Best = Outcome{Arrangement: cloneArrangement(a), Reward: reward, Contribution: contribution}
 			}
 			return nil
 		})
@@ -371,16 +372,15 @@ func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate
 			}
 			idx := 0
 			if !enumerateBlock(s, o, blocks[bi], sc, func(a Arrangement) bool {
-				out, err := ex.Execute(a)
+				reward, contribution, err := ex.executeScore(a)
 				if err != nil {
 					wb.err, wb.errBlock, wb.errIdx = err, bi, idx
 					failed.Store(true)
 					return false
 				}
 				wb.evaluated++
-				if !wb.found || better(out, wb.out) {
-					out.Arrangement = cloneArrangement(a)
-					wb.out = out
+				if !wb.found || better(reward, contribution, wb.out) {
+					wb.out = Outcome{Arrangement: cloneArrangement(a), Reward: reward, Contribution: contribution}
 					wb.found = true
 					wb.block, wb.idx = bi, idx
 				}
@@ -423,7 +423,7 @@ func search(m core.Mechanism, s Scenario, o SearchOptions, better func(candidate
 		return found[i].idx < found[j].idx
 	})
 	for _, wb := range found {
-		if better(wb.out, rep.Best) {
+		if better(wb.out.Reward, wb.out.Contribution, rep.Best) {
 			rep.Best = wb.out
 		}
 	}

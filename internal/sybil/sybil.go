@@ -141,7 +141,7 @@ func (a Arrangement) Validate(s Scenario) error {
 		}
 	}
 	for i, c := range a.Parts {
-		if c < 0 || math.IsNaN(c) {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 			return fmt.Errorf("sybil: identity %d has invalid contribution %v", i, c)
 		}
 	}
@@ -190,6 +190,36 @@ type Executor struct {
 	mark tree.Mark
 	ids  []tree.NodeID
 	buf  core.Rewards
+	// flat holds the scenario's child trees pre-flattened into preorder
+	// arrays, validated once at construction, so each arrangement attaches
+	// them with bare arena appends instead of re-walking (and
+	// re-validating) the recursive Spec per candidate.
+	flat      [][]flatSpecNode
+	flatNodes int
+	err       error
+}
+
+// flatSpecNode is one node of a pre-flattened child-tree spec: its
+// parent as a preorder index within the same spec (-1 for the attach
+// point) and its contribution.
+type flatSpecNode struct {
+	parent int32
+	c      float64
+}
+
+// flattenSpec appends s in preorder — the exact order tree.AttachSpec
+// adds nodes, so ids and float summation order are unchanged. It panics
+// on invalid contributions, as AttachSpec would, just earlier.
+func flattenSpec(s tree.Spec, out []flatSpecNode, parent int32) []flatSpecNode {
+	if math.IsNaN(s.C) || math.IsInf(s.C, 0) || s.C < 0 {
+		panic(fmt.Errorf("sybil: invalid child-tree contribution %v", s.C))
+	}
+	idx := int32(len(out))
+	out = append(out, flatSpecNode{parent: parent, c: s.C})
+	for _, k := range s.Kids {
+		out = flattenSpec(k, out, idx)
+	}
+	return out
 }
 
 // NewExecutor clones the scenario's base tree into the executor's scratch
@@ -197,7 +227,16 @@ type Executor struct {
 // use.
 func NewExecutor(m core.Mechanism, s Scenario) *Executor {
 	t := s.Base.Clone()
-	return &Executor{m: m, s: s, t: t, mark: t.Mark()}
+	e := &Executor{m: m, s: s, t: t, mark: t.Mark()}
+	if !t.Exists(s.Parent) {
+		e.err = fmt.Errorf("sybil: execute: scenario parent %d not in base tree", s.Parent)
+	}
+	e.flat = make([][]flatSpecNode, len(s.ChildTrees))
+	for j, spec := range s.ChildTrees {
+		e.flat[j] = flattenSpec(spec, nil, -1)
+		e.flatNodes += len(e.flat[j])
+	}
+	return e
 }
 
 // Execute evaluates one arrangement. The returned Outcome's Arrangement
@@ -207,8 +246,30 @@ func (e *Executor) Execute(a Arrangement) (Outcome, error) {
 	if err := a.Validate(e.s); err != nil {
 		return Outcome{}, err
 	}
-	if err := e.t.ResetTo(e.mark); err != nil {
+	reward, contribution, err := e.executeScore(a)
+	if err != nil {
 		return Outcome{}, err
+	}
+	return Outcome{Arrangement: a, Reward: reward, Contribution: contribution}, nil
+}
+
+// executeScore is the enumeration fast path: evaluate one arrangement
+// and return only its score. Validation is the caller's duty —
+// arrangements coming out of the enumerator are valid by construction,
+// so the per-candidate loop is pure AddUnchecked arena appends (the
+// scenario parent and child specs were validated at construction, the
+// arrangement's parts and indices by Arrangement.Validate or the
+// enumerator); skipping the re-validation walk plus the Outcome copy
+// per candidate is a measurable share of search time.
+func (e *Executor) executeScore(a Arrangement) (reward, contribution float64, err error) {
+	if e.err != nil {
+		return 0, 0, e.err
+	}
+	if err := e.t.ResetTo(e.mark); err != nil {
+		return 0, 0, err
+	}
+	if e.t.Len() > math.MaxInt32-len(a.Parts)-e.flatNodes {
+		return 0, 0, fmt.Errorf("sybil: execute: %w", tree.ErrTreeFull)
 	}
 	if cap(e.ids) < len(a.Parts) {
 		e.ids = make([]tree.NodeID, len(a.Parts))
@@ -219,25 +280,26 @@ func (e *Executor) Execute(a Arrangement) (Outcome, error) {
 		if a.ParentIdx[i] >= 0 {
 			parent = ids[a.ParentIdx[i]]
 		}
-		id, err := e.t.Add(parent, c)
-		if err != nil {
-			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
-		}
-		ids[i] = id
+		ids[i] = e.t.AddUnchecked(parent, c)
 	}
-	for j, spec := range e.s.ChildTrees {
-		if _, err := e.t.AttachSpec(ids[a.ChildAssign[j]], spec); err != nil {
-			return Outcome{}, fmt.Errorf("sybil: execute: %w", err)
+	for j, flat := range e.flat {
+		attach := ids[a.ChildAssign[j]]
+		base := tree.NodeID(e.t.Len())
+		for _, fn := range flat {
+			parent := attach
+			if fn.parent >= 0 {
+				parent = base + tree.NodeID(fn.parent)
+			}
+			e.t.AddUnchecked(parent, fn.c)
 		}
 	}
 	r, err := core.EvalInto(e.m, e.t, e.buf)
 	if err != nil {
-		return Outcome{}, err
+		return 0, 0, err
 	}
 	e.buf = r
-	out := Outcome{Arrangement: a, Contribution: a.Total()}
 	for _, id := range ids {
-		out.Reward += r.Of(id)
+		reward += r.Of(id)
 	}
-	return out, nil
+	return reward, a.Total(), nil
 }

@@ -101,87 +101,90 @@ func (m *Mechanism) Rewards(t *tree.Tree) (core.Rewards, error) {
 	return m.RewardsInto(t, nil)
 }
 
-// evalScratch holds the per-evaluation working state of RewardsInto: a
-// reusable RCT tree rolled back with ResetTo between evaluations, the
-// per-participant chain tails, the per-RCT-node origins, and the weighted
-// subtree sums. Pooled because evaluations are short and concurrent.
+// rctNode is one chain node of the flat RCT used by RewardsInto: its
+// parent in RCT id space, the referral-tree participant it folds back
+// onto, and its chain contribution. 16 bytes, so a chain append is one
+// bounds check and two stores.
+type rctNode struct {
+	parent tree.NodeID
+	origin tree.NodeID
+	c      float64
+}
+
+// evalScratch holds the per-evaluation working state of RewardsInto.
+// The RCT exists here only as a flat rctNode array — not as a
+// tree.Tree: the transform-evaluate-fold pipeline never needs sibling
+// chains, labels, or structural validation of the chain tree it just
+// built itself, and the hot search loops (Sybil best-attack
+// enumeration, incremental recompute) rebuild the RCT for every
+// candidate arrangement. Pooled because evaluations are short and
+// concurrent.
 type evalScratch struct {
-	rt     *tree.Tree
-	tails  []tree.NodeID
-	origin []tree.NodeID
-	sums   []float64
+	rct   []rctNode
+	tails []tree.NodeID
+	sums  []float64
 }
 
 var scratchPool = sync.Pool{
-	New: func() any { return &evalScratch{rt: tree.New()} },
+	New: func() any { return &evalScratch{} },
 }
 
 // RewardsInto implements core.IntoMechanism. It performs the same
 // transform-evaluate-fold pipeline as Transform + NodeRewards but on
-// pooled scratch state: the RCT tree is rebuilt in place (no labels — they
-// never influence rewards), and per-chain-node rewards are folded directly
-// into buf in the same order as Rewards, giving identical floating-point
-// results with zero steady-state allocations.
+// pooled scratch arrays: chain nodes are appended in the exact order
+// Transform's rt.Add calls create them, and per-chain-node rewards are
+// folded directly into buf in the same order as Rewards, giving
+// identical floating-point results with zero steady-state allocations.
 func (m *Mechanism) RewardsInto(t *tree.Tree, buf core.Rewards) (core.Rewards, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	contribs, parents := t.Contributions(), t.Parents()
 	sc := scratchPool.Get().(*evalScratch)
 	defer scratchPool.Put(sc)
-	rt := sc.rt
-	if err := rt.ResetTo(1); err != nil {
-		return nil, err
+	if cap(sc.tails) < len(parents) {
+		sc.tails = make([]tree.NodeID, len(parents))
 	}
-	if cap(sc.tails) < t.Len() {
-		sc.tails = make([]tree.NodeID, t.Len())
-	}
-	tails := sc.tails[:t.Len()]
+	tails := sc.tails[:len(parents)]
 	tails[tree.Root] = tree.Root
-	origin := append(sc.origin[:0], tree.Root)
+	rct := append(sc.rct[:0], rctNode{parent: tree.None, origin: tree.Root})
 	// Referral-tree ids are topological, so tails[parent] is final before
 	// any child chain attaches below it.
-	for id := 1; id < t.Len(); id++ {
+	for id := 1; id < len(parents); id++ {
 		u := tree.NodeID(id)
-		c := t.Contribution(u)
+		c := contribs[id]
 		n := ChainLength(c, m.mu)
-		head := c - float64(n-1)*m.mu
-		parent := tails[t.Parent(u)]
-		for i := 0; i < n; i++ {
-			cc := m.mu
-			if i == 0 {
-				cc = head
-			}
-			w, err := rt.Add(parent, cc)
-			if err != nil {
-				sc.origin = origin
-				return nil, fmt.Errorf("tdrm: transform: %w", err)
-			}
-			origin = append(origin, u)
+		parent := tails[parents[id]]
+		w := tree.NodeID(len(rct))
+		rct = append(rct, rctNode{parent: parent, origin: u, c: c - float64(n-1)*m.mu})
+		parent = w
+		for i := 1; i < n; i++ {
+			w = tree.NodeID(len(rct))
+			rct = append(rct, rctNode{parent: parent, origin: u, c: m.mu})
 			parent = w
 		}
 		tails[u] = parent
 	}
-	sc.origin = origin
-	if cap(sc.sums) < rt.Len() {
-		sc.sums = make([]float64, rt.Len())
+	sc.rct = rct
+	rn := len(rct)
+	if cap(sc.sums) < rn {
+		sc.sums = make([]float64, rn)
 	}
-	s := sc.sums[:rt.Len()]
+	s := sc.sums[:rn]
 	for i := range s {
 		s[i] = 0
 	}
-	for id := rt.Len() - 1; id >= 1; id-- {
-		w := tree.NodeID(id)
-		s[w] += rt.Contribution(w)
-		s[rt.Parent(w)] += m.a * s[w]
+	for w := rn - 1; w >= 1; w-- {
+		s[w] += rct[w].c
+		s[rct[w].parent] += m.a * s[w]
 	}
-	out := core.ResizeRewards(buf, t.Len())
+	out := core.ResizeRewards(buf, len(parents))
 	scale := m.lambda * m.b / m.mu
 	// RCT ids within a chain ascend head-to-tail, so the forward scan folds
 	// each chain in the same order Rewards' explicit per-chain loop does.
-	for id := 1; id < rt.Len(); id++ {
-		w := tree.NodeID(id)
-		c := rt.Contribution(w)
-		out[origin[w]] += scale*c*s[w] + m.params.FairShare*c
+	for w := 1; w < rn; w++ {
+		c := rct[w].c
+		out[rct[w].origin] += scale*c*s[w] + m.params.FairShare*c
 	}
 	return out, nil
 }

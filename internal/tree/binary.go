@@ -1,0 +1,156 @@
+package tree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary tree payload — the flat-array half of the snapshot codec. The
+// encoding mirrors the arena directly (no recursion, no per-node
+// framing), so a million-node tree encodes and decodes as four linear
+// passes:
+//
+//	uvarint  n                    total nodes including the imaginary root
+//	n-1 ×    uvarint parent       parent id of node 1..n-1 (join order)
+//	n-1 ×    8-byte LE float64    contribution of node 1..n-1
+//	n-1 ×    uvarint len + bytes  raw label of node 1..n-1 ("" = default)
+//
+// Root's parent (None), contribution (0) and label ("r") are fixed and
+// not encoded. All varints are canonical (minimal length); the decoder
+// rejects non-minimal encodings so that decode followed by encode
+// reproduces the input byte for byte — the property FuzzSnapshotRoundTrip
+// locks in. Versioning and CRC framing live one layer up, in the
+// snapshot and journal record codecs.
+
+// errBinary is the root of all binary-decode failures.
+var errBinary = errors.New("tree: invalid binary encoding")
+
+// AppendBinary appends the canonical binary encoding of t to dst and
+// returns the extended slice.
+func (t *Tree) AppendBinary(dst []byte) []byte {
+	n := t.Len()
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for id := 1; id < n; id++ {
+		dst = binary.AppendUvarint(dst, uint64(t.parent[id]))
+	}
+	for id := 1; id < n; id++ {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.contrib[id]))
+	}
+	for id := 1; id < n; id++ {
+		lb := t.rawLabel(NodeID(id))
+		dst = binary.AppendUvarint(dst, uint64(len(lb)))
+		dst = append(dst, lb...)
+	}
+	return dst
+}
+
+// BinarySize returns the exact length AppendBinary would produce, so
+// callers can size buffers in one allocation.
+func (t *Tree) BinarySize() int {
+	n := t.Len()
+	size := uvarintLen(uint64(n))
+	for id := 1; id < n; id++ {
+		size += uvarintLen(uint64(t.parent[id]))
+		size += 8 // contribution, fixed-width float64
+		lb := t.rawLabel(NodeID(id))
+		size += uvarintLen(uint64(len(lb))) + len(lb)
+	}
+	return size
+}
+
+// DecodeBinary decodes a tree from the prefix of data, returning the
+// tree and the number of bytes consumed. The decoded tree is fully
+// validated (topological parents, finite non-negative contributions)
+// before it is returned.
+func DecodeBinary(data []byte) (*Tree, int, error) {
+	off := 0
+	n64, err := readUvarint(data, &off)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: node count: %w", errBinary, err)
+	}
+	if n64 < 1 || n64 > maxNodes {
+		return nil, 0, fmt.Errorf("%w: node count %d out of range", errBinary, n64)
+	}
+	n := int(n64)
+	// Decoding rebuilds the arena through Add, which re-derives the
+	// sibling chains and enforces every structural invariant as it goes —
+	// the validity cache is earned, not assumed.
+	t := &Tree{
+		parent:  make([]NodeID, 1, n),
+		links:   make([]links, 1, n),
+		contrib: make([]float64, 1, n),
+		label:   make([]string, 1, n),
+		valid:   true,
+	}
+	t.parent[0] = None
+	t.links[0] = noLinks
+	t.label[0] = "r"
+	parents := make([]NodeID, 0, n-1)
+	for id := 1; id < n; id++ {
+		p, err := readUvarint(data, &off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: parent of node %d: %w", errBinary, id, err)
+		}
+		if p >= uint64(id) {
+			return nil, 0, fmt.Errorf("%w: node %d has non-topological parent %d", errBinary, id, p)
+		}
+		//itreevet:ignore arenaindex p is bounds-checked against id (< n <= maxNodes) just above
+		parents = append(parents, NodeID(p))
+	}
+	for id := 1; id < n; id++ {
+		if len(data)-off < 8 {
+			return nil, 0, fmt.Errorf("%w: contribution of node %d truncated", errBinary, id)
+		}
+		c := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		got, err := t.Add(parents[id-1], c)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: node %d: %w", errBinary, id, err)
+		}
+		if int(got) != id {
+			return nil, 0, fmt.Errorf("%w: node %d decoded as %d", errBinary, id, got)
+		}
+	}
+	for id := 1; id < n; id++ {
+		ln, err := readUvarint(data, &off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: label length of node %d: %w", errBinary, id, err)
+		}
+		if ln > uint64(len(data)-off) {
+			return nil, 0, fmt.Errorf("%w: label of node %d overruns input", errBinary, id)
+		}
+		if ln > 0 {
+			t.setLabelUnchecked(NodeID(id), string(data[off:off+int(ln)]))
+			off += int(ln)
+		}
+	}
+	return t, off, nil
+}
+
+// uvarintLen returns the canonical varint length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// readUvarint decodes a canonical uvarint at *off, advancing it. It
+// rejects truncated and non-minimal encodings — non-minimal varints
+// would decode to the same value but re-encode shorter, breaking the
+// decode∘encode = identity property of the codec.
+func readUvarint(data []byte, off *int) (uint64, error) {
+	v, n := binary.Uvarint(data[*off:])
+	if n <= 0 {
+		return 0, errors.New("truncated or oversized varint")
+	}
+	if n != uvarintLen(v) {
+		return 0, errors.New("non-canonical varint")
+	}
+	*off += n
+	return v, nil
+}

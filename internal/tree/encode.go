@@ -28,7 +28,7 @@ type treeJSON struct {
 // imaginary root is implicit.
 func (t *Tree) MarshalJSON() ([]byte, error) {
 	var enc treeJSON
-	for _, k := range t.children[Root] {
+	for k := t.FirstChild(Root); k != None; k = t.NextSibling(k) {
 		enc.Participants = append(enc.Participants, t.toJSON(k))
 	}
 	return json.Marshal(enc)
@@ -36,7 +36,7 @@ func (t *Tree) MarshalJSON() ([]byte, error) {
 
 func (t *Tree) toJSON(u NodeID) nodeJSON {
 	n := nodeJSON{ID: int(u), Label: t.Label(u), C: t.contrib[u]}
-	for _, k := range t.children[u] {
+	for k := t.links[u].first; k != None; k = t.links[k].next {
 		n.Kids = append(n.Kids, t.toJSON(k))
 	}
 	return n
@@ -117,7 +117,7 @@ func fromJSONWithIDs(dec treeJSON) (*Tree, bool) {
 			return nil, false
 		}
 		if fn.label != "" {
-			t.label[id] = fn.label
+			t.setLabelUnchecked(id, fn.label)
 		}
 	}
 	return t, true
@@ -129,7 +129,7 @@ func (t *Tree) fromJSON(parent NodeID, n nodeJSON) error {
 		return err
 	}
 	if n.Label != "" {
-		t.label[id] = n.Label
+		t.setLabelUnchecked(id, n.Label)
 	}
 	for _, k := range n.Kids {
 		if err := t.fromJSON(id, k); err != nil {
@@ -184,9 +184,8 @@ func (t *Tree) Render() string {
 				prefix += "│   "
 			}
 		}
-		kids := t.children[u]
-		for i, k := range kids {
-			rec(k, prefix, i == len(kids)-1)
+		for k := t.links[u].first; k != None; k = t.links[k].next {
+			rec(k, prefix, t.links[k].next == None)
 		}
 	}
 	rec(Root, "", true)
@@ -199,8 +198,8 @@ func (t *Tree) Render() string {
 func (t *Tree) CanonicalString() string {
 	var canon func(u NodeID) string
 	canon = func(u NodeID) string {
-		kids := make([]string, 0, len(t.children[u]))
-		for _, k := range t.children[u] {
+		kids := make([]string, 0, t.links[u].nchild)
+		for k := t.links[u].first; k != None; k = t.links[k].next {
 			kids = append(kids, canon(k))
 		}
 		sort.Strings(kids)

@@ -15,7 +15,7 @@ func (t *Tree) Graft(parent NodeID, src *Tree, srcNode NodeID) (NodeID, error) {
 		return None, err
 	}
 	if srcNode == Root {
-		for _, k := range src.children[Root] {
+		for k := src.FirstChild(Root); k != None; k = src.NextSibling(k) {
 			if _, err := t.Graft(parent, src, k); err != nil {
 				return None, err
 			}
@@ -27,8 +27,10 @@ func (t *Tree) Graft(parent NodeID, src *Tree, srcNode NodeID) (NodeID, error) {
 
 func (t *Tree) graft(parent NodeID, src *Tree, srcNode NodeID) NodeID {
 	id := t.MustAdd(parent, src.contrib[srcNode])
-	t.label[id] = src.label[srcNode]
-	for _, k := range src.children[srcNode] {
+	if lb := src.rawLabel(srcNode); lb != "" {
+		t.setLabelUnchecked(id, lb)
+	}
+	for k := src.links[srcNode].first; k != None; k = src.links[k].next {
 		t.graft(id, src, k)
 	}
 	return id
@@ -62,7 +64,9 @@ func (t *Tree) Detach(u NodeID) (rest, removed *Tree, err error) {
 			return true // ancestor was skipped: n is inside the removed subtree
 		}
 		nid := rest.MustAdd(p, t.contrib[n])
-		rest.label[nid] = t.label[n]
+		if lb := t.rawLabel(n); lb != "" {
+			rest.setLabelUnchecked(nid, lb)
+		}
 		idMap[n] = nid
 		return true
 	})

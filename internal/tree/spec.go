@@ -29,7 +29,17 @@ func FromSpecs(specs ...Spec) *Tree {
 }
 
 func addSpec(t *Tree, parent NodeID, s Spec) NodeID {
-	id := t.MustAdd(parent, s.C)
+	// Inlined MustAdd: parent is valid by construction here (the
+	// recursion only descends through ids it just created), so only the
+	// contribution and the arena bound need checking — AttachSpec sits
+	// on the Sybil search's per-arrangement hot path.
+	if err := checkContribution(s.C); err != nil {
+		panic(err)
+	}
+	if t.Len() >= maxNodes {
+		panic(ErrTreeFull)
+	}
+	id := t.AddUnchecked(parent, s.C)
 	if s.Label != "" {
 		if err := t.SetLabel(id, s.Label); err != nil {
 			panic(err)
@@ -61,7 +71,7 @@ func (t *Tree) ToSpec(u NodeID) (Spec, error) {
 
 func (t *Tree) toSpec(u NodeID) Spec {
 	s := Spec{C: t.contrib[u], Label: t.Label(u)}
-	for _, k := range t.children[u] {
+	for k := t.links[u].first; k != None; k = t.links[k].next {
 		s.Kids = append(s.Kids, t.toSpec(k))
 	}
 	return s

@@ -34,7 +34,7 @@ func (t *Tree) ComputeStats() Stats {
 		if depths[u] > s.MaxDepth {
 			s.MaxDepth = depths[u]
 		}
-		nk := len(t.children[u])
+		nk := int(t.links[u].nchild)
 		if nk == 0 {
 			s.Leaves++
 		} else {

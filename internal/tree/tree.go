@@ -11,6 +11,25 @@
 // parent and never renumbered, which keeps NodeIDs stable across the
 // perturbations used by property checkers (add node, raise contribution,
 // graft subtree).
+//
+// # Arena layout
+//
+// The tree is a struct-of-arrays arena indexed by NodeID: parallel arrays
+// for parent, contribution, label, and an intrusive sibling chain
+// (first/last child, next/prev sibling — all int32 NodeIDs) instead of a
+// per-node child slice. Children of a node are linked in join order, so
+// iterating FirstChild/NextSibling reproduces exactly the float summation
+// order the byte-identity contract depends on. The layout buys three
+// things at million-node scale:
+//
+//   - Clone is one copy per array (no per-node child-slice allocations);
+//   - traversal touches four flat arrays, cache-linearly;
+//   - Mark/ResetTo — the Sybil search's rollback primitive — degenerates
+//     to O(1) sibling-chain pops plus a length truncation of the arenas.
+//
+// Hot loops iterate children via FirstChild/NextSibling (or NumChildren
+// for counts); Children remains as an allocating convenience for cold
+// paths and tests.
 package tree
 
 import (
@@ -22,13 +41,21 @@ import (
 // NodeID identifies a node within a single Tree. IDs are dense: the
 // imaginary root is Root (0) and subsequent nodes get 1, 2, ... in join
 // order. IDs from one tree are meaningless in another.
-type NodeID int
+//
+// NodeID is deliberately int32: node ids index the arena arrays, and the
+// narrower type halves the footprint of the parent and sibling-link
+// arrays (the itreevet arenaindex analyzer enforces that ids stay int32
+// across API boundaries).
+type NodeID int32
 
 // Root is the id of the imaginary root r with C(r) = 0.
 const Root NodeID = 0
 
 // None is returned where no node applies (e.g. the parent of Root).
 const None NodeID = -1
+
+// maxNodes caps the arena so NodeID arithmetic can never overflow int32.
+const maxNodes = math.MaxInt32
 
 var (
 	// ErrNoSuchNode reports an id outside the tree.
@@ -40,23 +67,47 @@ var (
 	ErrRootContribution = errors.New("tree: imaginary root must have zero contribution")
 	// ErrNotAFloat reports a NaN or infinite contribution.
 	ErrNotAFloat = errors.New("tree: contribution must be a finite number")
+	// ErrTreeFull reports that the arena reached the int32 id space.
+	ErrTreeFull = errors.New("tree: node id space exhausted")
 )
+
+// links is the intrusive child chain of one node: its first and last
+// child plus its own position in the parent's chain. All four are NodeIDs
+// (None when absent), so the whole structure clones with a single copy.
+type links struct {
+	first, last NodeID // first/last child in join order
+	next, prev  NodeID // next/previous sibling
+	nchild      int32  // number of children (len(Children) in O(1))
+}
+
+var noLinks = links{first: None, last: None, next: None, prev: None}
 
 // Tree is a weighted referral tree. The zero value is not usable; call New.
 type Tree struct {
-	parent   []NodeID
-	children [][]NodeID
-	contrib  []float64
-	label    []string
+	parent  []NodeID
+	links   []links
+	contrib []float64
+	// label is sparse: len(label) <= Len(), and ids beyond it (or mapped
+	// to "") are unlabelled. Keeping it short means AddUnchecked never
+	// appends a string — no write barrier on the attack-search hot path —
+	// and SetLabel grows it on demand.
+	label []string
+	// valid caches Validate: every public mutation preserves the
+	// structural invariants, so a tree that was valid once stays valid
+	// until a decoder (or a white-box test) rebuilds the arrays by hand.
+	// This makes the per-evaluation Validate call of the RewardsInto fast
+	// paths O(1).
+	valid bool
 }
 
 // New returns a tree containing only the imaginary root.
 func New() *Tree {
 	return &Tree{
-		parent:   []NodeID{None},
-		children: [][]NodeID{nil},
-		contrib:  []float64{0},
-		label:    []string{"r"},
+		parent:  []NodeID{None},
+		links:   []links{noLinks},
+		contrib: []float64{0},
+		label:   []string{"r"},
+		valid:   true,
 	}
 }
 
@@ -92,8 +143,7 @@ func checkContribution(c float64) error {
 // modelled by parent == Root.
 //
 // Add is allocation-free in the steady state of a scratch tree: after a
-// ResetTo, re-added nodes reuse the backing arrays (including per-node
-// child lists) left behind by the truncation.
+// ResetTo, re-added nodes reuse the truncated backing arrays.
 func (t *Tree) Add(parent NodeID, c float64) (NodeID, error) {
 	if err := t.check(parent); err != nil {
 		return None, err
@@ -101,20 +151,35 @@ func (t *Tree) Add(parent NodeID, c float64) (NodeID, error) {
 	if err := checkContribution(c); err != nil {
 		return None, err
 	}
+	if t.Len() >= maxNodes {
+		return None, ErrTreeFull
+	}
+	return t.AddUnchecked(parent, c), nil
+}
+
+// AddUnchecked is Add without argument validation — the construction
+// fast path for hot loops (the Sybil search executes millions of
+// candidate arrangements against a scratch tree) whose arguments are
+// valid by construction. The caller promises that parent exists, c is a
+// finite non-negative float, and the arena is not full; violating the
+// contract corrupts the tree. Everything else should use Add or
+// MustAdd.
+func (t *Tree) AddUnchecked(parent NodeID, c float64) NodeID {
 	id := NodeID(t.Len())
 	t.parent = append(t.parent, parent)
-	if len(t.children) < cap(t.children) {
-		// Re-extend over a truncated entry, keeping its backing array so
-		// the new node's child list appends without allocating.
-		t.children = t.children[:len(t.children)+1]
-		t.children[id] = t.children[id][:0]
-	} else {
-		t.children = append(t.children, nil)
-	}
 	t.contrib = append(t.contrib, c)
-	t.label = append(t.label, "")
-	t.children[parent] = append(t.children[parent], id)
-	return id, nil
+	t.links = append(t.links, noLinks)
+	ln := &t.links[id]
+	p := &t.links[parent]
+	ln.prev = p.last
+	if p.last == None {
+		p.first = id
+	} else {
+		t.links[p.last].next = id
+	}
+	p.last = id
+	p.nchild++
+	return id
 }
 
 // MustAdd is Add for construction code where the arguments are known to be
@@ -134,6 +199,16 @@ func (t *Tree) Contribution(id NodeID) float64 {
 	}
 	return t.contrib[id]
 }
+
+// Contributions returns the contribution array indexed by NodeID. The
+// slice is owned by the tree and must not be mutated or held across
+// mutations; it exists so RewardsInto fast paths can read C(u)
+// cache-linearly without per-node bounds checks.
+func (t *Tree) Contributions() []float64 { return t.contrib }
+
+// Parents returns the parent array indexed by NodeID (Parent(Root) is
+// None). Owned by the tree; read-only, invalidated by mutations.
+func (t *Tree) Parents() []NodeID { return t.parent }
 
 // SetContribution updates C(u). The imaginary root must remain at zero.
 func (t *Tree) SetContribution(id NodeID, c float64) error {
@@ -164,13 +239,62 @@ func (t *Tree) Parent(id NodeID) NodeID {
 	return t.parent[id]
 }
 
-// Children returns the children of id in join order. The returned slice is
-// owned by the tree; callers must not mutate it.
-func (t *Tree) Children(id NodeID) []NodeID {
+// FirstChild returns the first (earliest-joined) child of id, or None.
+// Together with NextSibling it iterates children in join order without
+// allocating — the hot-loop replacement for Children:
+//
+//	for k := t.FirstChild(u); k != tree.None; k = t.NextSibling(k) { ... }
+func (t *Tree) FirstChild(id NodeID) NodeID {
 	if !t.Exists(id) {
+		return None
+	}
+	return t.links[id].first
+}
+
+// LastChild returns the last (latest-joined) child of id, or None.
+func (t *Tree) LastChild(id NodeID) NodeID {
+	if !t.Exists(id) {
+		return None
+	}
+	return t.links[id].last
+}
+
+// NextSibling returns the sibling joined directly after id, or None.
+func (t *Tree) NextSibling(id NodeID) NodeID {
+	if !t.Exists(id) {
+		return None
+	}
+	return t.links[id].next
+}
+
+// PrevSibling returns the sibling joined directly before id, or None.
+func (t *Tree) PrevSibling(id NodeID) NodeID {
+	if !t.Exists(id) {
+		return None
+	}
+	return t.links[id].prev
+}
+
+// NumChildren returns the number of children of id in O(1).
+func (t *Tree) NumChildren(id NodeID) int {
+	if !t.Exists(id) {
+		return 0
+	}
+	return int(t.links[id].nchild)
+}
+
+// Children returns the children of id in join order as a freshly
+// allocated slice. It is a convenience for cold paths and tests; hot
+// loops iterate FirstChild/NextSibling instead, which never allocates.
+func (t *Tree) Children(id NodeID) []NodeID {
+	if !t.Exists(id) || t.links[id].nchild == 0 {
 		return nil
 	}
-	return t.children[id]
+	out := make([]NodeID, 0, t.links[id].nchild)
+	for k := t.links[id].first; k != None; k = t.links[k].next {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Label returns the human-readable label of a node (defaults to "u<id>").
@@ -180,8 +304,18 @@ func (t *Tree) Label(id NodeID) string {
 	if !t.Exists(id) {
 		return ""
 	}
-	if t.label[id] == "" {
-		return fmt.Sprintf("u%d", id)
+	if lb := t.rawLabel(id); lb != "" {
+		return lb
+	}
+	return fmt.Sprintf("u%d", id)
+}
+
+// rawLabel returns the stored label without materializing the default —
+// the binary codec persists exactly this, so default labels cost one
+// byte, not a formatted string.
+func (t *Tree) rawLabel(id NodeID) string {
+	if int(id) >= len(t.label) {
+		return ""
 	}
 	return t.label[id]
 }
@@ -191,8 +325,17 @@ func (t *Tree) SetLabel(id NodeID, s string) error {
 	if err := t.check(id); err != nil {
 		return err
 	}
-	t.label[id] = s
+	t.setLabelUnchecked(id, s)
 	return nil
+}
+
+// setLabelUnchecked grows the sparse label array to cover id and stores
+// the label. The id must exist.
+func (t *Tree) setLabelUnchecked(id NodeID, s string) {
+	for len(t.label) <= int(id) {
+		t.label = append(t.label, "")
+	}
+	t.label[id] = s
 }
 
 // Depth returns dep_r(u): the number of edges between the imaginary root
@@ -229,20 +372,28 @@ func (t *Tree) DepthFrom(p, u NodeID) int {
 // IsAncestor reports whether p is an ancestor of u or p == u.
 func (t *Tree) IsAncestor(p, u NodeID) bool { return t.DepthFrom(p, u) >= 0 }
 
-// Clone returns a deep copy of t. NodeIDs are preserved.
+// Clone returns a deep copy of t. NodeIDs are preserved. The arena
+// layout makes this one allocation+copy per parallel array, regardless
+// of tree shape.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{
-		parent:   append([]NodeID(nil), t.parent...),
-		children: make([][]NodeID, len(t.children)),
-		contrib:  append([]float64(nil), t.contrib...),
-		label:    append([]string(nil), t.label...),
+	return &Tree{
+		parent:  append([]NodeID(nil), t.parent...),
+		links:   append([]links(nil), t.links...),
+		contrib: append([]float64(nil), t.contrib...),
+		label:   append([]string(nil), t.label...),
+		valid:   t.valid,
 	}
-	for i, kids := range t.children {
-		if len(kids) > 0 {
-			c.children[i] = append([]NodeID(nil), kids...)
-		}
-	}
-	return c
+}
+
+// CloneInto overwrites dst with a deep copy of t, reusing dst's backing
+// arrays when they have capacity — the allocation-free Clone for
+// scratch-tree loops that outlive a single arrangement.
+func (t *Tree) CloneInto(dst *Tree) {
+	dst.parent = append(dst.parent[:0], t.parent...)
+	dst.links = append(dst.links[:0], t.links...)
+	dst.contrib = append(dst.contrib[:0], t.contrib...)
+	dst.label = append(dst.label[:0], t.label...)
+	dst.valid = t.valid
 }
 
 // Mark captures the current size of the tree so that nodes added later
@@ -256,33 +407,44 @@ func (t *Tree) Mark() Mark { return Mark(t.Len()) }
 // ResetTo rolls the tree back to a Mark, removing every node added since.
 // It is the scratch-tree primitive of the Sybil attack search: clone the
 // base once, then ResetTo between candidate arrangements instead of
-// cloning per candidate. The truncated backing arrays are retained, so a
-// ResetTo/Add cycle of bounded size allocates nothing in the steady
-// state.
+// cloning per candidate. In the arena this is an O(1) sibling-chain pop
+// per removed node followed by a length truncation of the parallel
+// arrays; the truncated backing arrays are retained, so a ResetTo/Add
+// cycle of bounded size allocates nothing in the steady state.
 //
 // ResetTo only undoes Add (and the Add-based AttachSpec/Graft); it does
 // not restore contributions or labels of surviving nodes that were
-// mutated in place. Child-list slices previously returned by Children
-// for surviving nodes are invalidated.
+// mutated in place.
 func (t *Tree) ResetTo(m Mark) error {
 	n := int(m)
 	if n < 1 || n > t.Len() {
 		return fmt.Errorf("tree: reset to %d outside [1, %d]", n, t.Len())
 	}
-	// Removed ids are the tail of their parent's child list (children are
-	// appended in id order), so walking removed ids in descending order
-	// pops exactly the dangling links of surviving parents.
+	// A removed id whose parent survives is that parent's *last* child at
+	// the moment it is processed: children are appended in id order and
+	// ids are walked in descending order, so any later-joined sibling has
+	// already been popped.
 	for id := t.Len() - 1; id >= n; id-- {
 		p := t.parent[id]
-		if int(p) < n {
-			kids := t.children[p]
-			t.children[p] = kids[:len(kids)-1]
+		if int(p) >= n {
+			continue // parent is removed too; its chain dies with it
 		}
+		ln := &t.links[p]
+		prev := t.links[id].prev
+		ln.last = prev
+		if prev == None {
+			ln.first = None
+		} else {
+			t.links[prev].next = None
+		}
+		ln.nchild--
 	}
 	t.parent = t.parent[:n]
-	t.children = t.children[:n]
+	t.links = t.links[:n]
 	t.contrib = t.contrib[:n]
-	t.label = t.label[:n]
+	if len(t.label) > n {
+		t.label = t.label[:n]
+	}
 	return nil
 }
 
@@ -301,13 +463,33 @@ func (t *Tree) Equal(o *Tree) bool {
 }
 
 // Validate checks the structural invariants of the tree: parent pointers
-// and child lists agree, the root is the unique parentless node with zero
-// contribution, contributions are finite and non-negative, and the parent
-// relation is acyclic (guaranteed by construction, re-checked for
+// and sibling chains agree, the root is the unique parentless node with
+// zero contribution, contributions are finite and non-negative, and the
+// parent relation is acyclic (guaranteed by construction, re-checked for
 // defence in depth after deserialization).
+//
+// Every public mutation preserves these invariants, so validity is
+// cached: after one successful full check (or construction through New),
+// Validate is O(1). Decoders that rebuild the arrays directly run the
+// full check before setting the cache.
 func (t *Tree) Validate() error {
+	if t.valid {
+		return nil
+	}
+	if err := t.validateFull(); err != nil {
+		return err
+	}
+	t.valid = true
+	return nil
+}
+
+// validateFull is the uncached structural check.
+func (t *Tree) validateFull() error {
 	if t.Len() == 0 {
 		return errors.New("tree: empty (missing imaginary root)")
+	}
+	if len(t.links) != t.Len() || len(t.contrib) != t.Len() || len(t.label) > t.Len() {
+		return errors.New("tree: arena arrays have diverging lengths")
 	}
 	if t.parent[Root] != None {
 		return errors.New("tree: root has a parent")
@@ -329,23 +511,45 @@ func (t *Tree) Validate() error {
 		if err := checkContribution(t.contrib[id]); err != nil {
 			return fmt.Errorf("node %d: %w", id, err)
 		}
-		found := false
-		for _, k := range t.children[p] {
-			if k == NodeID(id) {
-				found = true
-				break
+	}
+	// Sibling chains: every node's chain must enumerate exactly the nodes
+	// whose parent it is, in ascending (join) order, with consistent
+	// prev/next/first/last links and an accurate nchild.
+	total := 0
+	for id := 0; id < t.Len(); id++ {
+		u := NodeID(id)
+		ln := t.links[u]
+		count := int32(0)
+		prev := None
+		for k := ln.first; k != None; k = t.links[k].next {
+			if !t.Exists(k) {
+				return fmt.Errorf("tree: node %d has dangling child link %d", u, k)
+			}
+			if t.parent[k] != u {
+				return fmt.Errorf("tree: node %d in child chain of %d but has parent %d", k, u, t.parent[k])
+			}
+			if t.links[k].prev != prev {
+				return fmt.Errorf("tree: node %d has prev-sibling %d, want %d", k, t.links[k].prev, prev)
+			}
+			if prev != None && k <= prev {
+				return fmt.Errorf("tree: child chain of %d not in join order (%d after %d)", u, k, prev)
+			}
+			prev = k
+			count++
+			if count > int32(t.Len()) {
+				return fmt.Errorf("tree: child chain of %d cycles", u)
 			}
 		}
-		if !found {
-			return fmt.Errorf("tree: node %d missing from child list of %d", id, p)
+		if ln.last != prev {
+			return fmt.Errorf("tree: node %d has last-child %d, want %d", u, ln.last, prev)
 		}
+		if count != ln.nchild {
+			return fmt.Errorf("tree: node %d has nchild %d, chain length %d", u, ln.nchild, count)
+		}
+		total += int(count)
 	}
-	n := 0
-	for _, kids := range t.children {
-		n += len(kids)
-	}
-	if n != t.Len()-1 {
-		return fmt.Errorf("tree: %d child links for %d nodes", n, t.Len())
+	if total != t.Len()-1 {
+		return fmt.Errorf("tree: %d child links for %d nodes", total, t.Len())
 	}
 	return nil
 }

@@ -197,25 +197,59 @@ func TestEqual(t *testing.T) {
 }
 
 func TestValidateDetectsCorruption(t *testing.T) {
-	tr := FromSpecs(Star(1, 2))
-	tr.contrib[Root] = 5
+	// White-box corruption bypasses the public API, so the validity
+	// cache must be cleared by hand before Validate can see the damage.
+	corrupt := func(break_ func(*Tree)) *Tree {
+		tr := FromSpecs(Star(1, 2))
+		break_(tr)
+		tr.valid = false
+		return tr
+	}
+	tr := corrupt(func(tr *Tree) { tr.contrib[Root] = 5 })
 	if err := tr.Validate(); !errors.Is(err, ErrRootContribution) {
 		t.Fatalf("Validate err = %v, want ErrRootContribution", err)
 	}
-	tr = FromSpecs(Star(1, 2))
-	tr.contrib[2] = math.NaN()
+	tr = corrupt(func(tr *Tree) { tr.contrib[2] = math.NaN() })
 	if err := tr.Validate(); !errors.Is(err, ErrNotAFloat) {
 		t.Fatalf("Validate err = %v, want ErrNotAFloat", err)
 	}
-	tr = FromSpecs(Star(1, 2))
-	tr.parent[2] = 2 // self-parent, also non-topological
+	tr = corrupt(func(tr *Tree) { tr.parent[2] = 2 }) // self-parent, also non-topological
 	if err := tr.Validate(); err == nil {
 		t.Fatal("Validate should reject self-parent")
 	}
-	tr = FromSpecs(Star(1, 2))
-	tr.children[1] = nil // break child list
+	tr = corrupt(func(tr *Tree) { tr.links[1] = noLinks }) // break child chain
 	if err := tr.Validate(); err == nil {
 		t.Fatal("Validate should reject missing child link")
+	}
+	tr = corrupt(func(tr *Tree) { tr.links[1].nchild = 2 }) // miscounted chain
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate should reject wrong nchild")
+	}
+}
+
+func TestValidateIsCached(t *testing.T) {
+	tr := FromSpecs(Star(1, 2, 3))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All public mutations preserve validity, so the cache must survive
+	// an Add/SetContribution/ResetTo cycle without a full re-check.
+	m := tr.Mark()
+	tr.MustAdd(1, 4)
+	if err := tr.SetContribution(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ResetTo(m); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.valid {
+		t.Fatal("validity cache lost across public mutations")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.validateFull(); err != nil {
+		t.Fatalf("cached validity is a lie: %v", err)
 	}
 }
 

@@ -14,9 +14,9 @@ func (t *Tree) Walk(u NodeID, fn func(NodeID) bool) {
 		if !fn(n) {
 			return
 		}
-		kids := t.children[n]
-		for i := len(kids) - 1; i >= 0; i-- {
-			stack = append(stack, kids[i])
+		// Push children in reverse join order so they pop in join order.
+		for k := t.links[n].last; k != None; k = t.links[k].prev {
+			stack = append(stack, k)
 		}
 	}
 }
@@ -37,9 +37,8 @@ func (t *Tree) WalkDepth(u NodeID, fn func(NodeID, int) bool) {
 		if !fn(f.id, f.depth) {
 			return
 		}
-		kids := t.children[f.id]
-		for i := len(kids) - 1; i >= 0; i-- {
-			stack = append(stack, frame{kids[i], f.depth + 1})
+		for k := t.links[f.id].last; k != None; k = t.links[k].prev {
+			stack = append(stack, frame{k, f.depth + 1})
 		}
 	}
 }
@@ -144,7 +143,7 @@ func (t *Tree) Ancestors(u NodeID) []NodeID {
 func (t *Tree) Leaves(u NodeID) []NodeID {
 	var out []NodeID
 	t.Walk(u, func(n NodeID) bool {
-		if len(t.children[n]) == 0 {
+		if t.links[n].nchild == 0 {
 			out = append(out, n)
 		}
 		return true

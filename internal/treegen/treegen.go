@@ -74,11 +74,11 @@ func UniformAttach(r *rand.Rand, t *tree.Tree) tree.NodeID {
 func PreferentialAttach(r *rand.Rand, t *tree.Tree) tree.NodeID {
 	total := 0
 	for id := 0; id < t.Len(); id++ {
-		total += 1 + len(t.Children(tree.NodeID(id)))
+		total += 1 + t.NumChildren(tree.NodeID(id))
 	}
 	pick := r.Intn(total)
 	for id := 0; id < t.Len(); id++ {
-		pick -= 1 + len(t.Children(tree.NodeID(id)))
+		pick -= 1 + t.NumChildren(tree.NodeID(id))
 		if pick < 0 {
 			return tree.NodeID(id)
 		}

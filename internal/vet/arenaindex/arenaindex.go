@@ -1,0 +1,248 @@
+// Package arenaindex guards the memory contract of the flat arena
+// tree. The million-node refactor (PR 8) keeps the whole referral
+// tree in parallel arrays indexed by tree.NodeID, a 4-byte handle —
+// five arrays × 10^6 nodes is the difference between ~125 MB resident
+// and roughly double that if node indices quietly widen to 8 bytes.
+//
+// The analyzer enforces three rules:
+//
+//  1. in package tree, every exported defined integer type whose name
+//     ends in "ID" (the arena index types) must have underlying type
+//     exactly int32 — widening the declaration doubles every parallel
+//     array and the binary snapshot varints in one keystroke;
+//  2. package tree's exported API never traffics in raw sized
+//     integers (int32, int64, uint32, uint64): node indices cross the
+//     boundary only as NodeID, counts and depths as plain int;
+//  3. module-wide, a NodeID value is not converted to a wider integer
+//     type (int64, uint64, ...) except as a direct argument to a real
+//     call or as a comparison operand — pass-through to a varint
+//     encoder and `p >= uint64(id)` bounds checks are fine, but
+//     storing widened indices (variables, struct fields, append)
+//     re-creates the 8-byte layout the arena exists to avoid. Conversely,
+//     NodeID(x) where x is a 64-bit integer silently truncates above
+//     2^31 and is flagged; decode paths that bounds-check first
+//     suppress the finding visibly with //itreevet:ignore.
+//
+// Conversions from int are exempt in both directions: `int(id)` for
+// len comparisons and `NodeID(i)` over loop indices are the arena's
+// bread-and-butter idioms, and the arena growth path already caps
+// lengths at int32 range.
+package arenaindex
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"incentivetree/internal/vet"
+)
+
+// treePkg is the package whose declarations and exported API the
+// boundary rules (1 and 2) apply to.
+const treePkg = "tree"
+
+// New returns a fresh analyzer instance.
+func New() *vet.Analyzer {
+	return &vet.Analyzer{
+		Name: "arenaindex",
+		Doc:  "arena node indices stay int32: NodeID declarations, tree's exported API, and widening/truncating conversions",
+		Run:  run,
+	}
+}
+
+func run(pass *vet.Pass) {
+	for _, file := range pass.Files {
+		if pass.Pkg.Name() == treePkg {
+			checkIndexDecls(pass, file)
+			checkBoundary(pass, file)
+		}
+		checkConversions(pass, file)
+	}
+}
+
+// checkIndexDecls enforces rule 1: exported *ID integer types in the
+// tree package stay int32.
+func checkIndexDecls(pass *vet.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() || !isIndexName(ts.Name.Name) {
+				continue
+			}
+			obj := pass.Info.Defs[ts.Name]
+			if obj == nil {
+				continue
+			}
+			b, ok := obj.Type().Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				continue
+			}
+			if b.Kind() != types.Int32 {
+				pass.Report(ts.Pos(), "arena index type %s is declared %s, not int32: widening the handle doubles every parallel array and breaks the binary codec's varint bound", ts.Name.Name, b.Name())
+			}
+		}
+	}
+}
+
+// isIndexName reports whether a type name marks an arena index
+// ("NodeID", "SlotID", ...).
+func isIndexName(name string) bool {
+	return len(name) > 2 && name[len(name)-2:] == "ID"
+}
+
+// checkBoundary enforces rule 2: exported tree functions and methods
+// take and return NodeID (or int for counts), never raw sized
+// integers.
+func checkBoundary(pass *vet.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || !fn.Name.IsExported() {
+			continue
+		}
+		checkFieldList(pass, fn.Type.Params, fn.Name.Name, "parameter")
+		checkFieldList(pass, fn.Type.Results, fn.Name.Name, "result")
+	}
+}
+
+func checkFieldList(pass *vet.Pass, fields *ast.FieldList, fnName, role string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		t := pass.Info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		// Look through one level of slice/array: []int64 leaks the
+		// same way a scalar does.
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		}
+		b, ok := t.(*types.Basic) // unnamed basics only: NodeID itself is fine
+		if !ok || !isSizedInt(b.Kind()) || b.Kind() == types.Uint8 {
+			continue // uint8 exempt: []byte buffers are not index traffic
+		}
+		pass.Report(f.Type.Pos(), "exported tree API %s has raw %s %s: node indices cross the boundary only as NodeID, counts as int", fnName, b.Name(), role)
+	}
+}
+
+// isSizedInt reports explicit-width integer kinds; plain int and
+// NodeID's own int32-behind-a-name are handled by the callers.
+func isSizedInt(k types.BasicKind) bool {
+	switch k {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64,
+		types.Int16, types.Uint16, types.Int8, types.Uint8, types.Uintptr, types.Uint:
+		return true
+	}
+	return false
+}
+
+// checkConversions enforces rule 3 module-wide, tracking parents so a
+// widening conversion that is itself a direct argument to a real call
+// (varint encoders) is exempt.
+func checkConversions(pass *vet.Pass, file *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkOneConversion(pass, call, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkOneConversion(pass *vet.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	target := tv.Type
+	src := pass.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+
+	// Widening: NodeID → anything wider than its 4 bytes, unless the
+	// widened value is consumed immediately by a real call.
+	if isNodeID(src) {
+		b, ok := target.Underlying().(*types.Basic)
+		if ok && isSizedInt(b.Kind()) && b.Kind() != types.Int32 && !isPassThrough(pass, call, stack) {
+			pass.Report(call.Pos(), "NodeID widened to %s and kept: store node indices as NodeID (int32) — widened copies re-create the 8-byte layout the arena avoids", target.String())
+		}
+		return
+	}
+
+	// Truncation: a 64-bit integer squeezed into NodeID.
+	if isNodeID(target) {
+		b, ok := src.Underlying().(*types.Basic)
+		if ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64) {
+			pass.Report(call.Pos(), "NodeID(%s) truncates silently above 2^31: bounds-check the value first and suppress with //itreevet:ignore, or carry it as NodeID throughout", b.Name())
+		}
+	}
+}
+
+// isNodeID reports whether t is the tree package's NodeID type.
+func isNodeID(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "NodeID" && obj.Pkg() != nil && obj.Pkg().Name() == treePkg
+}
+
+// isPassThrough reports whether the widened value dies immediately:
+// conv sits directly in the argument list of a genuine call (not
+// another conversion, and not append/copy, which retain the value),
+// or is an operand of a comparison (`p >= uint64(id)` bounds checks).
+func isPassThrough(pass *vet.Pass, conv *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	if bin, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok {
+		switch bin.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return true
+		}
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	among := false
+	for _, a := range parent.Args {
+		if ast.Unparen(a) == conv {
+			among = true
+			break
+		}
+	}
+	if !among {
+		return false
+	}
+	if tv, ok := pass.Info.Types[parent.Fun]; ok && tv.IsType() {
+		return false // parent is itself a conversion, not a call
+	}
+	if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok {
+		if id.Name == "append" || id.Name == "copy" {
+			if _, isBuiltin := vet.ObjectOf(pass.Info, id).(*types.Builtin); isBuiltin {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package arenaindex_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/arenaindex"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestArenaIndex(t *testing.T) {
+	vettest.Run(t, "testdata", arenaindex.New)
+}

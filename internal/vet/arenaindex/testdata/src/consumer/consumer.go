@@ -1,0 +1,45 @@
+// Package consumer exercises the module-wide conversion rule from
+// outside the tree package: widened copies of NodeIDs are flagged,
+// encoder pass-through and int round-trips are not.
+package consumer
+
+import "tree"
+
+// appendUvarint stands in for binary.AppendUvarint.
+func appendUvarint(dst []byte, v uint64) []byte { return dst }
+
+func widen(t *tree.Tree, u tree.NodeID) {
+	wide := int64(u) // want `NodeID widened to int64 and kept`
+	_ = wide
+
+	var table []uint64
+	table = append(table, uint64(u)) // want `NodeID widened to uint64 and kept`
+	_ = table
+
+	// Pass-through to a real call is the varint-encoder idiom: the
+	// widened value is consumed, not kept.
+	_ = appendUvarint(nil, uint64(u))
+
+	// int is the len-comparison idiom, exempt in both directions.
+	if int(u) < t.Len() {
+		_ = tree.NodeID(t.Len() - 1)
+	}
+}
+
+// bigDelta has underlying int64: named types do not launder widening.
+type bigDelta int64
+
+func widenNamed(u tree.NodeID) bigDelta {
+	return bigDelta(u) // want `NodeID widened to consumer.bigDelta and kept`
+}
+
+func truncate(x int64, w uint64) tree.NodeID {
+	a := tree.NodeID(x) // want `NodeID\(int64\) truncates silently`
+	b := tree.NodeID(w) // want `NodeID\(uint64\) truncates silently`
+
+	if w < uint64(a) {
+		//itreevet:ignore arenaindex w is bounds-checked on the line above
+		b = tree.NodeID(w)
+	}
+	return a + b
+}

@@ -1,0 +1,59 @@
+// Package tree is a fixture standing in for the real arena tree: the
+// analyzer keys on the package name, so the declaration and boundary
+// rules apply here exactly as they do to internal/tree.
+package tree
+
+// NodeID is the well-formed arena index type.
+type NodeID int32
+
+// SlotID widens an arena index declaration to 8 bytes.
+type SlotID int64 // want `arena index type SlotID is declared int64, not int32`
+
+// BucketID is unsigned 32-bit — still not the contract.
+type BucketID uint32 // want `arena index type BucketID is declared uint32, not int32`
+
+// Mark is a length, not an index: plain int is fine and the name
+// does not end in ID.
+type Mark int
+
+// grid is unexported; the declaration rule only covers the exported
+// API surface.
+type grid int64
+
+// Tree is a minimal arena.
+type Tree struct {
+	parent  []NodeID
+	contrib []float64
+}
+
+// Len is a count: plain int is the contract.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Parent is index-in, index-out: NodeID both ways.
+func (t *Tree) Parent(id NodeID) NodeID { return t.parent[id] }
+
+// At leaks a raw 64-bit index through an exported signature.
+func (t *Tree) At(i int64) NodeID { // want `exported tree API At has raw int64 parameter`
+	return t.parent[i]
+}
+
+// Slots returns raw int32s where NodeIDs belong; slices leak the
+// same way scalars do.
+func (t *Tree) Slots() []int32 { // want `exported tree API Slots has raw int32 result`
+	out := make([]int32, len(t.parent))
+	for i, p := range t.parent {
+		out[i] = int32(p)
+	}
+	return out
+}
+
+// AppendBinary takes and returns byte buffers: uint8 traffic is not
+// index traffic.
+func (t *Tree) AppendBinary(dst []byte) []byte { return dst }
+
+// fill is unexported, so the boundary rule does not apply.
+func (t *Tree) fill(raw []int32) {
+	for _, p := range raw {
+		t.parent = append(t.parent, NodeID(p))
+	}
+}
