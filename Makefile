@@ -2,9 +2,9 @@ GO ?= go
 BENCHTIME ?= 300ms
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json fuzzsmoke loadsmoke replicasmoke replicabench auditsmoke auditbench
+.PHONY: check build vet lint fmtcheck test race bench benchsmoke bench-json fuzzsmoke loadsmoke replicasmoke replicabench auditsmoke auditbench settlesmoke
 
-check: build vet lint fmtcheck test race benchsmoke fuzzsmoke loadsmoke replicasmoke auditsmoke
+check: build vet lint fmtcheck test race benchsmoke fuzzsmoke loadsmoke replicasmoke auditsmoke settlesmoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,8 @@ benchsmoke:
 fuzzsmoke:
 	$(GO) test -run=^$$ -fuzz=FuzzJournalRecordDecode -fuzztime=$(FUZZTIME) ./internal/journal/
 	$(GO) test -run=^$$ -fuzz=FuzzEventConstructive -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run=^$$ -fuzz=FuzzSettleRecordDecode -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run=^$$ -fuzz=FuzzClaimRecordDecode -fuzztime=$(FUZZTIME) ./internal/journal/
 	$(GO) test -run=^$$ -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME) ./internal/server/
 
 # loadsmoke boots a real itreed on a temp data dir, runs a short
@@ -72,6 +74,15 @@ replicasmoke:
 # byte-identical quarantine state across kill -9 + restart.
 auditsmoke:
 	GO=$(GO) RACE=1 sh scripts/auditsmoke.sh
+
+# settlesmoke boots a race-built itreed with epoch settlement on, runs
+# an itreeload settlement storm (settles racing contributes, every
+# settled share double-claimed), then checks a deterministic
+# settle/claim/duplicate-claim sequence, the R(epoch) <= pool(epoch)
+# ledger invariant, and byte-identical epoch tables plus refused
+# duplicate claims across kill -9 + restart.
+settlesmoke:
+	GO=$(GO) RACE=1 sh scripts/settlesmoke.sh
 
 # auditbench measures contribute throughput with the audit service off
 # vs scanning every 250ms, writes the next free BENCH_<n>.json point,

@@ -45,6 +45,42 @@ func TestConvertJournalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConvertJournalSettleClaimRoundTrip: journals carrying settle and
+// claim records — the settlement subsystem's ledger — convert both
+// directions without losing a byte, mixed with the ordinary kinds.
+func TestConvertJournalSettleClaimRoundTrip(t *testing.T) {
+	var log bytes.Buffer
+	w := journal.NewWriter(&log, 1)
+	mustAppend := func(e journal.Event) {
+		t.Helper()
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(journal.Event{Kind: journal.KindJoin, Name: "alice"})
+	mustAppend(journal.Event{Kind: journal.KindJoin, Name: "bob", Sponsor: "alice"})
+	mustAppend(journal.Event{Kind: journal.KindContribute, Name: "bob", Amount: 4})
+	mustAppend(journal.Event{Kind: journal.KindSettle, Epoch: 1, Pool: 2, CTotal: 4,
+		Rewards: []journal.RewardShare{{Name: "alice", Amount: 0.75}, {Name: "bob", Amount: 1.25}}})
+	mustAppend(journal.Event{Kind: journal.KindClaim, Name: "bob", Epoch: 1, Amount: 1.25})
+	mustAppend(journal.Event{Kind: journal.KindQuarantine, Name: "bob"})
+	mustAppend(journal.Event{Kind: journal.KindSettle, Epoch: 2, Pool: 0.75, CTotal: 4.5,
+		Rewards: []journal.RewardShare{{Name: "alice", Amount: 0.5}}})
+	mustAppend(journal.Event{Kind: journal.KindClaim, Name: "alice", Epoch: 2, Amount: 0.5})
+
+	bin := convertRun(t, []string{"-kind", "journal", "-to", "binary"}, log.Bytes())
+	if bytes.Equal(bin, log.Bytes()) {
+		t.Fatal("binary conversion left the log unchanged")
+	}
+	back := convertRun(t, []string{"-kind", "journal", "-to", "json"}, bin)
+	if !bytes.Equal(back, log.Bytes()) {
+		t.Fatalf("json round trip differs:\nin:  %q\nout: %q", log.Bytes(), back)
+	}
+	if again := convertRun(t, []string{"-kind", "journal", "-to", "binary"}, bin); !bytes.Equal(again, bin) {
+		t.Fatal("binary → binary conversion changed bytes")
+	}
+}
+
 // TestConvertJournalRefusesTornTail: a torn journal aborts instead of
 // silently emitting a shortened log.
 func TestConvertJournalRefusesTornTail(t *testing.T) {
@@ -67,7 +103,16 @@ func TestConvertSnapshotRoundTrip(t *testing.T) {
 	tr.SetLabel(a, "alice")
 	b, _ := tr.Add(a, 2.25)
 	tr.SetLabel(b, "bob")
-	bin, err := server.EncodeSnapshotBinary(&server.Snapshot{LastSeq: 7, Tree: tr, Quarantined: []string{"bob"}})
+	bin, err := server.EncodeSnapshotBinary(&server.Snapshot{
+		LastSeq:     7,
+		Tree:        tr,
+		Quarantined: []string{"bob"},
+		Epochs: []journal.SettledEpoch{{
+			Epoch: 1, Pool: 2, CTotal: 3.75,
+			Rewards: []journal.RewardShare{{Name: "alice", Amount: 0.5}, {Name: "bob", Amount: 1}},
+			Claimed: []string{"bob"},
+		}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 //	       [-batch-max 64] [-batch-wait 0] [-queue-depth 1024]
 //	       [-journal events.log]
 //	       [-audit-interval 10s] [-audit-quarantine]
+//	       [-epoch-interval 1m] [-epoch-budget 0.4]
 //	       [-role primary|follower] [-primary http://host:8080]
 //	       [-max-staleness 5s]
 //
@@ -35,6 +36,17 @@
 // DELETE .../audit/quarantine/{name}, or automatic with
 // -audit-quarantine — is journaled and crash-recoverable: quarantined
 // subtrees serve zero rewards while raw contributions stay intact.
+//
+// With -epoch-interval set, every campaign settles a payout epoch on
+// that cadence (see internal/settle): the budget pool accrues
+// -epoch-budget (default: the mechanism's Phi) per unit of new
+// contribution, the served reward table — quarantined subtrees masked
+// to zero — is frozen into one atomic journal settle record, and
+// participants collect their shares through the idempotent claims
+// ledger (POST /v1/campaigns/{id}/claims; a double claim answers 409).
+// GET .../epochs lists the settled epochs with claimed/unclaimed
+// accounting; POST .../epochs/settle settles one on demand, so
+// settlement works as a pure operator action without the ticker too.
 //
 // With -role=follower the daemon is a read replica of another itreed:
 // it bootstraps every campaign from the primary's replication snapshot
@@ -202,6 +214,10 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		"per-campaign Sybil audit scan cadence (0 disables the audit service)")
 	auditQuarantine := fs.Bool("audit-quarantine", false,
 		"let the auditor auto-quarantine quarantine-grade findings (ε-chains, star bursts); otherwise it only reports")
+	epochInterval := fs.Duration("epoch-interval", 0,
+		"per-campaign payout epoch settlement cadence (0 disables the ticker; POST .../epochs/settle still works)")
+	epochBudget := fs.Float64("epoch-budget", 0,
+		"budget fraction accrued to each epoch's pool per unit of new contribution (0 = the mechanism's Phi)")
 	role := fs.String("role", "primary",
 		"primary (serve writes, publish replication) or follower (read replica of -primary)")
 	primaryURL := fs.String("primary", "",
@@ -235,12 +251,18 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		if *auditInterval > 0 {
 			return nil, errors.New("a follower does not audit: the primary's quarantine decisions replicate; -audit-interval is not allowed with -role=follower")
 		}
+		if *epochInterval > 0 {
+			return nil, errors.New("a follower does not settle: the primary's settle records replicate; -epoch-interval is not allowed with -role=follower")
+		}
 	default:
 		return nil, fmt.Errorf("unknown -role %q (want primary or follower)", *role)
 	}
 	policy, err := journal.ParseSyncPolicy(*syncPolicy)
 	if err != nil {
 		return nil, err
+	}
+	if *epochBudget < 0 || *epochBudget > 1 || *epochBudget != *epochBudget {
+		return nil, errors.New("-epoch-budget must be a fraction in [0, 1]")
 	}
 
 	params := core.Params{Phi: *phi, FairShare: *fair}
@@ -274,6 +296,8 @@ func setup(args []string, stdout io.Writer) (*daemon, error) {
 		QueueDepth:         *queueDepth,
 		AuditInterval:      *auditInterval,
 		AuditQuarantine:    *auditQuarantine,
+		EpochInterval:      *epochInterval,
+		EpochBudget:        *epochBudget,
 		Metrics:            reg,
 		NewMechanism:       newMechanism,
 		DefaultMechanism:   *mech,
@@ -366,6 +390,9 @@ func legacyServer(wal string, policy journal.SyncPolicy, syncEvery time.Duration
 	opts := []server.Option{
 		server.WithJournal(journal.NewWriter(fw, next)),
 		server.WithMetrics(cfg.Metrics),
+	}
+	if cfg.EpochBudget != 0 {
+		opts = append(opts, server.WithEpochBudget(cfg.EpochBudget))
 	}
 	if cfg.BatchMax >= 0 {
 		opts = append(opts, server.WithBatching(ingest.Options{

@@ -45,6 +45,12 @@ func TestSetupErrors(t *testing.T) {
 	if _, err := setup([]string{"-seed", "dup,dup"}, &out); err == nil {
 		t.Fatal("duplicate seeds should fail")
 	}
+	if _, err := setup([]string{"-epoch-budget", "1.5"}, &out); err == nil {
+		t.Fatal("epoch budget above 1 should fail")
+	}
+	if _, err := setup([]string{"-epoch-budget", "-0.1"}, &out); err == nil {
+		t.Fatal("negative epoch budget should fail")
+	}
 }
 
 func TestSetupJournalRecovery(t *testing.T) {
@@ -412,9 +418,10 @@ func TestSetupFollowerFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{
 		{"-role", "follower"}, // no -primary
-		{"-role", "follower", "-primary", "http://x", "-data-dir", "d"},    // no disk state
-		{"-role", "follower", "-primary", "http://x", "-journal", "w.log"}, // no disk state
-		{"-role", "follower", "-primary", "http://x", "-seed", "a"},        // read-only
+		{"-role", "follower", "-primary", "http://x", "-data-dir", "d"},        // no disk state
+		{"-role", "follower", "-primary", "http://x", "-journal", "w.log"},     // no disk state
+		{"-role", "follower", "-primary", "http://x", "-seed", "a"},            // read-only
+		{"-role", "follower", "-primary", "http://x", "-epoch-interval", "1s"}, // followers do not settle
 		{"-role", "chief"},       // unknown role
 		{"-primary", "http://x"}, // follower-only flag
 	} {

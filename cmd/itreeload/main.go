@@ -10,7 +10,8 @@
 //	          [-workers 8] [-rate 0] [-duration 5s]
 //	          [-participants 64] [-join-frac 0.05] [-seed 1]
 //	          [-read-frac 0] [-read-targets url1,url2]
-//	          [-scenario steady|honest|adversarial] [-audit-report]
+//	          [-scenario steady|honest|adversarial|settlement]
+//	          [-settle-every 0] [-audit-report]
 //
 // The generator first seeds a population of participants (untimed),
 // then runs the measured phase for -duration: each worker issues
@@ -27,11 +28,29 @@
 //
 //   - steady (default): flat random-sponsor joins, the historical
 //     behavior.
+//
 //   - honest: organic growth — preferential attachment, viral
 //     cascades, churned contributions — with no planted attacks.
+//
 //   - adversarial: the honest mix plus injected Sybil arrangements
 //     (ε-chains, deep chains, star bursts) with known ground truth,
 //     for exercising the audit service (-audit-interval on itreed).
+//
+//   - settlement: steady seeding, but while the measured contributes
+//     flow a driver settles a payout epoch every -settle-every
+//     (default: a quarter of -duration) and fires a claim burst at
+//     each epoch boundary — every settled share claimed twice,
+//     concurrently, so the idempotent claims ledger is hammered
+//     exactly where it matters. Duplicate claims answering 409 are
+//     counted as conflicts, not failures, and the run fails unless
+//     the double-claim bursts split exactly evenly into claims and
+//     conflicts. The summary is one parseable line:
+//
+//     itreeload: settlement epochs=3 idle_settles=0 claims=96 claim_conflicts=96 settle_failures=0 claim_failures=0
+//
+//     The regular latency percentiles cover the contribute stream
+//     running through the settle commits, so group-commit latency
+//     under settlement load is visible in the same report.
 //
 // Scenario generation is deterministic in -seed: the same seed
 // produces the identical operation stream (the seed phase applies it
@@ -98,6 +117,7 @@ type config struct {
 	readFrac     float64
 	seed         int64
 	scenario     string
+	settleEvery  time.Duration
 	auditReport  bool
 }
 
@@ -123,7 +143,9 @@ func run(args []string, stdout io.Writer) error {
 		"comma-separated base URLs reads fan out to round-robin, e.g. a primary and its followers (default: -addr)")
 	seed := fs.Int64("seed", 1, "PRNG seed for workload shape; scenario op streams are identical for identical seeds")
 	scenario := fs.String("scenario", "steady",
-		"seed-phase shape: steady (flat random joins), honest (organic growth), adversarial (organic growth + injected Sybil arrangements)")
+		"seed-phase shape: steady (flat random joins), honest (organic growth), adversarial (organic growth + injected Sybil arrangements), settlement (steady + epoch settles with claim bursts)")
+	settleEvery := fs.Duration("settle-every", 0,
+		"epoch settlement cadence under -scenario=settlement (0 = a quarter of -duration)")
 	auditReport := fs.Bool("audit-report", false,
 		"after the measured phase, force two audit scans and print findings vs the scenario's ground truth")
 	treeSizeSweep := fs.Bool("tree-size-sweep", false,
@@ -143,9 +165,9 @@ func run(args []string, stdout io.Writer) error {
 		return runSweep(sizes, *sweepFormat, *seed, stdout)
 	}
 	switch *scenario {
-	case "steady", "honest", "adversarial":
+	case "steady", "honest", "adversarial", "settlement":
 	default:
-		return fmt.Errorf("unknown -scenario %q (want steady, honest, or adversarial)", *scenario)
+		return fmt.Errorf("unknown -scenario %q (want steady, honest, adversarial, or settlement)", *scenario)
 	}
 	cfg := config{
 		base:         apiBase(*addr, *campaign),
@@ -157,7 +179,14 @@ func run(args []string, stdout io.Writer) error {
 		readFrac:     *readFrac,
 		seed:         *seed,
 		scenario:     *scenario,
+		settleEvery:  *settleEvery,
 		auditReport:  *auditReport,
+	}
+	if cfg.settleEvery <= 0 {
+		cfg.settleEvery = cfg.duration / 4
+		if cfg.settleEvery <= 0 {
+			cfg.settleEvery = time.Millisecond
+		}
 	}
 	if *readTargets == "" {
 		cfg.readBases = []string{cfg.base}
@@ -196,7 +225,16 @@ func run(args []string, stdout io.Writer) error {
 		len(names), cfg.base, cfg.scenario, len(sc.Injected))
 
 	var c counters
+	var sst settlementStats
+	stopSettle := make(chan struct{})
+	var settleWG sync.WaitGroup
+	if cfg.scenario == "settlement" {
+		settleWG.Add(1)
+		go settlementLoop(client, cfg, stopSettle, &sst, &settleWG)
+	}
 	latencies := measure(client, cfg, names, &c)
+	close(stopSettle)
+	settleWG.Wait()
 
 	ok, shed, failed := c.ok.Load(), c.shed.Load(), c.failed.Load()
 	secs := cfg.duration.Seconds()
@@ -206,6 +244,11 @@ func run(args []string, stdout io.Writer) error {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		fmt.Fprintf(stdout, "itreeload: latency p50 %s p95 %s p99 %s\n",
 			percentile(latencies, 0.50), percentile(latencies, 0.95), percentile(latencies, 0.99))
+	}
+	if cfg.scenario == "settlement" {
+		if err := reportSettlement(&sst, stdout); err != nil {
+			return err
+		}
 	}
 	if cfg.auditReport {
 		if err := reportAudit(client, cfg, sc, stdout); err != nil {
@@ -236,7 +279,7 @@ func apiBase(addr, campaign string) string {
 // function of -seed, so identical seeds reproduce identical trees.
 func seedPopulation(client *http.Client, cfg config) ([]string, treegen.Scenario, error) {
 	rng := rand.New(rand.NewSource(cfg.seed))
-	if cfg.scenario != "steady" {
+	if cfg.scenario == "honest" || cfg.scenario == "adversarial" {
 		sc := treegen.Mix(rng, scenarioConfig(cfg))
 		for _, op := range sc.Ops() {
 			var err error

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -238,6 +239,57 @@ func TestRunHonestScenarioCleanAudit(t *testing.T) {
 	}
 	if !strings.Contains(got, "quarantined=0 quarantined_honest=0") {
 		t.Errorf("honest scenario was quarantined:\n%s", got)
+	}
+}
+
+// TestRunSettlementScenario drives the settlement-storm mix against a
+// live store: epochs settle on a fast cadence while contributes flow,
+// every settled share is double-claimed at the boundary, and the
+// summary line must show the bursts splitting exactly into claims and
+// conflicts with zero failures.
+func TestRunSettlementScenario(t *testing.T) {
+	st := newStore(t)
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-workers", "4",
+		"-duration", "400ms",
+		"-settle-every", "60ms",
+		"-participants", "16",
+		"-scenario", "settlement",
+		"-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "itreeload: settlement epochs=") {
+		t.Fatalf("missing settlement summary line:\n%s", got)
+	}
+	var epochs, claims, conflicts, settleFail, claimFail int
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "itreeload: settlement ") {
+			if _, err := fmt.Sscanf(line,
+				"itreeload: settlement epochs=%d idle_settles=%d claims=%d claim_conflicts=%d settle_failures=%d claim_failures=%d",
+				&epochs, new(int), &claims, &conflicts, &settleFail, &claimFail); err != nil {
+				t.Fatalf("summary line not parseable: %q: %v", line, err)
+			}
+		}
+	}
+	if epochs < 1 {
+		t.Fatalf("no epochs settled during the run:\n%s", got)
+	}
+	if claims < 1 || claims != conflicts {
+		t.Fatalf("double-claim bursts did not split evenly: claims=%d conflicts=%d\n%s", claims, conflicts, got)
+	}
+	if settleFail != 0 || claimFail != 0 {
+		t.Fatalf("settlement scenario reported failures:\n%s", got)
+	}
+	if !strings.Contains(got, "0 failed") {
+		t.Fatalf("contribute stream failed during settlement:\n%s", got)
 	}
 }
 

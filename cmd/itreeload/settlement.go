@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The settlement scenario drives the epoch settlement subsystem under
+// write load: while the measured workers keep contributing, a driver
+// goroutine settles an epoch every -settle-every and immediately fires
+// a claim burst — every settled share is claimed twice, concurrently,
+// so the idempotent claims ledger is exercised exactly at the epoch
+// boundary. Duplicate claims answering 409 are the ledger working as
+// specified and are counted as conflicts, not failures.
+
+// settlementStats aggregates the driver's outcomes.
+type settlementStats struct {
+	settles     atomic.Uint64 // epochs settled (HTTP 200)
+	idle        atomic.Uint64 // settles answered 409 (nothing to settle)
+	settleFail  atomic.Uint64 // settles answered anything else
+	claims      atomic.Uint64 // claims answered 200
+	conflicts   atomic.Uint64 // claims answered 409 (duplicate)
+	claimFailed atomic.Uint64 // claims answered anything else
+}
+
+// settlementLoop settles on a fixed cadence until stop closes, claiming
+// each fresh epoch's shares in a concurrent double-claim burst.
+func settlementLoop(client *http.Client, cfg config, stop <-chan struct{}, st *settlementStats, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(cfg.settleEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			settleOnce(client, cfg, st)
+		}
+	}
+}
+
+// settleOnce performs one settle plus its claim burst.
+func settleOnce(client *http.Client, cfg config, st *settlementStats) {
+	req, err := http.NewRequest(http.MethodPost, cfg.base+"/epochs/settle", nil)
+	if err != nil {
+		st.settleFail.Add(1)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		st.settleFail.Add(1)
+		return
+	}
+	var sum struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&sum)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		st.idle.Add(1) // nothing accrued since the last tick
+		return
+	case resp.StatusCode != http.StatusOK || decodeErr != nil:
+		st.settleFail.Add(1)
+		return
+	}
+	st.settles.Add(1)
+
+	shares, err := epochShares(client, cfg, sum.Epoch)
+	if err != nil {
+		st.claimFailed.Add(1)
+		return
+	}
+	// The burst: every share claimed twice, concurrently. Exactly one of
+	// each pair may win; the other must be a 409 conflict.
+	var wg sync.WaitGroup
+	for _, name := range shares {
+		for dup := 0; dup < 2; dup++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				status, err := post(client, cfg.base+"/claims",
+					map[string]any{"name": name, "epoch": sum.Epoch})
+				switch {
+				case err == nil && status == http.StatusOK:
+					st.claims.Add(1)
+				case err == nil && status == http.StatusConflict:
+					st.conflicts.Add(1)
+				default:
+					st.claimFailed.Add(1)
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+}
+
+// epochShares fetches the names holding a share of the settled epoch.
+func epochShares(client *http.Client, cfg config, epoch uint64) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/epochs/%d", cfg.base, epoch), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("epoch %d detail: HTTP %d", epoch, resp.StatusCode)
+	}
+	var detail struct {
+		Rewards []struct {
+			Name string `json:"name"`
+		} `json:"rewards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(detail.Rewards))
+	for i, r := range detail.Rewards {
+		names[i] = r.Name
+	}
+	return names, nil
+}
+
+// reportSettlement prints the scenario's parseable summary line and
+// returns an error when anything actually failed (conflicts are the
+// expected duplicate-claim outcome, never failures).
+func reportSettlement(st *settlementStats, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "itreeload: settlement epochs=%d idle_settles=%d claims=%d claim_conflicts=%d settle_failures=%d claim_failures=%d\n",
+		st.settles.Load(), st.idle.Load(), st.claims.Load(), st.conflicts.Load(),
+		st.settleFail.Load(), st.claimFailed.Load())
+	if n := st.settleFail.Load() + st.claimFailed.Load(); n > 0 {
+		return fmt.Errorf("settlement scenario: %d settles/claims failed", n)
+	}
+	if st.settles.Load() > 0 && st.claims.Load() != st.conflicts.Load() {
+		// Double-claim bursts are symmetric: every winning claim has a
+		// losing twin. Any asymmetry means the ledger double-paid or
+		// double-refused.
+		return fmt.Errorf("settlement scenario: %d claims vs %d conflicts — the double-claim bursts must split evenly",
+			st.claims.Load(), st.conflicts.Load())
+	}
+	return nil
+}

@@ -29,11 +29,24 @@ import (
 // Payload:
 //
 //	byte                     kind (0 join, 1 contribute, 2 quarantine,
-//	                         3 unquarantine)
+//	                         3 unquarantine, 4 settle, 5 claim)
 //	uvarint                  seq
 //	uvarint + bytes          name
 //	uvarint + bytes          sponsor ("" when absent)
 //	8-byte LE float64        amount (0 for kinds that carry none)
+//
+// Settle and claim records extend the payload after the base fields
+// (older decoders reject the unknown kind byte rather than
+// misinterpreting the record):
+//
+//	claim:  uvarint epoch    — name/amount in the base fields are the
+//	                           claimant and the claimed share
+//	settle: uvarint epoch
+//	        8-byte LE float64 pool
+//	        8-byte LE float64 ctotal
+//	        uvarint           share count
+//	        per share:        uvarint + bytes name, 8-byte LE float64
+//	                          amount (strictly ascending by name)
 //
 // A first byte of '{' (or whitespace) means a JSON-lines record —
 // the format every journal used before the binary codec; '\n' alone is
@@ -87,9 +100,13 @@ func ParseMode(s string) (Mode, error) {
 const tagBinaryV1 = 0xB1
 
 // maxBinaryPayload bounds the declared payload length, so a corrupt
-// length prefix cannot make the decoder allocate gigabytes. Events hold
-// two short names and a float; 1 MiB is generous.
-const maxBinaryPayload = 1 << 20
+// length prefix cannot make the decoder allocate gigabytes. Settle
+// records carry a whole epoch's share table — roughly 20 bytes per
+// participant — so the bound admits tables of a few million entries;
+// the stream decoder reads frames in bounded chunks, so a corrupt
+// prefix near the bound still cannot force one huge up-front
+// allocation.
+const maxBinaryPayload = 1 << 26
 
 // castagnoli is the CRC-32C table (the polynomial with hardware support
 // on both amd64 and arm64).
@@ -107,6 +124,10 @@ func kindToByte(k Kind) (byte, error) {
 		return 2, nil
 	case KindUnquarantine:
 		return 3, nil
+	case KindSettle:
+		return 4, nil
+	case KindClaim:
+		return 5, nil
 	default:
 		return 0, fmt.Errorf("journal: unknown event kind %q", k)
 	}
@@ -122,6 +143,10 @@ func byteToKind(b byte) (Kind, error) {
 		return KindQuarantine, nil
 	case 3:
 		return KindUnquarantine, nil
+	case 4:
+		return KindSettle, nil
+	case 5:
+		return KindClaim, nil
 	default:
 		return "", fmt.Errorf("%w: unknown kind byte %#x", errBinaryRecord, b)
 	}
@@ -139,9 +164,19 @@ func uvarintLen(v uint64) int {
 
 // binaryPayloadSize returns the payload length of e's binary record.
 func binaryPayloadSize(e Event) int {
-	return 1 + uvarintLen(e.Seq) +
+	n := 1 + uvarintLen(e.Seq) +
 		uvarintLen(uint64(len(e.Name))) + len(e.Name) +
 		uvarintLen(uint64(len(e.Sponsor))) + len(e.Sponsor) + 8
+	switch e.Kind {
+	case KindClaim:
+		n += uvarintLen(e.Epoch)
+	case KindSettle:
+		n += uvarintLen(e.Epoch) + 8 + 8 + uvarintLen(uint64(len(e.Rewards)))
+		for _, r := range e.Rewards {
+			n += uvarintLen(uint64(len(r.Name))) + len(r.Name) + 8
+		}
+	}
+	return n
 }
 
 // AppendBinaryRecord appends the framed binary encoding of e to dst.
@@ -164,6 +199,20 @@ func AppendBinaryRecord(dst []byte, e Event) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(e.Sponsor)))
 	dst = append(dst, e.Sponsor...)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Amount))
+	switch e.Kind {
+	case KindClaim:
+		dst = binary.AppendUvarint(dst, e.Epoch)
+	case KindSettle:
+		dst = binary.AppendUvarint(dst, e.Epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Pool))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.CTotal))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Rewards)))
+		for _, r := range e.Rewards {
+			dst = binary.AppendUvarint(dst, uint64(len(r.Name)))
+			dst = append(dst, r.Name...)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Amount))
+		}
+	}
 	crc := crc32.Checksum(dst[start:], castagnoli)
 	dst = binary.LittleEndian.AppendUint32(dst, crc)
 	return dst, nil
@@ -193,15 +242,67 @@ func decodeBinaryPayload(p []byte) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
-	if len(p)-off != 8 {
+	amount, err := readFloat(p, &off, "amount")
+	if err != nil {
+		return Event{}, err
+	}
+	e := Event{Seq: seq, Kind: kind, Name: name, Sponsor: sponsor, Amount: amount}
+	switch kind {
+	case KindClaim:
+		if e.Epoch, err = readUvarint(p, &off, "epoch"); err != nil {
+			return Event{}, err
+		}
+	case KindSettle:
+		if e.Epoch, err = readUvarint(p, &off, "epoch"); err != nil {
+			return Event{}, err
+		}
+		if e.Pool, err = readFloat(p, &off, "pool"); err != nil {
+			return Event{}, err
+		}
+		if e.CTotal, err = readFloat(p, &off, "ctotal"); err != nil {
+			return Event{}, err
+		}
+		count, err := readUvarint(p, &off, "share count")
+		if err != nil {
+			return Event{}, err
+		}
+		// Every share takes at least 9 payload bytes, so a corrupt
+		// count cannot pre-allocate more than the payload itself.
+		if count > uint64(len(p)-off)/9 {
+			return Event{}, fmt.Errorf("%w: share count %d overruns payload", errBinaryRecord, count)
+		}
+		if count > 0 {
+			e.Rewards = make([]RewardShare, 0, count)
+			for i := uint64(0); i < count; i++ {
+				rname, err := readString(p, &off, "share name")
+				if err != nil {
+					return Event{}, err
+				}
+				ramt, err := readFloat(p, &off, "share amount")
+				if err != nil {
+					return Event{}, err
+				}
+				e.Rewards = append(e.Rewards, RewardShare{Name: rname, Amount: ramt})
+			}
+		}
+	}
+	if off != len(p) {
 		return Event{}, fmt.Errorf("%w: payload length mismatch", errBinaryRecord)
 	}
-	amount := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
-	e := Event{Seq: seq, Kind: kind, Name: name, Sponsor: sponsor, Amount: amount}
 	if err := e.Validate(); err != nil {
 		return Event{}, err
 	}
 	return e, nil
+}
+
+// readFloat decodes an 8-byte little-endian float64 at *off.
+func readFloat(p []byte, off *int, what string) (float64, error) {
+	if len(p)-*off < 8 {
+		return 0, fmt.Errorf("%w: truncated %s", errBinaryRecord, what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p[*off:]))
+	*off += 8
+	return v, nil
 }
 
 // readUvarint decodes a canonical uvarint at *off. Non-minimal

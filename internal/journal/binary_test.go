@@ -48,7 +48,7 @@ func TestBinaryRecordRoundTrip(t *testing.T) {
 		if d.Mode() != ModeBinary {
 			t.Fatalf("record %d: Mode() = %v, want binary", n+1, d.Mode())
 		}
-		if e != binaryTestEvents[n] {
+		if !e.Equal(binaryTestEvents[n]) {
 			t.Fatalf("record %d = %+v, want %+v", n+1, e, binaryTestEvents[n])
 		}
 		if err := enc.Encode(e); err != nil {

@@ -40,35 +40,41 @@ func FuzzJournalRecordDecode(f *testing.F) {
 	f.Add([]byte{tagBinaryV1, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{tagBinaryV1, 0x05, 0x00, 0x01})
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		d := NewDecoder(bytes.NewReader(data))
-		var start int64
-		for {
-			e, err := d.Next()
-			if err != nil {
-				// io.EOF, torn tail, or hard corruption — all fine; the
-				// decoder just must not accept garbage or panic.
-				return
-			}
-			if verr := e.Validate(); verr != nil {
-				t.Fatalf("decoder returned invalid event %+v: %v", e, verr)
-			}
-			consumed := data[start:d.Offset()]
-			start = d.Offset()
-			if d.Mode() != ModeBinary {
-				continue // JSON accepts whitespace/field-order variants
-			}
-			// Strip heartbeat bytes the decoder skipped before the record.
-			rec := consumed[bytes.IndexByte(consumed, tagBinaryV1):]
-			reenc, err := AppendBinaryRecord(nil, e)
-			if err != nil {
-				t.Fatalf("accepted event failed to re-encode: %v", err)
-			}
-			if !bytes.Equal(rec, reenc) {
-				t.Fatalf("decode∘encode not identity:\nin:  %x\nout: %x", rec, reenc)
-			}
+	f.Fuzz(checkDecodeRoundTrip)
+}
+
+// checkDecodeRoundTrip is the shared fuzz body of the record-decode
+// targets: no input panics or decodes into an invalid event, and every
+// accepted binary record re-encodes to exactly the bytes it was
+// decoded from.
+func checkDecodeRoundTrip(t *testing.T, data []byte) {
+	d := NewDecoder(bytes.NewReader(data))
+	var start int64
+	for {
+		e, err := d.Next()
+		if err != nil {
+			// io.EOF, torn tail, or hard corruption — all fine; the
+			// decoder just must not accept garbage or panic.
+			return
 		}
-	})
+		if verr := e.Validate(); verr != nil {
+			t.Fatalf("decoder returned invalid event %+v: %v", e, verr)
+		}
+		consumed := data[start:d.Offset()]
+		start = d.Offset()
+		if d.Mode() != ModeBinary {
+			continue // JSON accepts whitespace/field-order variants
+		}
+		// Strip heartbeat bytes the decoder skipped before the record.
+		rec := consumed[bytes.IndexByte(consumed, tagBinaryV1):]
+		reenc, err := AppendBinaryRecord(nil, e)
+		if err != nil {
+			t.Fatalf("accepted event failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(rec, reenc) {
+			t.Fatalf("decode∘encode not identity:\nin:  %x\nout: %x", rec, reenc)
+		}
+	}
 }
 
 // FuzzEventConstructive drives the encoder from arbitrary field values:
@@ -99,7 +105,7 @@ func FuzzEventConstructive(f *testing.F) {
 		if err != nil {
 			t.Fatalf("encoded event failed to decode: %v", err)
 		}
-		if got != e {
+		if !got.Equal(e) {
 			t.Fatalf("round trip changed event: %+v != %+v", got, e)
 		}
 		if _, err := d.Next(); err != io.EOF {

@@ -43,7 +43,26 @@ const (
 	KindQuarantine Kind = "quarantine"
 	// KindUnquarantine clears a previously set quarantine flag.
 	KindUnquarantine Kind = "unquarantine"
+	// KindSettle freezes one epoch of the payout ledger: the record
+	// carries the epoch number, the budget pool the epoch accrued, the
+	// campaign contribution total the accrual ran up to, and the
+	// per-participant reward shares granted against the pool. Settled
+	// epochs are immutable history; replay enforces that the shares
+	// never exceed the pool (the paper's R(T) ≤ Φ·C(T) constraint,
+	// ledger-ized per epoch).
+	KindSettle Kind = "settle"
+	// KindClaim records a participant collecting their share of one
+	// settled epoch. Claims are idempotent per (participant, epoch):
+	// replay rejects duplicates, so a crash between append and response
+	// cannot double-credit.
+	KindClaim Kind = "claim"
 )
+
+// RewardShare is one participant's granted share in a settle record.
+type RewardShare struct {
+	Name   string  `json:"name"`
+	Amount float64 `json:"amount"`
+}
 
 // Event is one journal entry. Participants are identified by name, as in
 // the HTTP API, so logs are stable across id renumbering.
@@ -53,10 +72,56 @@ type Event struct {
 	Name    string  `json:"name"`
 	Sponsor string  `json:"sponsor,omitempty"`
 	Amount  float64 `json:"amount,omitempty"`
+	// Epoch is the settled epoch a settle or claim record refers to
+	// (1-based; zero — and absent from the wire — for other kinds).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Pool is the budget accrued by a settle record's epoch: the
+	// mechanism share of the contribution delta since the previous
+	// settle, plus the carry-over of whatever the previous epoch left
+	// unallocated.
+	Pool float64 `json:"pool,omitempty"`
+	// CTotal is the campaign contribution total C(T) the settle's pool
+	// accrual ran up to; the next epoch accrues from here.
+	CTotal float64 `json:"ctotal,omitempty"`
+	// Rewards is a settle record's frozen share table, strictly
+	// ascending by name.
+	Rewards []RewardShare `json:"rewards,omitempty"`
+}
+
+// Equal reports whether two events are field-wise identical. Event is
+// not comparable with == (Rewards is a slice), so tests and replay
+// checks use this instead.
+func (e Event) Equal(o Event) bool {
+	if e.Seq != o.Seq || e.Kind != o.Kind || e.Name != o.Name ||
+		e.Sponsor != o.Sponsor || e.Amount != o.Amount ||
+		e.Epoch != o.Epoch || e.Pool != o.Pool || e.CTotal != o.CTotal ||
+		len(e.Rewards) != len(o.Rewards) {
+		return false
+	}
+	for i, r := range e.Rewards {
+		if r != o.Rewards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finitePositive reports a finite, strictly positive float. NaN fails
+// every comparison, so `<= 0` alone would wave it (and +Inf) through —
+// and NaN/Inf are unencodable as JSON anyway.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
 }
 
 // Validate checks the event's internal consistency.
 func (e Event) Validate() error {
+	if e.Kind != KindSettle && e.Kind != KindClaim {
+		// The ledger fields belong to settle/claim records only; a
+		// canonical encoding demands they are absent elsewhere.
+		if e.Epoch != 0 || e.Pool != 0 || e.CTotal != 0 || len(e.Rewards) != 0 {
+			return fmt.Errorf("journal: %s event carries ledger fields", e.Kind)
+		}
+	}
 	switch e.Kind {
 	case KindJoin:
 		if e.Name == "" {
@@ -69,14 +134,8 @@ func (e Event) Validate() error {
 		if e.Name == "" {
 			return errors.New("journal: contribute event without name")
 		}
-		// NaN fails every comparison, so `<= 0` alone would wave it (and
-		// +Inf) through to a tree that rejects non-finite contributions —
-		// and NaN/Inf are unencodable as JSON anyway.
-		if math.IsNaN(e.Amount) || math.IsInf(e.Amount, 0) {
-			return fmt.Errorf("journal: contribute amount %v must be finite", e.Amount)
-		}
-		if e.Amount <= 0 {
-			return fmt.Errorf("journal: contribute amount %v must be positive", e.Amount)
+		if !finitePositive(e.Amount) {
+			return fmt.Errorf("journal: contribute amount %v must be finite and positive", e.Amount)
 		}
 	case KindQuarantine, KindUnquarantine:
 		if e.Name == "" {
@@ -87,6 +146,48 @@ func (e Event) Validate() error {
 		}
 		if e.Amount != 0 {
 			return fmt.Errorf("journal: %s event carries an amount", e.Kind)
+		}
+	case KindSettle:
+		if e.Name != "" || e.Sponsor != "" || e.Amount != 0 {
+			return errors.New("journal: settle event carries participant fields")
+		}
+		if e.Epoch == 0 {
+			return errors.New("journal: settle event without epoch")
+		}
+		if math.IsNaN(e.Pool) || math.IsInf(e.Pool, 0) || e.Pool < 0 {
+			return fmt.Errorf("journal: settle pool %v must be finite and non-negative", e.Pool)
+		}
+		if math.IsNaN(e.CTotal) || math.IsInf(e.CTotal, 0) || e.CTotal < 0 {
+			return fmt.Errorf("journal: settle ctotal %v must be finite and non-negative", e.CTotal)
+		}
+		prev := ""
+		for i, r := range e.Rewards {
+			if r.Name == "" {
+				return fmt.Errorf("journal: settle share %d without name", i)
+			}
+			if i > 0 && r.Name <= prev {
+				return fmt.Errorf("journal: settle shares not strictly ascending at %q", r.Name)
+			}
+			prev = r.Name
+			if !finitePositive(r.Amount) {
+				return fmt.Errorf("journal: settle share for %q is %v, must be finite and positive", r.Name, r.Amount)
+			}
+		}
+	case KindClaim:
+		if e.Name == "" {
+			return errors.New("journal: claim event without name")
+		}
+		if e.Sponsor != "" {
+			return errors.New("journal: claim event carries a sponsor")
+		}
+		if e.Epoch == 0 {
+			return errors.New("journal: claim event without epoch")
+		}
+		if e.Pool != 0 || e.CTotal != 0 || len(e.Rewards) != 0 {
+			return errors.New("journal: claim event carries settle fields")
+		}
+		if !finitePositive(e.Amount) {
+			return fmt.Errorf("journal: claim amount %v must be finite and positive", e.Amount)
 		}
 	default:
 		return fmt.Errorf("journal: unknown event kind %q", e.Kind)
@@ -258,6 +359,8 @@ type State struct {
 	// Quarantined holds the names whose subtrees are currently withheld
 	// from payout.
 	Quarantined map[string]bool
+	// Ledger holds the settled epochs and claims the journal witnessed.
+	Ledger *Ledger
 }
 
 // Replay applies events (in order) on top of an optional base state.
@@ -269,6 +372,9 @@ func Replay(base *State, events []Event) (*State, error) {
 	}
 	if st.Quarantined == nil {
 		st.Quarantined = make(map[string]bool)
+	}
+	if st.Ledger == nil {
+		st.Ledger = NewLedger()
 	}
 	for _, e := range events {
 		if err := e.Validate(); err != nil {
@@ -319,6 +425,22 @@ func Replay(base *State, events []Event) (*State, error) {
 				return nil, fmt.Errorf("journal: unquarantine of unflagged %q at seq %d", e.Name, e.Seq)
 			}
 			delete(st.Quarantined, e.Name)
+		case KindSettle:
+			for _, r := range e.Rewards {
+				if _, ok := st.ByName[r.Name]; !ok {
+					return nil, fmt.Errorf("journal: settle share for unknown %q at seq %d", r.Name, e.Seq)
+				}
+			}
+			if err := st.Ledger.ApplySettle(e); err != nil {
+				return nil, fmt.Errorf("journal: seq %d: %w", e.Seq, err)
+			}
+		case KindClaim:
+			if _, ok := st.ByName[e.Name]; !ok {
+				return nil, fmt.Errorf("journal: claim by unknown %q at seq %d", e.Name, e.Seq)
+			}
+			if err := st.Ledger.ApplyClaim(e); err != nil {
+				return nil, fmt.Errorf("journal: seq %d: %w", e.Seq, err)
+			}
 		}
 		st.LastSeq = e.Seq
 		metricReplays.Inc()
@@ -330,7 +452,7 @@ func Replay(base *State, events []Event) (*State, error) {
 // (e.g. a decoded snapshot), assigning it the given last sequence
 // number. Labels must be unique.
 func StateFromTree(t *tree.Tree, lastSeq uint64) (*State, error) {
-	st := &State{Tree: t, ByName: make(map[string]tree.NodeID, t.NumParticipants()), LastSeq: lastSeq, Quarantined: make(map[string]bool)}
+	st := &State{Tree: t, ByName: make(map[string]tree.NodeID, t.NumParticipants()), LastSeq: lastSeq, Quarantined: make(map[string]bool), Ledger: NewLedger()}
 	for _, u := range t.Nodes() {
 		name := t.Label(u)
 		if _, dup := st.ByName[name]; dup {

@@ -155,8 +155,8 @@ func (d *Decoder) nextBinary() (Event, error) {
 		}
 		return Event{}, fmt.Errorf("journal: record %d: %w", d.line, cause)
 	}
-	frame := make([]byte, int(plen)+4) // payload + CRC
-	if _, err := io.ReadFull(d.br, frame); err != nil {
+	frame, err := readFrame(d.br, int(plen)+4) // payload + CRC
+	if err != nil {
 		return fail(fmt.Errorf("%w: truncated record: %v", errBinaryRecord, err))
 	}
 	payload, sum := frame[:plen], binary.LittleEndian.Uint32(frame[plen:])
@@ -182,6 +182,30 @@ func (d *Decoder) nextBinary() (Event, error) {
 	default:
 		return Event{}, fmt.Errorf("journal: record %d: %w", d.line, decErr)
 	}
+}
+
+// readFrame reads exactly n bytes from br. Large frames are read via a
+// growing buffer rather than one up-front allocation, so a corrupt
+// length prefix just under maxBinaryPayload cannot force a 64 MiB
+// allocation for a stream that ends after a handful of bytes.
+func readFrame(br *bufio.Reader, n int) ([]byte, error) {
+	const eager = 64 << 10
+	if n <= eager {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(eager)
+	if _, err := io.CopyN(&buf, br, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // readStreamUvarint reads a canonical uvarint from br, returning the

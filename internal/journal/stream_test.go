@@ -35,7 +35,7 @@ func TestDecoderYieldsEventsAndOffsets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("event %d: %v", i, err)
 		}
-		if got != want {
+		if !got.Equal(want) {
 			t.Fatalf("event %d = %+v, want %+v", i, got, want)
 		}
 	}
@@ -226,7 +226,7 @@ func TestReadMatchesDecoder(t *testing.T) {
 		t.Fatalf("decoder yielded %d events, Read %d", len(incr), len(events))
 	}
 	for i := range incr {
-		if incr[i] != events[i] {
+		if !incr[i].Equal(events[i]) {
 			t.Fatalf("event %d: decoder %+v vs Read %+v", i, incr[i], events[i])
 		}
 	}

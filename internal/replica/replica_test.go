@@ -219,7 +219,7 @@ func requireIdenticalReads(t *testing.T, primaryURL, followerURL, campaign strin
 	t.Helper()
 	// /stats is excluded: it embeds a dump of the node's own metric
 	// registry, which legitimately differs between primary and replica.
-	for _, path := range []string{"/rewards", "/leaderboard?k=10", "/tree"} {
+	for _, path := range []string{"/rewards", "/leaderboard?k=10", "/tree", "/epochs", "/claims"} {
 		p := mustGet(t, primaryURL+"/v1/campaigns/"+campaign+path)
 		f := mustGet(t, followerURL+"/v1/campaigns/"+campaign+path)
 		if !bytes.Equal(p, f) {

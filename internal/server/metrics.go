@@ -53,6 +53,15 @@ var domainGauges = []string{
 	"itree_journal_last_seq",
 	"itree_rewards_cache_hits_total",
 	"itree_rewards_cache_misses_total",
+	"itree_settle_epochs",
+	"itree_settle_carry",
+	"itree_settle_amount",
+	"itree_claims_amount",
+	"itree_claims_unclaimed",
+	"itree_settle_commits_total",
+	"itree_settle_capped_total",
+	"itree_claims_commits_total",
+	"itree_claims_conflicts_total",
 }
 
 // UnregisterMetrics removes the domain-gauge series registered under
@@ -99,6 +108,32 @@ func (s *Server) registerGauges(reg *obs.Registry, labels ...string) {
 			defer s.mu.RUnlock()
 			return float64(s.lastSeq)
 		}, labels...)
+	reg.GaugeFunc("itree_settle_epochs",
+		"Number of settled payout epochs.", func() float64 {
+			epochs, _, _, _ := s.LedgerView()
+			return float64(epochs)
+		}, labels...)
+	reg.GaugeFunc("itree_settle_carry",
+		"Unallocated budget carried into the next epoch.", func() float64 {
+			_, _, _, carry := s.LedgerView()
+			return carry
+		}, labels...)
+	reg.GaugeFunc("itree_settle_amount",
+		"Cumulative reward settled across all epochs.", func() float64 {
+			_, settled, _, _ := s.LedgerView()
+			return settled
+		}, labels...)
+	reg.GaugeFunc("itree_claims_amount",
+		"Cumulative reward claimed across all epochs.", func() float64 {
+			_, _, claimed, _ := s.LedgerView()
+			return claimed
+		}, labels...)
+	reg.GaugeFunc("itree_claims_unclaimed",
+		"Settled but not yet claimed reward.", func() float64 {
+			_, settled, claimed, _ := s.LedgerView()
+			return settled - claimed
+		}, labels...)
+	s.settleObs = newSettleCounters(reg, labels...)
 }
 
 // rewardTotals evaluates the mechanism once and returns R(T) and the

@@ -30,6 +30,11 @@ type Snapshot struct {
 	// Quarantined lists the payout-quarantine flags in force, sorted by
 	// name. Absent in pre-quarantine snapshots, which decode as none.
 	Quarantined []string `json:"quarantined,omitempty"`
+	// Epochs holds the settled payout epochs, oldest first. Absent in
+	// pre-settlement snapshots, which decode as an empty ledger — and
+	// absent when the ledger is empty, so those snapshots' bytes stay
+	// identical to older releases.
+	Epochs []journal.SettledEpoch `json:"epochs,omitempty"`
 }
 
 // SnapshotState exports the current deployment state.
@@ -47,7 +52,7 @@ func (s *Server) SnapshotState() Snapshot {
 func (s *Server) SnapshotAt(fn func()) Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	snap := Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone(), Quarantined: s.quarantinedNamesLocked()}
+	snap := Snapshot{LastSeq: s.lastSeq, Tree: s.tree.Clone(), Quarantined: s.quarantinedNamesLocked(), Epochs: s.ledger.Snapshot()}
 	if fn != nil {
 		fn()
 	}
@@ -91,6 +96,20 @@ func stateFromSnapshot(snap Snapshot) (*journal.State, error) {
 		}
 		st.Quarantined[name] = true
 	}
+	if len(snap.Epochs) > 0 {
+		for _, se := range snap.Epochs {
+			for _, r := range se.Rewards {
+				if _, ok := st.ByName[r.Name]; !ok {
+					return nil, fmt.Errorf("server: snapshot epoch %d settles unknown participant %q", se.Epoch, r.Name)
+				}
+			}
+		}
+		ledger, err := journal.LedgerFromEpochs(snap.Epochs)
+		if err != nil {
+			return nil, fmt.Errorf("server: snapshot ledger: %w", err)
+		}
+		st.Ledger = ledger
+	}
 	return st, nil
 }
 
@@ -105,6 +124,10 @@ func (s *Server) adoptState(st *journal.State) {
 	s.quarantined = st.Quarantined
 	if s.quarantined == nil {
 		s.quarantined = make(map[string]bool)
+	}
+	s.ledger = st.Ledger
+	if s.ledger == nil {
+		s.ledger = journal.NewLedger()
 	}
 	// lastSeq may move backwards on a restore, but the cache version must
 	// not alias old numbers onto new state — keep it strictly advancing.
@@ -145,7 +168,7 @@ func (s *Server) ApplyReplicated(events []journal.Event) error {
 			return fmt.Errorf("server: replicated batch has a gap: %d after %d", events[i].Seq, events[i-1].Seq)
 		}
 	}
-	st := &journal.State{Tree: s.tree, ByName: s.byKey, LastSeq: s.lastSeq, Quarantined: s.quarantined}
+	st := &journal.State{Tree: s.tree, ByName: s.byKey, LastSeq: s.lastSeq, Quarantined: s.quarantined, Ledger: s.ledger}
 	st, err := journal.Replay(st, events)
 	if err != nil {
 		// Keep the cache from serving the partially mutated tree.
@@ -154,6 +177,7 @@ func (s *Server) ApplyReplicated(events []journal.Event) error {
 	}
 	s.lastSeq = st.LastSeq
 	s.quarantined = st.Quarantined
+	s.ledger = st.Ledger
 	s.version++
 	if s.useEngine && s.engine != nil {
 		// Replay bypassed the engine's O(depth) bookkeeping; rebuild its

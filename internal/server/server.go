@@ -14,6 +14,10 @@
 //	GET  /v1/leaderboard?k=N                                 -> top-K by reward
 //	GET  /v1/tree                                            -> referral tree (nested JSON)
 //	GET  /v1/stats                                           -> tree statistics
+//	GET  /v1/epochs[/{n}]                                    -> settled payout epochs
+//	POST /v1/epochs/settle                                   -> settle the next epoch
+//	POST /v1/claims      {"name": "...", "epoch": N}         -> claim a settled share
+//	GET  /v1/claims[?name=...]                               -> claims accounting
 //	GET  /v1/healthz                                         -> 200 ok
 //
 // All state lives in memory behind a single RWMutex. With WithBatching,
@@ -65,6 +69,14 @@ type Server struct {
 	// auditor, when set, backs the audit report/scan endpoints (see
 	// audit_http.go and SetAuditor).
 	auditor *audit.Auditor
+	// ledger holds the settled epochs and claims (see settle_http.go);
+	// epochBudget, when non-zero, overrides the mechanism's Phi as the
+	// pool accrual fraction (WithEpochBudget).
+	ledger      *journal.Ledger
+	epochBudget float64
+	// settleObs, when metrics are attached, counts settle/claim
+	// operations (see settle_http.go).
+	settleObs *settleCounters
 	// version counts committed batches and state restores; it keys the
 	// read cache and, unlike lastSeq, never moves backwards in-process.
 	version uint64
@@ -75,7 +87,7 @@ type Server struct {
 
 // New creates an empty deployment under the mechanism.
 func New(m core.Mechanism, opts ...Option) *Server {
-	s := &Server{mech: m, tree: tree.New(), byKey: make(map[string]tree.NodeID), quarantined: make(map[string]bool)}
+	s := &Server{mech: m, tree: tree.New(), byKey: make(map[string]tree.NodeID), quarantined: make(map[string]bool), ledger: journal.NewLedger()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -161,6 +173,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /v1/epochs/{n}", s.handleEpoch)
+	mux.HandleFunc("POST /v1/epochs/settle", s.handleSettle)
+	mux.HandleFunc("POST /v1/claims", s.handleClaim)
+	mux.HandleFunc("GET /v1/claims", s.handleClaims)
 	mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	mux.HandleFunc("POST /v1/audit/scan", s.handleAuditScan)
 	mux.HandleFunc("POST /v1/audit/quarantine", s.handleQuarantine)

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"incentivetree/internal/journal"
+	"incentivetree/internal/obs"
+	"incentivetree/internal/settle"
+)
+
+// Epoch settlement and the claims ledger. Settle freezes the current
+// served reward table (quarantined subtrees already masked to zero)
+// into one journal.KindSettle record against the epoch's budget pool;
+// Claim pays out one (participant, epoch) share as a journal.KindClaim
+// record. Both are journal-first like every other write: nothing
+// mutates until the record is durable. The replayed ledger state lives
+// in journal.Ledger, so checkpoint recovery, kill -9 replay, and
+// follower replication all rebuild it through the same code path and
+// re-check the same invariants.
+
+// Settlement error sentinels, matched with errors.Is by the HTTP layer.
+var (
+	// ErrNothingToSettle reports a settle with no contribution growth
+	// and no grantable reward delta; no epoch is created.
+	ErrNothingToSettle = errors.New("nothing to settle")
+	// ErrEpochNotSettled reports a claim or lookup against an epoch that
+	// has not been settled.
+	ErrEpochNotSettled = errors.New("epoch not settled")
+	// ErrNoShare reports a claim by a participant with no share in the
+	// epoch.
+	ErrNoShare = errors.New("no share in epoch")
+	// ErrAlreadyClaimed reports a duplicate claim — the idempotency
+	// conflict, served as 409.
+	ErrAlreadyClaimed = errors.New("already claimed")
+)
+
+// WithEpochBudget overrides the epoch pool accrual fraction. The
+// default (0) accrues the mechanism's own Phi per unit of
+// contribution; operators use -epoch-budget to reserve a different
+// share for payout.
+func WithEpochBudget(frac float64) Option {
+	return func(s *Server) { s.epochBudget = frac }
+}
+
+// settleCounters aggregates the settle/claim op counters registered
+// when metrics are attached.
+type settleCounters struct {
+	settles        *obs.Counter
+	capped         *obs.Counter
+	claims         *obs.Counter
+	claimConflicts *obs.Counter
+}
+
+func newSettleCounters(reg *obs.Registry, labels ...string) *settleCounters {
+	return &settleCounters{
+		settles:        reg.Counter("itree_settle_commits_total", "Epoch settle records committed.", labels...),
+		capped:         reg.Counter("itree_settle_capped_total", "Settled shares reduced or dropped by pool exhaustion.", labels...),
+		claims:         reg.Counter("itree_claims_commits_total", "Claim records committed.", labels...),
+		claimConflicts: reg.Counter("itree_claims_conflicts_total", "Claims rejected as duplicates (409).", labels...),
+	}
+}
+
+// budgetFracLocked is the pool accrual fraction in force.
+func (s *Server) budgetFracLocked() float64 {
+	if s.epochBudget != 0 {
+		return s.epochBudget
+	}
+	return s.mech.Params().Phi
+}
+
+// EpochSummary is the wire accounting view of one settled epoch.
+type EpochSummary struct {
+	Epoch     uint64  `json:"epoch"`
+	Pool      float64 `json:"pool"`
+	CTotal    float64 `json:"ctotal"`
+	Settled   float64 `json:"settled"`
+	Claimed   float64 `json:"claimed"`
+	Unclaimed float64 `json:"unclaimed"`
+	CarryOut  float64 `json:"carry_out"`
+	Shares    int     `json:"shares"`
+	Claims    int     `json:"claims"`
+}
+
+// epochDetail is EpochSummary plus the frozen share table and the
+// claimants so far (journal arrival order).
+type epochDetail struct {
+	EpochSummary
+	Rewards []journal.RewardShare `json:"rewards,omitempty"`
+	Claimed []string              `json:"claimed,omitempty"`
+}
+
+// epochsResponse is the GET /v1/epochs payload.
+type epochsResponse struct {
+	NextEpoch    uint64         `json:"next_epoch"`
+	BudgetFrac   float64        `json:"budget_frac"`
+	CSettled     float64        `json:"ctotal_settled"`
+	Carry        float64        `json:"carry"`
+	SettledTotal float64        `json:"settled_total"`
+	ClaimedTotal float64        `json:"claimed_total"`
+	Epochs       []EpochSummary `json:"epochs,omitempty"`
+}
+
+// ClaimReceipt is the wire acknowledgment of a successful claim.
+type ClaimReceipt struct {
+	Name   string  `json:"name"`
+	Epoch  uint64  `json:"epoch"`
+	Amount float64 `json:"amount"`
+	Seq    uint64  `json:"seq"`
+}
+
+// claimStatus is one epoch's entry in a participant's claims account.
+type claimStatus struct {
+	Epoch   uint64  `json:"epoch"`
+	Amount  float64 `json:"amount"`
+	Claimed bool    `json:"claimed"`
+}
+
+// claimsAccount is the GET /v1/claims payload: per-participant with
+// ?name=, campaign-wide without.
+type claimsAccount struct {
+	Name      string        `json:"name,omitempty"`
+	Settled   float64       `json:"settled"`
+	Claimed   float64       `json:"claimed"`
+	Unclaimed float64       `json:"unclaimed"`
+	Claims    int           `json:"claims"`
+	Epochs    []claimStatus `json:"epochs,omitempty"`
+}
+
+func (s *Server) epochSummaryLocked(n uint64) EpochSummary {
+	se, _ := s.ledger.Epoch(n)
+	settled := s.ledger.SettledAmount(n)
+	claimed := s.ledger.ClaimedAmount(n)
+	return EpochSummary{
+		Epoch:     se.Epoch,
+		Pool:      se.Pool,
+		CTotal:    se.CTotal,
+		Settled:   settled,
+		Claimed:   claimed,
+		Unclaimed: settled - claimed,
+		CarryOut:  s.ledger.CarryOut(n),
+		Shares:    len(se.Rewards),
+		Claims:    len(se.Claimed),
+	}
+}
+
+// Settle freezes the next epoch: it accrues the pool (budget fraction
+// times the contribution growth since the last settle, plus carry),
+// grants each participant the growth of their served reward beyond
+// what prior epochs settled to them — capped so the epoch never
+// overdraws its pool — and journals the result atomically as one
+// settle record. Quarantined subtrees are served as zero and therefore
+// excluded; their deltas settle after an unquarantine. Returns
+// ErrNothingToSettle (409) when no pool accrual and no grant would
+// result.
+func (s *Server) Settle() (EpochSummary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rewards, _, err := s.servedRewardsLocked()
+	if err != nil {
+		return EpochSummary{}, fmt.Errorf("server: settle: %w", err)
+	}
+	nodes := s.tree.Nodes()
+	entries := make([]settle.Entry, 0, len(nodes))
+	for _, u := range nodes {
+		entries = append(entries, settle.Entry{Name: s.tree.Label(u), Reward: rewards.Of(u)})
+	}
+	cPrev, carry := s.ledger.AccrualBasis()
+	in := settle.Input{
+		Epoch:      s.ledger.NextEpoch(),
+		BudgetFrac: s.budgetFracLocked(),
+		CNow:       s.tree.Total(),
+		CPrev:      cPrev,
+		Carry:      carry,
+	}
+	ev, stats, ok := settle.Compute(in, entries, s.ledger.SettledOf)
+	if !ok {
+		return EpochSummary{}, ErrNothingToSettle
+	}
+	// Journal first: nothing mutates until the record is durable, so a
+	// failed append leaves memory and log in agreement.
+	if s.journal != nil {
+		//itreevet:ignore journalfirst servedRewardsLocked above only refreshes the derived reward memo, which recovery recomputes; ledger state mutates after the append
+		pe, err := s.journal.Append(ev)
+		if err != nil {
+			return EpochSummary{}, fmt.Errorf("server: journal append: %w", err)
+		}
+		ev = pe
+	} else {
+		ev.Seq = s.lastSeq + 1
+	}
+	if err := s.ledger.ApplySettle(ev); err != nil {
+		// Compute produces records that satisfy the ledger invariants by
+		// construction; a refusal here is a bug, surfaced loudly rather
+		// than leaving the durable record unapplied.
+		return EpochSummary{}, fmt.Errorf("server: settle apply: %w", err)
+	}
+	s.lastSeq = ev.Seq
+	if s.settleObs != nil {
+		s.settleObs.settles.Inc()
+		s.settleObs.capped.Add(uint64(stats.Capped))
+	}
+	return s.epochSummaryLocked(ev.Epoch), nil
+}
+
+// Claim pays out name's share of the given settled epoch (0 means the
+// latest). Claims are idempotent per (participant, epoch): a second
+// claim fails with ErrAlreadyClaimed (409) and credits nothing — the
+// journal-first order guarantees that holds across a crash between
+// append and response, too.
+func (s *Server) Claim(name string, epoch uint64) (ClaimReceipt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byKey[name]; !ok {
+		return ClaimReceipt{}, fmt.Errorf("%w %q", ErrUnknownParticipant, name)
+	}
+	if epoch == 0 {
+		epoch = uint64(s.ledger.Epochs())
+	}
+	if epoch == 0 || epoch > uint64(s.ledger.Epochs()) {
+		return ClaimReceipt{}, fmt.Errorf("%w: epoch %d", ErrEpochNotSettled, epoch)
+	}
+	share, ok := s.ledger.Share(epoch, name)
+	if !ok {
+		return ClaimReceipt{}, fmt.Errorf("%w %d for %q", ErrNoShare, epoch, name)
+	}
+	if s.ledger.HasClaimed(epoch, name) {
+		if s.settleObs != nil {
+			s.settleObs.claimConflicts.Inc()
+		}
+		return ClaimReceipt{}, fmt.Errorf("share of epoch %d %w by %q", epoch, ErrAlreadyClaimed, name)
+	}
+	ev := journal.Event{Kind: journal.KindClaim, Name: name, Epoch: epoch, Amount: share}
+	if s.journal != nil {
+		//itreevet:ignore journalfirst the earlier mutation is the conflict metrics counter on the already-claimed return path, not journaled state
+		pe, err := s.journal.Append(ev)
+		if err != nil {
+			return ClaimReceipt{}, fmt.Errorf("server: journal append: %w", err)
+		}
+		ev = pe
+	} else {
+		ev.Seq = s.lastSeq + 1
+	}
+	if err := s.ledger.ApplyClaim(ev); err != nil {
+		return ClaimReceipt{}, fmt.Errorf("server: claim apply: %w", err)
+	}
+	s.lastSeq = ev.Seq
+	if s.settleObs != nil {
+		s.settleObs.claims.Inc()
+	}
+	return ClaimReceipt{Name: name, Epoch: epoch, Amount: share, Seq: ev.Seq}, nil
+}
+
+// LedgerView returns the number of settled epochs plus cumulative
+// settled/claimed totals (for gauges and store-level summaries).
+func (s *Server) LedgerView() (epochs int, settled, claimed, carry float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	epochs = s.ledger.Epochs()
+	for n := uint64(1); n <= uint64(epochs); n++ {
+		settled += s.ledger.SettledAmount(n)
+		claimed += s.ledger.ClaimedAmount(n)
+	}
+	_, carry = s.ledger.AccrualBasis()
+	return epochs, settled, claimed, carry
+}
+
+func (s *Server) handleEpochs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := s.ledger.Epochs()
+	resp := epochsResponse{
+		NextEpoch:  s.ledger.NextEpoch(),
+		BudgetFrac: s.budgetFracLocked(),
+	}
+	resp.CSettled, resp.Carry = s.ledger.AccrualBasis()
+	for i := uint64(1); i <= uint64(n); i++ {
+		sum := s.epochSummaryLocked(i)
+		resp.SettledTotal += sum.Settled
+		resp.ClaimedTotal += sum.Claimed
+		resp.Epochs = append(resp.Epochs, sum)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseUint(r.PathValue("n"), 10, 64)
+	if err != nil || n == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"epoch must be a positive integer"})
+		return
+	}
+	s.mu.RLock()
+	se, ok := s.ledger.Epoch(n)
+	var detail epochDetail
+	if ok {
+		detail = epochDetail{EpochSummary: s.epochSummaryLocked(n), Rewards: se.Rewards, Claimed: se.Claimed}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("epoch %d not settled", n)})
+		return
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (s *Server) handleSettle(w http.ResponseWriter, _ *http.Request) {
+	sum, err := s.Settle()
+	if err != nil {
+		writeSettleError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+type claimRequest struct {
+	Name  string `json:"name"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"malformed JSON: " + err.Error()})
+		return
+	}
+	receipt, err := s.Claim(req.Name, req.Epoch)
+	if err != nil {
+		writeSettleError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, receipt)
+}
+
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		acct := claimsAccount{}
+		for n := uint64(1); n <= uint64(s.ledger.Epochs()); n++ {
+			acct.Settled += s.ledger.SettledAmount(n)
+			acct.Claimed += s.ledger.ClaimedAmount(n)
+			se, _ := s.ledger.Epoch(n)
+			acct.Claims += len(se.Claimed)
+		}
+		acct.Unclaimed = acct.Settled - acct.Claimed
+		writeJSON(w, http.StatusOK, acct)
+		return
+	}
+	if _, ok := s.byKey[name]; !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("unknown participant %q", name)})
+		return
+	}
+	acct := claimsAccount{
+		Name:    name,
+		Settled: s.ledger.SettledOf(name),
+		Claimed: s.ledger.ClaimedOf(name),
+	}
+	acct.Unclaimed = acct.Settled - acct.Claimed
+	for n := uint64(1); n <= uint64(s.ledger.Epochs()); n++ {
+		amt, ok := s.ledger.Share(n, name)
+		if !ok {
+			continue
+		}
+		claimed := s.ledger.HasClaimed(n, name)
+		if claimed {
+			acct.Claims++
+		}
+		acct.Epochs = append(acct.Epochs, claimStatus{Epoch: n, Amount: amt, Claimed: claimed})
+	}
+	writeJSON(w, http.StatusOK, acct)
+}
+
+// writeSettleError maps settlement failures to HTTP: unknown names and
+// unsettled epochs 404, idle settles and duplicate claims 409, journal
+// failures 500.
+func writeSettleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownParticipant), errors.Is(err, ErrEpochNotSettled), errors.Is(err, ErrNoShare):
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+	case errors.Is(err, ErrNothingToSettle), errors.Is(err, ErrAlreadyClaimed):
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	}
+}

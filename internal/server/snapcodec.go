@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 
+	"incentivetree/internal/journal"
 	"incentivetree/internal/tree"
 )
 
@@ -20,13 +22,28 @@ import (
 // Layout (integers little-endian, varints canonical):
 //
 //	"ITS1"              4-byte magic
-//	byte                version (1)
+//	byte                version (1, or 2 when settled epochs follow)
 //	uvarint             last_seq
 //	tree payload        tree.AppendBinary (flat arena arrays)
 //	uvarint             number of quarantined names
 //	uvarint + bytes     each quarantined name, in the snapshot's
 //	                    (sorted) order
+//	-- version 2 only --
+//	uvarint             number of settled epochs (>= 1)
+//	per epoch:          uvarint epoch number
+//	                    8-byte LE float64 pool
+//	                    8-byte LE float64 ctotal
+//	                    uvarint share count, then per share
+//	                    uvarint + bytes name, 8-byte LE float64 amount
+//	                    uvarint claimant count, then per claimant
+//	                    uvarint + bytes name (journal arrival order)
+//	-- end version 2 --
 //	4-byte LE uint32    CRC-32C of everything before it
+//
+// A snapshot with no settled epochs is written as version 1, byte for
+// byte what older releases produced; version 2 with zero epochs is
+// rejected as non-canonical. Both keep the codec's decode∘encode
+// identity (FuzzSnapshotRoundTrip).
 //
 // DecodeSnapshot also accepts the JSON form — documents are
 // distinguished by their first byte — so recovery reads snapshots
@@ -35,7 +52,10 @@ import (
 // snapshotMagic marks a binary snapshot file.
 var snapshotMagic = []byte("ITS1")
 
-const snapshotVersion = 1
+const (
+	snapshotVersion       = 1
+	snapshotVersionLedger = 2
+)
 
 var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -52,15 +72,47 @@ func EncodeSnapshotBinary(snap *Snapshot) ([]byte, error) {
 	for _, q := range snap.Quarantined {
 		size += 10 + len(q)
 	}
+	version := byte(snapshotVersion)
+	if len(snap.Epochs) > 0 {
+		version = snapshotVersionLedger
+		for _, se := range snap.Epochs {
+			size += 10 + 8 + 8 + 10 + 10
+			for _, r := range se.Rewards {
+				size += 10 + len(r.Name) + 8
+			}
+			for _, c := range se.Claimed {
+				size += 10 + len(c)
+			}
+		}
+	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, snapshotMagic...)
-	buf = append(buf, snapshotVersion)
+	buf = append(buf, version)
 	buf = binary.AppendUvarint(buf, snap.LastSeq)
 	buf = snap.Tree.AppendBinary(buf)
 	buf = binary.AppendUvarint(buf, uint64(len(snap.Quarantined)))
 	for _, q := range snap.Quarantined {
 		buf = binary.AppendUvarint(buf, uint64(len(q)))
 		buf = append(buf, q...)
+	}
+	if version == snapshotVersionLedger {
+		buf = binary.AppendUvarint(buf, uint64(len(snap.Epochs)))
+		for _, se := range snap.Epochs {
+			buf = binary.AppendUvarint(buf, se.Epoch)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(se.Pool))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(se.CTotal))
+			buf = binary.AppendUvarint(buf, uint64(len(se.Rewards)))
+			for _, r := range se.Rewards {
+				buf = binary.AppendUvarint(buf, uint64(len(r.Name)))
+				buf = append(buf, r.Name...)
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Amount))
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(se.Claimed)))
+			for _, c := range se.Claimed {
+				buf = binary.AppendUvarint(buf, uint64(len(c)))
+				buf = append(buf, c...)
+			}
+		}
 	}
 	crc := crc32.Checksum(buf, snapCastagnoli)
 	buf = binary.LittleEndian.AppendUint32(buf, crc)
@@ -95,8 +147,9 @@ func decodeSnapshotBinary(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrSnapshotCorrupt, got, want)
 	}
 	off := len(snapshotMagic)
-	if body[off] != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, body[off])
+	version := body[off]
+	if version != snapshotVersion && version != snapshotVersionLedger {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, version)
 	}
 	off++
 	lastSeq, err := snapUvarint(body, &off, "last_seq")
@@ -127,10 +180,93 @@ func decodeSnapshotBinary(data []byte) (*Snapshot, error) {
 		quarantined = append(quarantined, string(body[off:off+int(ln)]))
 		off += int(ln)
 	}
+	var epochs []journal.SettledEpoch
+	if version == snapshotVersionLedger {
+		ne, err := snapUvarint(body, &off, "epoch count")
+		if err != nil {
+			return nil, err
+		}
+		if ne == 0 {
+			// The canonical encoding of an empty ledger is version 1;
+			// accepting this shape would break decode∘encode identity.
+			return nil, fmt.Errorf("%w: version 2 snapshot with no epochs", ErrSnapshotCorrupt)
+		}
+		if ne > uint64(len(body)-off) {
+			return nil, fmt.Errorf("%w: epoch count %d overruns input", ErrSnapshotCorrupt, ne)
+		}
+		for i := uint64(0); i < ne; i++ {
+			var se journal.SettledEpoch
+			if se.Epoch, err = snapUvarint(body, &off, "epoch number"); err != nil {
+				return nil, err
+			}
+			if se.Pool, err = snapFloat(body, &off, "epoch pool"); err != nil {
+				return nil, err
+			}
+			if se.CTotal, err = snapFloat(body, &off, "epoch ctotal"); err != nil {
+				return nil, err
+			}
+			ns, err := snapUvarint(body, &off, "share count")
+			if err != nil {
+				return nil, err
+			}
+			if ns > uint64(len(body)-off)/9 {
+				return nil, fmt.Errorf("%w: share count %d overruns input", ErrSnapshotCorrupt, ns)
+			}
+			for j := uint64(0); j < ns; j++ {
+				var r journal.RewardShare
+				if r.Name, err = snapString(body, &off, "share name"); err != nil {
+					return nil, err
+				}
+				if r.Amount, err = snapFloat(body, &off, "share amount"); err != nil {
+					return nil, err
+				}
+				se.Rewards = append(se.Rewards, r)
+			}
+			nc, err := snapUvarint(body, &off, "claimant count")
+			if err != nil {
+				return nil, err
+			}
+			if nc > uint64(len(body)-off) {
+				return nil, fmt.Errorf("%w: claimant count %d overruns input", ErrSnapshotCorrupt, nc)
+			}
+			for j := uint64(0); j < nc; j++ {
+				name, err := snapString(body, &off, "claimant name")
+				if err != nil {
+					return nil, err
+				}
+				se.Claimed = append(se.Claimed, name)
+			}
+			epochs = append(epochs, se)
+		}
+	}
 	if off != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(body)-off)
 	}
-	return &Snapshot{LastSeq: lastSeq, Tree: t, Quarantined: quarantined}, nil
+	return &Snapshot{LastSeq: lastSeq, Tree: t, Quarantined: quarantined, Epochs: epochs}, nil
+}
+
+// snapString reads a length-prefixed string at *off.
+func snapString(body []byte, off *int, what string) (string, error) {
+	ln, err := snapUvarint(body, off, what+" length")
+	if err != nil {
+		return "", err
+	}
+	if ln > uint64(len(body)-*off) {
+		return "", fmt.Errorf("%w: truncated %s", ErrSnapshotCorrupt, what)
+	}
+	s := string(body[*off : *off+int(ln)])
+	*off += int(ln)
+	return s, nil
+}
+
+// snapFloat reads an 8-byte little-endian float64 at *off.
+func snapFloat(body []byte, off *int, what string) (float64, error) {
+	if len(body)-*off < 8 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrSnapshotCorrupt, what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(body[*off:]))
+	*off += 8
+	return v, nil
 }
 
 // snapUvarint reads a canonical uvarint — non-minimal encodings are

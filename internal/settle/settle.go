@@ -1,0 +1,118 @@
+// Package settle implements epoch settlement: the conversion of the
+// continuously-recomputed reward table into immutable per-epoch payout
+// history backed by a budget pool.
+//
+// The paper's budget constraint R(T) ≤ Φ·C(T) is a property of the
+// live reward table; a deployed campaign pays out in epochs. Each
+// epoch accrues a pool of Φ·ΔC — the mechanism share of the
+// contributions collected since the previous settle — plus whatever
+// the previous epoch left unallocated (the carry-over). Settling
+// freezes, per participant, the amount their served reward has grown
+// beyond everything already settled to them, capped so the epoch's
+// grants never exceed its pool. The result is a single journal record
+// (journal.KindSettle); replaying it re-checks the cap, which turns
+// the budget constraint into a ledger invariant every recovery path
+// enforces.
+//
+// Determinism: entries are processed in ascending name order, and the
+// pool is drawn down by sequential subtraction in that same order.
+// Replay (journal.Ledger.ApplySettle) performs the identical
+// subtraction over the record's share order, so the two computations
+// agree bit for bit — there is no independent re-summation that could
+// disagree in the last ulp.
+package settle
+
+import (
+	"math"
+	"sort"
+
+	"incentivetree/internal/journal"
+)
+
+// Entry is one participant's served reward at settlement time. The
+// caller supplies the table as the API serves it — in particular with
+// quarantined subtrees already masked to zero, which is how a
+// quarantine in force at settle time excludes its subtree from the
+// frozen table.
+type Entry struct {
+	Name   string
+	Reward float64
+}
+
+// Input carries the accrual basis for one settlement.
+type Input struct {
+	// Epoch is the epoch number the settle record will carry
+	// (Ledger.NextEpoch()).
+	Epoch uint64
+	// BudgetFrac is the pool accrual fraction: the mechanism's Φ, or
+	// the -epoch-budget override.
+	BudgetFrac float64
+	// CNow is the campaign contribution total C(T) now; CPrev is the
+	// total the previous settle ran up to (0 for the first epoch).
+	CNow, CPrev float64
+	// Carry is what the previous epoch's pool left unallocated
+	// (Ledger.AccrualBasis()).
+	Carry float64
+}
+
+// Stats summarizes a computed settlement.
+type Stats struct {
+	// Pool is the epoch's accrued budget: BudgetFrac·(CNow−CPrev) + Carry.
+	Pool float64
+	// Settled is the sequential sum of the granted shares.
+	Settled float64
+	// Carry is what the pool leaves unallocated for the next epoch.
+	Carry float64
+	// Shares counts granted shares; Capped counts participants whose
+	// grant was reduced or dropped because the pool ran out.
+	Shares, Capped int
+}
+
+// Compute builds the settle record for one epoch. settledOf reports
+// the cumulative amount already settled to a name in prior epochs
+// (Ledger.SettledOf). It returns ok=false when there is nothing to
+// settle — no contribution growth and no grantable delta — in which
+// case no record should be journaled: epochs without activity do not
+// exist, they are skipped, and the would-be pool stays in the accrual
+// basis.
+func Compute(in Input, entries []Entry, settledOf func(string) float64) (journal.Event, Stats, bool) {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	accrued := in.BudgetFrac * (in.CNow - in.CPrev)
+	if !(accrued > 0) { // negative or NaN: accrue nothing
+		accrued = 0
+	}
+	pool := accrued + in.Carry
+	remaining := pool
+	stats := Stats{Pool: pool}
+	var shares []journal.RewardShare
+	for _, e := range sorted {
+		delta := e.Reward - settledOf(e.Name)
+		if !(delta > 0) || math.IsInf(delta, 0) {
+			continue
+		}
+		grant := delta
+		if grant > remaining {
+			grant = remaining
+			stats.Capped++
+		}
+		if !(grant > 0) {
+			continue
+		}
+		// Sequential draw-down: remaining -= grant is the exact loop
+		// replay re-runs over the record, so a grant that empties the
+		// pool leaves remaining at exactly zero on both sides.
+		remaining -= grant
+		stats.Settled += grant
+		shares = append(shares, journal.RewardShare{Name: e.Name, Amount: grant})
+	}
+	stats.Carry = remaining
+	stats.Shares = len(shares)
+	if len(shares) == 0 && in.CNow == in.CPrev {
+		return journal.Event{}, stats, false
+	}
+	ev := journal.Event{Kind: journal.KindSettle, Epoch: in.Epoch, Pool: pool, CTotal: in.CNow, Rewards: shares}
+	return ev, stats, true
+}

@@ -1,0 +1,138 @@
+package settle
+
+import (
+	"math"
+	"testing"
+
+	"incentivetree/internal/journal"
+)
+
+func settledOfMap(m map[string]float64) func(string) float64 {
+	return func(name string) float64 { return m[name] }
+}
+
+func TestComputeGrantsDeltasAscending(t *testing.T) {
+	entries := []Entry{{"carol", 3}, {"alice", 2}, {"bob", 1}}
+	in := Input{Epoch: 1, BudgetFrac: 0.5, CNow: 20, CPrev: 0}
+	ev, stats, ok := Compute(in, entries, settledOfMap(nil))
+	if !ok {
+		t.Fatal("Compute found nothing to settle")
+	}
+	if ev.Kind != journal.KindSettle || ev.Epoch != 1 || ev.Pool != 10 || ev.CTotal != 20 {
+		t.Fatalf("event = %+v", ev)
+	}
+	want := []journal.RewardShare{{Name: "alice", Amount: 2}, {Name: "bob", Amount: 1}, {Name: "carol", Amount: 3}}
+	if len(ev.Rewards) != len(want) {
+		t.Fatalf("shares = %v, want %v", ev.Rewards, want)
+	}
+	for i := range want {
+		if ev.Rewards[i] != want[i] {
+			t.Fatalf("share %d = %v, want %v", i, ev.Rewards[i], want[i])
+		}
+	}
+	if stats.Settled != 6 || stats.Carry != 4 || stats.Capped != 0 || stats.Shares != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := ev.Validate(); err != nil {
+		t.Fatalf("computed event invalid: %v", err)
+	}
+}
+
+func TestComputeCapsAtPool(t *testing.T) {
+	entries := []Entry{{"alice", 6}, {"bob", 7}}
+	in := Input{Epoch: 1, BudgetFrac: 0.1, CNow: 100, CPrev: 0}
+	ev, stats, ok := Compute(in, entries, settledOfMap(nil))
+	if !ok {
+		t.Fatal("Compute found nothing to settle")
+	}
+	// Pool is 10: alice takes her full 6, bob is capped to the 4 left,
+	// and the pool drains to exactly zero.
+	if len(ev.Rewards) != 2 || ev.Rewards[0].Amount != 6 || ev.Rewards[1].Amount != 4 {
+		t.Fatalf("shares = %v", ev.Rewards)
+	}
+	if stats.Capped != 1 || stats.Carry != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// The record must replay cleanly: the budget invariant holds by
+	// construction.
+	l := journal.NewLedger()
+	if err := l.ApplySettle(ev); err != nil {
+		t.Fatalf("computed settle fails replay: %v", err)
+	}
+	if l.CarryOut(1) != 0 {
+		t.Fatalf("replayed carry = %v, want 0", l.CarryOut(1))
+	}
+}
+
+func TestComputeDeltasAgainstSettled(t *testing.T) {
+	settled := map[string]float64{"alice": 2, "bob": 5}
+	entries := []Entry{{"alice", 3.5}, {"bob", 5}, {"carol", 1}}
+	in := Input{Epoch: 2, BudgetFrac: 0.5, CNow: 30, CPrev: 20, Carry: 0.5}
+	ev, stats, ok := Compute(in, entries, settledOfMap(settled))
+	if !ok {
+		t.Fatal("Compute found nothing to settle")
+	}
+	// Pool = 0.5·10 + 0.5 = 5.5. Alice's delta is 1.5, bob's 0 (fully
+	// settled), carol's 1.
+	if stats.Pool != 5.5 {
+		t.Fatalf("pool = %v, want 5.5", stats.Pool)
+	}
+	if len(ev.Rewards) != 2 || ev.Rewards[0] != (journal.RewardShare{Name: "alice", Amount: 1.5}) ||
+		ev.Rewards[1] != (journal.RewardShare{Name: "carol", Amount: 1}) {
+		t.Fatalf("shares = %v", ev.Rewards)
+	}
+	if stats.Carry != 3 {
+		t.Fatalf("carry = %v, want 3", stats.Carry)
+	}
+}
+
+func TestComputeNothingToSettle(t *testing.T) {
+	// No contribution growth, no deltas: skip the epoch entirely.
+	settled := map[string]float64{"alice": 2}
+	if _, _, ok := Compute(Input{Epoch: 2, BudgetFrac: 0.5, CNow: 4, CPrev: 4, Carry: 1},
+		[]Entry{{"alice", 2}}, settledOfMap(settled)); ok {
+		t.Fatal("Compute settled an idle epoch")
+	}
+	// Contribution growth alone settles (the pool must advance even if
+	// every grantable delta is zero — e.g. the growth happened inside a
+	// quarantined subtree).
+	ev, stats, ok := Compute(Input{Epoch: 2, BudgetFrac: 0.5, CNow: 6, CPrev: 4, Carry: 1},
+		[]Entry{{"alice", 2}}, settledOfMap(settled))
+	if !ok {
+		t.Fatal("Compute skipped an epoch with accrual")
+	}
+	if len(ev.Rewards) != 0 || ev.Pool != 2 || stats.Carry != 2 {
+		t.Fatalf("ev = %+v stats = %+v", ev, stats)
+	}
+	// A reward decrease (quarantine imposed after settlement) grants
+	// nothing and never claws back.
+	if _, _, ok := Compute(Input{Epoch: 2, BudgetFrac: 0.5, CNow: 4, CPrev: 4},
+		[]Entry{{"alice", 1}}, settledOfMap(settled)); ok {
+		t.Fatal("Compute settled a clawback")
+	}
+}
+
+func TestComputeSequentialDrainMatchesReplay(t *testing.T) {
+	// Adversarial floats: many irrational-ish deltas against a pool that
+	// cannot hold them all. Whatever Compute emits must replay with the
+	// identical sequential subtraction — no ulp disagreement.
+	entries := make([]Entry, 0, 101)
+	for i := 0; i < 101; i++ {
+		entries = append(entries, Entry{Name: string(rune('a'+i%26)) + string(rune('a'+i/26)), Reward: math.Sqrt(float64(i + 2))})
+	}
+	in := Input{Epoch: 1, BudgetFrac: 0.1, CNow: math.Pi * 100, CPrev: 0}
+	ev, stats, ok := Compute(in, entries, settledOfMap(nil))
+	if !ok {
+		t.Fatal("Compute found nothing to settle")
+	}
+	l := journal.NewLedger()
+	if err := l.ApplySettle(ev); err != nil {
+		t.Fatalf("computed settle fails replay: %v", err)
+	}
+	if got := l.CarryOut(1); got != stats.Carry {
+		t.Fatalf("replay carry %v != compute carry %v", got, stats.Carry)
+	}
+	if got := l.SettledAmount(1); got != stats.Settled {
+		t.Fatalf("replay settled %v != compute settled %v", got, stats.Settled)
+	}
+}

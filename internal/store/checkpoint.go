@@ -19,8 +19,10 @@ import (
 // Run drives the store's background services until ctx is cancelled:
 // every CheckpointInterval it checkpoints campaigns with
 // uncheckpointed events, in between it services size-trigger kicks
-// posted by the HTTP layer when a journal passes CheckpointBytes, and
-// every AuditInterval it runs one incremental audit scan per campaign.
+// posted by the HTTP layer when a journal passes CheckpointBytes,
+// every AuditInterval it runs one incremental audit scan per campaign,
+// and every EpochInterval it settles each campaign's next payout
+// epoch.
 func (st *Store) Run(ctx context.Context) {
 	var tick <-chan time.Time
 	if st.cfg.CheckpointInterval > 0 {
@@ -34,6 +36,12 @@ func (st *Store) Run(ctx context.Context) {
 		defer t.Stop()
 		auditTick = t.C
 	}
+	var epochTick <-chan time.Time
+	if st.cfg.EpochInterval > 0 && !st.cfg.Follower {
+		t := time.NewTicker(st.cfg.EpochInterval)
+		defer t.Stop()
+		epochTick = t.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -42,6 +50,8 @@ func (st *Store) Run(ctx context.Context) {
 			st.CheckpointAll()
 		case <-auditTick:
 			st.AuditAll()
+		case <-epochTick:
+			st.SettleAll()
 		case c := <-st.kick:
 			c.kickMu.Lock()
 			c.kicked = false
@@ -91,6 +101,23 @@ func (st *Store) AuditAll() {
 		if stats := c.auditor.Scan(); stats.Quarantined > 0 {
 			st.maybeKick(c)
 		}
+	}
+}
+
+// SettleAll settles the next payout epoch on every campaign. Idle
+// campaigns (no contribution growth, nothing grantable) are skipped —
+// server.ErrNothingToSettle is the expected steady-state answer, not a
+// failure — so quiet campaigns do not accumulate empty epochs. A
+// settle appends a journal record, so the size trigger is re-checked.
+func (st *Store) SettleAll() {
+	for _, c := range st.List() {
+		if _, err := c.srv.Settle(); err != nil {
+			if !errors.Is(err, server.ErrNothingToSettle) {
+				log.Printf("store: settle %s: %v", c.Meta.ID, err)
+			}
+			continue
+		}
+		st.maybeKick(c)
 	}
 }
 

@@ -96,6 +96,11 @@ func (st *Store) Adopt(meta replica.Meta, snap server.Snapshot) (replica.Applier
 	if st.cfg.Metrics != nil {
 		opts = append(opts, server.WithMetricsLabels(st.cfg.Metrics, "campaign", meta.ID))
 	}
+	if st.cfg.EpochBudget != 0 {
+		// Followers never settle locally, but /v1/epochs reports the
+		// accrual fraction; match the primary's override when configured.
+		opts = append(opts, server.WithEpochBudget(st.cfg.EpochBudget))
+	}
 	c.srv = server.New(mech, opts...)
 	c.handler = c.srv.Handler()
 	if err := c.srv.RestoreState(snap); err != nil {

@@ -115,6 +115,18 @@ type Config struct {
 	// quarantine-grade severity (ε-chains, star bursts). Off, the
 	// auditor only reports; quarantine stays an operator action.
 	AuditQuarantine bool
+	// EpochInterval enables periodic epoch settlement: every period the
+	// store's Run loop settles each campaign's next payout epoch (see
+	// internal/settle), freezing the served reward table into a journal
+	// settle record. Zero or negative disables the ticker (settlement
+	// stays an operator action via POST .../epochs/settle); followers
+	// never settle — the primary's settle records replicate like any
+	// other write.
+	EpochInterval time.Duration
+	// EpochBudget overrides the epoch pool accrual fraction (budget
+	// reserved per unit of new contribution). Zero means each campaign
+	// accrues at its mechanism's own Phi.
+	EpochBudget float64
 	// Metrics, when set, receives the store's gauges/counters and every
 	// campaign's per-campaign domain gauges (labelled campaign="<id>").
 	Metrics *obs.Registry
@@ -474,6 +486,9 @@ func (st *Store) serverOptions(c *Campaign, nextSeq uint64) []server.Option {
 	}
 	if c.Meta.Incremental {
 		opts = append(opts, server.WithIncremental())
+	}
+	if st.cfg.EpochBudget != 0 {
+		opts = append(opts, server.WithEpochBudget(st.cfg.EpochBudget))
 	}
 	if st.cfg.BatchMax >= 0 {
 		opts = append(opts, server.WithBatching(ingest.Options{
