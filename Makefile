@@ -13,14 +13,24 @@ vet:
 	$(GO) vet ./...
 
 # lint builds and runs itreevet, the project-specific static-analysis
-# suite (lockedcall, journalfirst, floatorder, metricname). Findings
-# fail the build; waivers need an inline
+# suite (run `bin/itreevet -list` for the analyzer roster). Findings
+# fail the build unless waived: either an inline
 #   //itreevet:ignore <analyzer> <reason>
-# annotation, and every waiver is counted in the output.
+# annotation, or an entry in the committed vet.baseline.json (for
+# findings that are accepted as-is, like the best-effort directory
+# fsync). Every waiver is counted in the output; a stale baseline
+# entry is reported so the file can be regenerated with
+# `bin/itreevet -write-baseline vet.baseline.json` and the shrink
+# reviewed.
+#
+# bin/itreevet is rebuilt unconditionally: `go build` is cached, so
+# this costs ~nothing when sources are unchanged, and a $(shell find)
+# prerequisite list would go stale on file deletions.
 lint: bin/itreevet
-	bin/itreevet ./...
+	bin/itreevet -baseline vet.baseline.json
 
-bin/itreevet: $(shell find cmd/itreevet internal/vet -name '*.go' -not -path '*/testdata/*') go.mod
+.PHONY: bin/itreevet
+bin/itreevet:
 	$(GO) build -o bin/itreevet ./cmd/itreevet
 
 # fmtcheck fails if any tracked Go file is not gofmt-clean.

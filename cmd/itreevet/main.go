@@ -1,6 +1,12 @@
-// Command itreevet is the repo's static-analysis suite: five
+// Command itreevet is the repo's static-analysis suite: nine
 // project-specific analyzers that mechanically enforce invariants the
-// codebase otherwise holds only by convention.
+// codebase otherwise holds only by convention. The first five are
+// per-function AST checks; the last four run on the shared
+// cross-package dataflow layer (module call graph + CFG) under
+// internal/vet. Run -list for the authoritative one-line docs —
+// they are sourced from each Analyzer struct, so the suite stays
+// self-describing (the tenth name, itreevet itself, reports malformed
+// suppression annotations).
 //
 //	lockedcall    *Locked methods are called only under the
 //	              receiver's mutex and never lock it themselves
@@ -12,14 +18,32 @@
 //	              and unique module-wide
 //	arenaindex    arena node indices stay int32: NodeID declarations,
 //	              tree's exported API, widening/truncating conversions
+//	lockorder     the module-wide mutex acquisition graph is acyclic
+//	              (any cycle is a potential deadlock)
+//	followerwrite follower-served GET routes never reach journal
+//	              appends, ledger applies, or tree mutation
+//	errflow       errors from journal appends/syncs/ledger applies
+//	              propagate to a return, store, or read on every path
+//	httpcontract  handler error paths emit the canonical JSON body
+//	              with a named status; no http.Error, no double write
 //
 // Usage:
 //
-//	itreevet [-json] [-list] [packages]
+//	itreevet [-json] [-list] [-baseline file] [-write-baseline file] [packages]
 //
 // The whole module is always loaded (analysis is module-wide); naming
 // package directories restricts which packages findings are reported
 // for. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// With -baseline, findings are diffed against the committed baseline
+// (vet.baseline.json): only findings absent from it fail the run, so
+// CI gates on regressions while reviewed waivers stay auditable in
+// version control. Entries key on analyzer, file, and message — not
+// line numbers — so unrelated edits don't invalidate them; entries no
+// finding matches anymore are reported as stale (fix: regenerate with
+// -write-baseline and review the shrink). Baseline diffing is always
+// module-wide: package arguments are ignored when -baseline or
+// -write-baseline is given.
 //
 // Findings can be suppressed — visibly — with an inline annotation on
 // the offending line or the line above:
@@ -41,9 +65,13 @@ import (
 
 	"incentivetree/internal/vet"
 	"incentivetree/internal/vet/arenaindex"
+	"incentivetree/internal/vet/errflow"
 	"incentivetree/internal/vet/floatorder"
+	"incentivetree/internal/vet/followerwrite"
+	"incentivetree/internal/vet/httpcontract"
 	"incentivetree/internal/vet/journalfirst"
 	"incentivetree/internal/vet/lockedcall"
+	"incentivetree/internal/vet/lockorder"
 	"incentivetree/internal/vet/metricname"
 )
 
@@ -61,11 +89,15 @@ type jsonFinding struct {
 	Reason   string `json:"reason,omitempty"` // suppressions only
 }
 
-// jsonReport is the -json output document.
+// jsonReport is the -json output document. The baseline fields are
+// populated only when -baseline is given.
 type jsonReport struct {
-	Findings        []jsonFinding  `json:"findings"`
-	Suppressed      []jsonFinding  `json:"suppressed"`
-	SuppressedCount map[string]int `json:"suppressed_count"`
+	Findings        []jsonFinding       `json:"findings"`
+	Suppressed      []jsonFinding       `json:"suppressed"`
+	SuppressedCount map[string]int      `json:"suppressed_count"`
+	New             []jsonFinding       `json:"new,omitempty"`
+	Baselined       []jsonFinding       `json:"baselined,omitempty"`
+	Stale           []vet.BaselineEntry `json:"stale,omitempty"`
 }
 
 func run(args []string, stdout, stderr *os.File) int {
@@ -73,6 +105,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit machine-readable findings (and suppressions) as JSON")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	baselinePath := fs.String("baseline", "", "diff findings against this baseline file: only findings absent from it fail the run")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,11 +117,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		floatorder.New(),
 		metricname.New(),
 		arenaindex.New(),
+		lockorder.New(),
+		followerwrite.New(),
+		errflow.New(),
+		httpcontract.New(),
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stdout, "%-13s %s\n", "itreevet", "suppression annotations are well-formed: //itreevet:ignore <analyzer> <reason>")
 		return 0
 	}
 
@@ -102,8 +141,37 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	res := vet.Run(fset, pkgs, analyzers)
-	res.Findings = filterScope(res.Findings, root, fs.Args())
-	res.Suppressed = filterScope(res.Suppressed, root, fs.Args())
+	rel := func(path string) string { return filepath.ToSlash(relPath(root, path)) }
+
+	if *writeBaseline != "" {
+		b := vet.BaselineFromFindings(res.Findings, rel)
+		if err := b.Write(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, "itreevet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "itreevet: wrote %d finding(s) to %s\n", len(b.Entries), *writeBaseline)
+		return 0
+	}
+
+	// Baseline diffing is module-wide; the package-scope filter only
+	// applies to plain runs.
+	var (
+		news      = res.Findings
+		baselined []vet.Diagnostic
+		stale     []vet.BaselineEntry
+	)
+	if *baselinePath != "" {
+		b, err := vet.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "itreevet:", err)
+			return 2
+		}
+		news, baselined, stale = b.Diff(res.Findings, rel)
+	} else {
+		res.Findings = filterScope(res.Findings, root, fs.Args())
+		res.Suppressed = filterScope(res.Suppressed, root, fs.Args())
+		news = res.Findings
+	}
 
 	if *asJSON {
 		rep := jsonReport{
@@ -118,6 +186,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			rep.Suppressed = append(rep.Suppressed, toJSON(root, d))
 			rep.SuppressedCount[d.Analyzer]++
 		}
+		if *baselinePath != "" {
+			for _, d := range news {
+				rep.New = append(rep.New, toJSON(root, d))
+			}
+			for _, d := range baselined {
+				rep.Baselined = append(rep.Baselined, toJSON(root, d))
+			}
+			rep.Stale = stale
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -125,8 +202,14 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 	} else {
-		for _, d := range res.Findings {
+		for _, d := range news {
 			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		if *baselinePath != "" && len(baselined) > 0 {
+			fmt.Fprintf(stderr, "itreevet: %d finding(s) waived by baseline %s\n", len(baselined), *baselinePath)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "itreevet: stale baseline entry (no matching finding): %s [%s] %s\n", e.File, e.Analyzer, e.Message)
 		}
 		if len(res.Suppressed) > 0 {
 			counts := map[string]int{}
@@ -145,9 +228,13 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "itreevet: %d finding(s) suppressed by //itreevet:ignore (%s)\n", len(res.Suppressed), strings.Join(parts, ", "))
 		}
 	}
-	if len(res.Findings) > 0 {
+	if len(news) > 0 {
 		if !*asJSON {
-			fmt.Fprintf(stderr, "itreevet: %d finding(s)\n", len(res.Findings))
+			if *baselinePath != "" {
+				fmt.Fprintf(stderr, "itreevet: %d new finding(s) not in baseline\n", len(news))
+			} else {
+				fmt.Fprintf(stderr, "itreevet: %d finding(s)\n", len(news))
+			}
 		}
 		return 1
 	}

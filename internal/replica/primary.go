@@ -191,6 +191,7 @@ func (s *journalStream) sendHeader() {
 	}
 	s.w.Header().Set(HeaderCommittedSeq, strconv.FormatUint(s.c.LastSeq(), 10))
 	s.w.Header().Set("Content-Type", "application/x-ndjson")
+	//itreevet:ignore httpcontract streaming NDJSON response, not a JSON error; the s.enc guard makes the commit idempotent
 	s.w.WriteHeader(http.StatusOK)
 	s.enc = journal.NewEncoder(s.w)
 }
@@ -231,6 +232,7 @@ func (s *journalStream) scan() (stop bool) {
 			// ends and the follower's next poll gets the 410.
 			if s.enc == nil {
 				s.pub.mGapResponses.Inc()
+				//itreevet:ignore httpcontract the enc==nil guard proves headers are not out on this path
 				writeJSON(s.w, http.StatusGone, gapResponse{
 					Error:           fmt.Sprintf("records at seq %d were compacted; snapshot required", s.next),
 					CheckpointedSeq: s.c.CheckpointedSeq(),
@@ -238,7 +240,7 @@ func (s *journalStream) scan() (stop bool) {
 			}
 			return true
 		}
-		s.sendHeader()
+		s.sendHeader() //itreevet:ignore httpcontract idempotent: sendHeader returns early once s.enc is set
 		// Re-encode in the mode the record had on disk, so the bytes a
 		// follower hashes equal the bytes in this file.
 		s.enc.SetMode(dec.Mode())
@@ -259,6 +261,7 @@ func (s *journalStream) scan() (stop bool) {
 func (s *journalStream) run(ctx context.Context, deadline time.Time) {
 	lastBeat := time.Now()
 	for ctx.Err() == nil {
+		//itreevet:ignore httpcontract scan only writes through the idempotent sendHeader or the enc==nil-guarded 410
 		if stop := s.scan(); stop {
 			return
 		}
@@ -270,7 +273,7 @@ func (s *journalStream) run(ctx context.Context, deadline time.Time) {
 		}
 		// Hold for the first record. Headers go out now so heartbeats
 		// can flow and intermediaries keep the connection open.
-		s.sendHeader()
+		s.sendHeader() //itreevet:ignore httpcontract idempotent: sendHeader returns early once s.enc is set
 		if time.Since(lastBeat) >= heartbeatEvery {
 			if s.enc.Heartbeat() != nil {
 				return
@@ -297,6 +300,7 @@ func (s *journalStream) run(ctx context.Context, deadline time.Time) {
 			}
 		}
 	}
-	s.sendHeader() // an empty hold still answers 200 with the committed seq
+	//itreevet:ignore httpcontract an empty hold still answers 200 with the committed seq; idempotent via the s.enc guard
+	s.sendHeader()
 	s.flush()
 }

@@ -103,6 +103,48 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// CalleeName returns the bare name a call invokes (the Sel for method
+// and package-qualified calls), or "" for indirect calls through
+// non-identifier expressions.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// ReceiverObject resolves the object at the root of a method call's
+// receiver chain (`s` for s.tree.Add(...)), or nil when the call has
+// no selector or the chain is rooted in a call or literal.
+func ReceiverObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id := RootIdent(sel.X)
+	if id == nil {
+		return nil
+	}
+	return ObjectOf(info, id)
+}
+
+// DeclReceiver returns the object of a method declaration's receiver
+// identifier, or nil for plain functions and anonymous receivers.
+func DeclReceiver(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
 // IsFloat reports whether t's underlying type is a floating-point
 // basic type.
 func IsFloat(t types.Type) bool {

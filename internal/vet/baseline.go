@@ -1,0 +1,99 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed ledger of reviewed findings
+// (vet.baseline.json at the module root): the driver diffs a run's
+// findings against it so new findings fail CI while waived ones stay
+// auditable in version control. Entries key on analyzer, module-
+// relative file, and message — deliberately not on line numbers, so
+// unrelated edits that shift a waived finding up or down the file do
+// not invalidate the waiver.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies one waived finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("vet: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline, entries sorted for stable diffs.
+func (b *Baseline) Write(path string) error {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineFromFindings builds a baseline covering every finding. rel
+// maps absolute diagnostic paths to module-relative ones.
+func BaselineFromFindings(findings []Diagnostic, rel func(string) string) *Baseline {
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for _, d := range findings {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     rel(d.Pos.Filename),
+			Message:  d.Message,
+		})
+	}
+	return b
+}
+
+// Diff splits findings into new ones (absent from the baseline) and
+// baselined ones, and returns the stale entries no finding matched.
+// Matching is multiset: two identical findings need two entries, so a
+// waived pattern cannot silently multiply.
+func (b *Baseline) Diff(findings []Diagnostic, rel func(string) string) (news, baselined []Diagnostic, stale []BaselineEntry) {
+	remaining := make(map[BaselineEntry]int)
+	for _, e := range b.Entries {
+		remaining[e]++
+	}
+	for _, d := range findings {
+		key := BaselineEntry{Analyzer: d.Analyzer, File: rel(d.Pos.Filename), Message: d.Message}
+		if remaining[key] > 0 {
+			remaining[key]--
+			baselined = append(baselined, d)
+			continue
+		}
+		news = append(news, d)
+	}
+	for _, e := range b.Entries {
+		if remaining[e] > 0 {
+			remaining[e]--
+			stale = append(stale, e)
+		}
+	}
+	return news, baselined, stale
+}

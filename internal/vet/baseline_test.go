@@ -1,0 +1,110 @@
+package vet
+
+import (
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func diag(analyzer, file, msg string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Message:  msg,
+		Pos:      token.Position{Filename: "/mod/" + file, Line: line, Column: 1},
+	}
+}
+
+func relTo(root string) func(string) string {
+	return func(path string) string {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return path
+		}
+		return filepath.ToSlash(rel)
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "errflow", File: "internal/journal/file.go", Message: "sync error dropped"},
+		{Analyzer: "httpcontract", File: "internal/replica/primary.go", Message: "double write"},
+	}}
+	findings := []Diagnostic{
+		// Matches the first entry even though the line moved: entries key
+		// on (analyzer, file, message), not position.
+		diag("errflow", "internal/journal/file.go", "sync error dropped", 999),
+		// A regression: same analyzer and file, different message.
+		diag("errflow", "internal/journal/file.go", "append error dropped", 12),
+		// A regression in a file with no entries at all.
+		diag("lockorder", "internal/server/server.go", "lock acquisition cycle", 40),
+	}
+	news, baselined, stale := b.Diff(findings, relTo("/mod"))
+
+	if len(baselined) != 1 || baselined[0].Message != "sync error dropped" {
+		t.Fatalf("baselined = %+v, want the moved sync-error finding", baselined)
+	}
+	if len(news) != 2 {
+		t.Fatalf("news = %+v, want the two regressions", news)
+	}
+	if news[0].Message != "append error dropped" || news[1].Message != "lock acquisition cycle" {
+		t.Fatalf("news = %+v: wrong findings flagged as regressions", news)
+	}
+	// The httpcontract entry matched nothing: it must surface as stale so
+	// the baseline can be regenerated and the shrink reviewed.
+	wantStale := []BaselineEntry{{Analyzer: "httpcontract", File: "internal/replica/primary.go", Message: "double write"}}
+	if !reflect.DeepEqual(stale, wantStale) {
+		t.Fatalf("stale = %+v, want %+v", stale, wantStale)
+	}
+}
+
+func TestBaselineDiffMultiset(t *testing.T) {
+	// One entry waives exactly one occurrence: a waived pattern cannot
+	// silently multiply.
+	b := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "errflow", File: "a.go", Message: "dropped"},
+	}}
+	findings := []Diagnostic{
+		diag("errflow", "a.go", "dropped", 10),
+		diag("errflow", "a.go", "dropped", 20),
+	}
+	news, baselined, stale := b.Diff(findings, relTo("/mod"))
+	if len(baselined) != 1 || len(news) != 1 || len(stale) != 0 {
+		t.Fatalf("got %d baselined, %d new, %d stale; want 1, 1, 0", len(baselined), len(news), len(stale))
+	}
+
+	// Two identical entries waive two identical findings.
+	b.Entries = append(b.Entries, b.Entries[0])
+	news, baselined, stale = b.Diff(findings, relTo("/mod"))
+	if len(baselined) != 2 || len(news) != 0 || len(stale) != 0 {
+		t.Fatalf("got %d baselined, %d new, %d stale; want 2, 0, 0", len(baselined), len(news), len(stale))
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet.baseline.json")
+	b := BaselineFromFindings([]Diagnostic{
+		diag("zeta", "z.go", "m2", 3),
+		diag("alpha", "a.go", "m1", 1),
+	}, relTo("/mod"))
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BaselineEntry{
+		{Analyzer: "alpha", File: "a.go", Message: "m1"},
+		{Analyzer: "zeta", File: "z.go", Message: "m2"},
+	}
+	if !reflect.DeepEqual(got.Entries, want) {
+		t.Fatalf("round trip: got %+v, want %+v (sorted)", got.Entries, want)
+	}
+
+	// An empty diff against the committed state is the CI green path.
+	news, _, _ := got.Diff([]Diagnostic{diag("alpha", "a.go", "m1", 99), diag("zeta", "z.go", "m2", 1)}, relTo("/mod"))
+	if len(news) != 0 {
+		t.Fatalf("clean run against own baseline produced regressions: %+v", news)
+	}
+}

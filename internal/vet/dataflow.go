@@ -1,0 +1,194 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The must-check-error walk: given a call whose results include an
+// error the module requires callers to act on (journal appends, syncs,
+// ledger applies), classify what actually happens to that error by
+// following it forward through the function's CFG. The verdicts cover
+// the loss modes errflow reports: blank assignment, wholesale discard,
+// overwrite-before-read, and branch-local loss where one path out of
+// the function never looks at the value.
+
+// ErrVerdict classifies the fate of one tracked error value.
+type ErrVerdict int
+
+const (
+	// ErrOK: the error is consumed — returned, passed to another call,
+	// stored into a field, or read on every path out of the function.
+	ErrOK ErrVerdict = iota
+	// ErrBlank: the error result is assigned to the blank identifier.
+	ErrBlank
+	// ErrDiscarded: the call's results are not bound at all.
+	ErrDiscarded
+	// ErrOverwritten: the variable is reassigned before any read.
+	ErrOverwritten
+	// ErrLost: some path reaches the function exit without reading the
+	// error (branch-local loss).
+	ErrLost
+)
+
+// ErrFlow is the outcome of tracking one error-producing call.
+type ErrFlow struct {
+	Verdict ErrVerdict
+	// Obj is the variable the error was bound to; nil for
+	// Blank/Discarded and for subexpression consumption.
+	Obj *types.Var
+	// Site is the evidence: the binding statement for Blank/Discarded
+	// and Lost, the clobbering statement for Overwritten.
+	Site ast.Node
+	// Reads lists the first reading node of each explored path, in
+	// deterministic order, when the verdict is ErrOK with a tracked
+	// variable. Analyzers judge from these whether the read acts on the
+	// error (an `if err != nil` that does nothing is still a read).
+	Reads []ast.Node
+}
+
+// CheckErrFlow tracks the error produced at result position errIndex
+// of call through cfg. The call must belong to the function body cfg
+// was built from (and must not sit inside a nested function literal —
+// build the literal's own CFG for those).
+func CheckErrFlow(info *types.Info, cfg *CFG, call *ast.CallExpr, errIndex int) ErrFlow {
+	blk, idx, stmt := cfg.find(call)
+	if stmt == nil {
+		return ErrFlow{Verdict: ErrOK}
+	}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		// Only the form binding this call's results directly; a call
+		// nested deeper in the RHS has its value consumed by the
+		// surrounding expression.
+		if len(s.Rhs) != 1 || ast.Unparen(s.Rhs[0]) != call || errIndex >= len(s.Lhs) {
+			return ErrFlow{Verdict: ErrOK}
+		}
+		id, ok := ast.Unparen(s.Lhs[errIndex]).(*ast.Ident)
+		if !ok {
+			// Stored into a field, map, or slice element: kept alive
+			// beyond this function's control flow.
+			return ErrFlow{Verdict: ErrOK}
+		}
+		if id.Name == "_" {
+			return ErrFlow{Verdict: ErrBlank, Site: s}
+		}
+		obj, _ := ObjectOf(info, id).(*types.Var)
+		if obj == nil {
+			return ErrFlow{Verdict: ErrOK}
+		}
+		return trackForward(info, cfg, blk, idx+1, obj, s)
+	case *ast.ExprStmt:
+		if ast.Unparen(s.X) == call {
+			return ErrFlow{Verdict: ErrDiscarded, Site: s}
+		}
+		return ErrFlow{Verdict: ErrOK}
+	default:
+		// Return statement, condition, argument position: consumed.
+		return ErrFlow{Verdict: ErrOK}
+	}
+}
+
+// find locates the block and node index whose node contains n (by
+// position; block nodes are disjoint, so at most one matches).
+func (c *CFG) find(n ast.Node) (*Block, int, ast.Node) {
+	for _, b := range c.Blocks {
+		for i, nd := range b.Nodes {
+			if nd.Pos() <= n.Pos() && n.End() <= nd.End() {
+				return b, i, nd
+			}
+		}
+	}
+	return nil, 0, nil
+}
+
+// trackForward explores every path from just after the binding,
+// stopping each path at its first read and failing fast on a clobber
+// or on reaching Exit unread. Blocks are visited at most once (the
+// walk is monotone: a block's first visit explores its full suffix),
+// keeping the walk linear; loops re-entering the origin block are
+// treated as converged rather than re-scanned.
+func trackForward(info *types.Info, cfg *CFG, blk *Block, from int, obj *types.Var, origin ast.Node) ErrFlow {
+	flow := ErrFlow{Verdict: ErrOK, Obj: obj}
+	visited := map[*Block]bool{blk: true}
+	var walk func(b *Block, i int) bool // false = finding recorded, stop
+	walk = func(b *Block, i int) bool {
+		for ; i < len(b.Nodes); i++ {
+			read, kill := useOf(info, b.Nodes[i], obj)
+			if read != nil {
+				flow.Reads = append(flow.Reads, read)
+				return true
+			}
+			if kill != nil {
+				flow.Verdict = ErrOverwritten
+				flow.Site = kill
+				return false
+			}
+		}
+		if b == cfg.Exit {
+			flow.Verdict = ErrLost
+			flow.Site = origin
+			return false
+		}
+		for _, s := range b.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if !walk(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(blk, from)
+	return flow
+}
+
+// useOf classifies node n with respect to obj: a read (any appearance
+// outside a pure store target, closures included — a capturing literal
+// keeps the value reachable), a kill (plain reassignment whose RHS
+// does not mention obj), or neither.
+func useOf(info *types.Info, n ast.Node, obj *types.Var) (read, kill ast.Node) {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		target := false
+		for _, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && ObjectOf(info, id) == obj {
+				target = true
+			}
+		}
+		if target {
+			// err = fmt.Errorf("...: %w", err) and op-assignments read
+			// the old value before storing.
+			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				return as, nil
+			}
+			for _, r := range as.Rhs {
+				if mentions(info, r, obj) {
+					return as, nil
+				}
+			}
+			return nil, as
+		}
+	}
+	if mentions(info, n, obj) {
+		return n, nil
+	}
+	return nil, nil
+}
+
+// mentions reports whether obj appears anywhere in n.
+func mentions(info *types.Info, n ast.Node, obj *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && ObjectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/errflow"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestErrFlow(t *testing.T) {
+	vettest.Run(t, "testdata", errflow.New)
+}

@@ -1,0 +1,12 @@
+package followerwrite_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/followerwrite"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestFollowerWrite(t *testing.T) {
+	vettest.Run(t, "testdata", followerwrite.New)
+}

@@ -1,0 +1,59 @@
+// Fixture: a server whose GET routes are follower-served. Reads are
+// fine; a direct journal append, a transitive tree mutation, and a
+// conversion-wrapped handler that appends are findings. POST routes
+// are primary-only and may write.
+package server
+
+import (
+	"journal"
+	"tree"
+)
+
+type mux struct{}
+
+func (m *mux) HandleFunc(pattern string, h func()) {}
+
+func (m *mux) Handle(pattern string, h handler) {}
+
+type handler func()
+
+type Server struct {
+	jw *journal.Writer
+	t  *tree.Tree
+}
+
+func (s *Server) Routes() {
+	m := &mux{}
+	m.HandleFunc("GET /v1/size", s.handleSize)
+	m.HandleFunc("GET /v1/touch", s.handleTouch)          // want `follower-served route "GET /v1/touch" handler server.Server.handleTouch can reach journal.Writer.Append \(journal append\)`
+	m.HandleFunc("GET /v1/bump", s.handleBump)            // want `follower-served route "GET /v1/bump" handler server.Server.handleBump can reach tree.Tree.SetContribution \(tree mutation\): via server.Server.handleBump → server.Server.bump → tree.Tree.SetContribution`
+	m.Handle("GET /v1/wrapped", handler(s.handleWrapped)) // want `follower-served route "GET /v1/wrapped" handler server.Server.handleWrapped can reach journal.Writer.Append \(journal append\)`
+	m.HandleFunc("POST /v1/join", s.handleJoin)
+}
+
+func (s *Server) handleSize() {
+	_ = s.t.Size()
+}
+
+func (s *Server) handleTouch() {
+	s.jw.Append(journal.Event{Name: "touch"})
+}
+
+func (s *Server) handleBump() {
+	s.bump("k")
+}
+
+func (s *Server) bump(key string) {
+	s.t.SetContribution(key, s.t.Contribution(key)+1)
+}
+
+func (s *Server) handleWrapped() {
+	s.jw.Append(journal.Event{Name: "wrapped"})
+}
+
+func (s *Server) handleJoin() {
+	if _, err := s.jw.Append(journal.Event{Name: "join"}); err != nil {
+		return
+	}
+	_ = s.t.Add("k")
+}

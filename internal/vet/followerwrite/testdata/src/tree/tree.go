@@ -1,0 +1,26 @@
+// Package tree is a stub with the real tree package's name, type, and
+// mutator shapes.
+package tree
+
+type Tree struct {
+	contrib map[string]float64
+}
+
+func New() *Tree {
+	return &Tree{contrib: make(map[string]float64)}
+}
+
+func (t *Tree) Add(key string) error {
+	t.contrib[key] = 0
+	return nil
+}
+
+func (t *Tree) SetContribution(key string, v float64) {
+	t.contrib[key] = v
+}
+
+func (t *Tree) Contribution(key string) float64 {
+	return t.contrib[key]
+}
+
+func (t *Tree) Size() int { return len(t.contrib) }

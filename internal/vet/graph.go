@@ -1,0 +1,250 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Graph is the module-wide call graph over the loaded (type-checked)
+// packages: one node per declared function or method, with edges for
+// every statically resolvable call and for every function-value
+// reference (a method value passed to HandleFunc, a func assigned to a
+// field). Calls made inside function literals are attributed to the
+// enclosing declaration as Ref edges — a closure carries its creator's
+// obligations as far as reachability is concerned (the conservative
+// direction for followerwrite), but it runs on its own schedule, so
+// synchronous-fact fixpoints must not absorb its effects.
+//
+// The graph is deterministic: Funcs returns nodes in (package import
+// path, file, declaration) order and every node's edges are in source
+// order, so analyses built on it report findings stably.
+type Graph struct {
+	fset  *token.FileSet
+	funcs map[*types.Func]*FuncInfo
+	order []*FuncInfo
+}
+
+// FuncInfo is one declared function or method.
+type FuncInfo struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Edges holds this function's outgoing calls and references in
+	// source order.
+	Edges []*Edge
+	// Callers holds every edge whose Callee is this function.
+	Callers []*Edge
+}
+
+// Edge is one call site or function-value reference.
+type Edge struct {
+	Caller *FuncInfo
+	Callee *FuncInfo
+	// Site is the *ast.CallExpr for direct calls, or the referencing
+	// expression for value references.
+	Site ast.Node
+	// Ref marks an edge whose callee runs on its own schedule rather
+	// than synchronously inside the caller: a function-value reference
+	// (the function escapes as a value and may be invoked later,
+	// elsewhere) or a go-statement launch. Reachability analyses
+	// (followerwrite) follow Ref edges; synchronous-fact fixpoints
+	// (may-hold-lock, may-write-header) must not.
+	Ref bool
+}
+
+// NewGraph builds the call graph of the loaded packages. pkgs must be
+// the module's type-checked package set (any order; the graph resolves
+// cross-package edges through the shared type information).
+func NewGraph(fset *token.FileSet, pkgs []*Package) *Graph {
+	g := &Graph{fset: fset, funcs: make(map[*types.Func]*FuncInfo)}
+
+	// Deterministic node order regardless of the caller's pkgs order.
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	// Pass 1: declare every function.
+	for _, p := range sorted {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Func: fn, Decl: fd, Pkg: p}
+				g.funcs[fn] = fi
+				g.order = append(g.order, fi)
+			}
+		}
+	}
+
+	// Pass 2: edges. Calls resolve through CalleeFunc; any other use of
+	// an identifier bound to a module function becomes a Ref edge.
+	for _, fi := range g.order {
+		info := fi.Pkg.Info
+		// Calls that run on their own schedule: go-launched, or textually
+		// inside a function literal (the closure is attributed to this
+		// declaration but executes whenever its value is invoked).
+		async := make(map[ast.Node]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				async[x.Call] = true
+			case *ast.FuncLit:
+				ast.Inspect(x.Body, func(m ast.Node) bool {
+					if m != nil {
+						async[m] = true
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+		callFuns := make(map[ast.Expr]bool) // Fun expressions already consumed by a call edge
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if x, ok := n.(*ast.CallExpr); ok {
+				callFuns[ast.Unparen(x.Fun)] = true
+				if callee := CalleeFunc(info, x); callee != nil {
+					if ti := g.funcs[callee]; ti != nil {
+						g.addEdge(fi, ti, x, async[x])
+					}
+				}
+			}
+			return true
+		})
+		g.refWalk(fi, info, callFuns, fi.Decl.Body)
+		g.finishEdges(fi)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to *FuncInfo, site ast.Node, ref bool) {
+	e := &Edge{Caller: from, Callee: to, Site: site, Ref: ref}
+	from.Edges = append(from.Edges, e)
+}
+
+// refWalk records function-value reference edges: selector or plain
+// identifier uses of module functions outside call position. The Sel
+// identifier of a handled SelectorExpr is skipped (it resolves to the
+// same object the selector already reported).
+func (g *Graph) refWalk(fi *FuncInfo, info *types.Info, callFuns map[ast.Expr]bool, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			var obj types.Object
+			if sel, ok := info.Selections[x]; ok {
+				obj = sel.Obj() // method value s.handler
+			} else {
+				obj = ObjectOf(info, x.Sel) // package-qualified pkg.Func
+			}
+			if fn, ok := obj.(*types.Func); ok && !callFuns[ast.Expr(x)] {
+				if ti := g.funcs[fn]; ti != nil {
+					g.addEdge(fi, ti, x, true)
+				}
+			}
+			g.refWalk(fi, info, callFuns, x.X)
+			return false
+		case *ast.Ident:
+			if fn, ok := info.Uses[x].(*types.Func); ok && !callFuns[ast.Expr(x)] {
+				if ti := g.funcs[fn]; ti != nil {
+					g.addEdge(fi, ti, x, true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// finishEdges orders a node's edges by source position (deterministic
+// traversal across the interleaved call and reference passes) and
+// links reverse edges.
+func (g *Graph) finishEdges(fi *FuncInfo) {
+	sort.SliceStable(fi.Edges, func(i, j int) bool { return fi.Edges[i].Site.Pos() < fi.Edges[j].Site.Pos() })
+	for _, e := range fi.Edges {
+		e.Callee.Callers = append(e.Callee.Callers, e)
+	}
+}
+
+// Funcs returns every declared function in deterministic order.
+func (g *Graph) Funcs() []*FuncInfo { return g.order }
+
+// Lookup returns the node for fn, or nil when fn is not declared in
+// the loaded packages (stdlib, interface methods).
+func (g *Graph) Lookup(fn *types.Func) *FuncInfo { return g.funcs[fn] }
+
+// Reachable computes the set of functions reachable from roots along
+// edges admitted by follow (nil follows every edge, including value
+// references). Roots are included.
+func (g *Graph) Reachable(roots []*FuncInfo, follow func(*Edge) bool) map[*FuncInfo]bool {
+	seen := make(map[*FuncInfo]bool)
+	var stack []*FuncInfo
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range fi.Edges {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// Path returns a shortest edge path from from to to along edges
+// admitted by follow (nil = all), or nil when to is unreachable. The
+// search is breadth-first over deterministic edge order, so the path
+// is stable across runs.
+func (g *Graph) Path(from, to *FuncInfo, follow func(*Edge) bool) []*Edge {
+	if from == nil || to == nil {
+		return nil
+	}
+	if from == to {
+		return []*Edge{}
+	}
+	prev := make(map[*FuncInfo]*Edge)
+	queue := []*FuncInfo{from}
+	seen := map[*FuncInfo]bool{from: true}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, e := range fi.Edges {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			prev[e.Callee] = e
+			if e.Callee == to {
+				var path []*Edge
+				for n := to; n != from; n = prev[n].Caller {
+					path = append(path, prev[n])
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return nil
+}

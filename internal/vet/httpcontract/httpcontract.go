@@ -1,0 +1,256 @@
+// Package httpcontract pins the module's HTTP error contract: every
+// status an endpoint emits goes through the canonical JSON helper
+// (writeJSON, which pairs the code with a JSON body) with a named
+// status constant. Three shapes break the contract and are findings:
+//
+//  1. http.Error — a text/plain body where clients expect
+//     errorResponse JSON;
+//  2. a naked ResponseWriter.WriteHeader outside the canonical helper
+//     (or an implementation of WriteHeader itself) — the status is
+//     sent without the JSON error body;
+//  3. writing the header twice on one control-flow path — a
+//     writeJSON/WriteHeader that may execute after an earlier one
+//     already committed the status (the classic missing-return after
+//     an error write). This check is CFG-based, with may-write-header
+//     facts propagated through the call graph so helper functions
+//     like writeOpError count as writes at their call sites.
+//
+// Status arguments to WriteHeader and writeJSON must not be bare
+// integer literals: named constants (http.StatusX or a module
+// constant) keep the registered status surface greppable.
+package httpcontract
+
+import (
+	"go/ast"
+	"go/types"
+
+	"incentivetree/internal/vet"
+)
+
+// New returns a fresh analyzer instance.
+func New() *vet.Analyzer {
+	var writers map[*vet.FuncInfo]bool
+	return &vet.Analyzer{
+		Name: "httpcontract",
+		Doc:  "handler error paths emit the canonical JSON body with a named status constant: no http.Error, no naked or double WriteHeader",
+		Run: func(pass *vet.Pass) {
+			if writers == nil {
+				writers = mayWriteHeader(pass.Graph)
+			}
+			run(pass, writers)
+		},
+	}
+}
+
+// mayWriteHeader computes the functions that may commit a response
+// status, directly or through module calls, by fixpoint over the call
+// graph (call edges only: referencing a handler value does not write,
+// and a closure writes when it runs, not when its creator returns it).
+func mayWriteHeader(graph *vet.Graph) map[*vet.FuncInfo]bool {
+	writers := make(map[*vet.FuncInfo]bool)
+	for _, fi := range graph.Funcs() {
+		direct := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // runs on its own schedule
+			}
+			if call, ok := n.(*ast.CallExpr); ok && directHeaderWrite(fi.Pkg.Info, call) {
+				direct = true
+			}
+			return true
+		})
+		if direct {
+			writers[fi] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range graph.Funcs() {
+			if writers[fi] {
+				continue
+			}
+			for _, e := range fi.Edges {
+				if !e.Ref && writers[e.Callee] {
+					writers[fi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return writers
+}
+
+// directHeaderWrite reports whether call itself commits a status:
+// ResponseWriter.WriteHeader, or one of net/http's header-committing
+// helpers.
+func directHeaderWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "WriteHeader":
+		return isResponseWriter(info, sel.X)
+	case "Error", "Redirect", "NotFound", "ServeFile":
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if pkg, ok := vet.ObjectOf(info, id).(*types.PkgName); ok {
+				return pkg.Imported().Name() == "http"
+			}
+		}
+	}
+	return false
+}
+
+// isResponseWriter reports whether e's type is http.ResponseWriter
+// (matched by type and package name, so stubs work).
+func isResponseWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Name() == "http"
+}
+
+func run(pass *vet.Pass, writers map[*vet.FuncInfo]bool) {
+	if pass.Pkg.Name() == "http" {
+		return // the contract governs module handlers, not http itself (or a stub of it)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd, writers)
+			return false
+		})
+	}
+}
+
+func checkFunc(pass *vet.Pass, fd *ast.FuncDecl, writers map[*vet.FuncInfo]bool) {
+	info := pass.Info
+	canonical := fd.Name.Name == "writeJSON" || fd.Name.Name == "WriteHeader"
+
+	// Syntactic checks over the whole body, closures included.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := vet.CalleeName(call)
+		if name == "Error" && directHeaderWrite(info, call) {
+			pass.Report(call.Pos(), "http.Error sends a text/plain body: emit the canonical JSON error via writeJSON")
+		}
+		if name == "WriteHeader" && !canonical {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isResponseWriter(info, sel.X) {
+				pass.Report(call.Pos(), "naked WriteHeader outside the canonical helper: the status arrives without the JSON error body")
+			}
+		}
+		checkStatusArg(pass, call, name)
+		return true
+	})
+
+	// Double-write: forward may-analysis over the CFG.
+	checkDoubleWrite(pass, fd.Body, writers)
+}
+
+// checkStatusArg flags bare integer literals as status arguments.
+func checkStatusArg(pass *vet.Pass, call *ast.CallExpr, name string) {
+	var arg ast.Expr
+	switch {
+	case name == "WriteHeader" && len(call.Args) == 1:
+		arg = call.Args[0]
+	case name == "writeJSON" && len(call.Args) >= 2:
+		arg = call.Args[1]
+	default:
+		return
+	}
+	if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok {
+		pass.Report(arg.Pos(), "status %s must be a named constant (http.StatusXxx): the registered status surface stays greppable", lit.Value)
+	}
+}
+
+// checkDoubleWrite reports calls that may commit the response status
+// after a path has already committed it.
+func checkDoubleWrite(pass *vet.Pass, body *ast.BlockStmt, writers map[*vet.FuncInfo]bool) {
+	cfg := vet.NewCFG(body)
+
+	nodeWrites := func(n ast.Node) ast.Node {
+		var site ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if site != nil {
+				return false
+			}
+			if _, ok := c.(*ast.FuncLit); ok {
+				return false // runs on its own schedule
+			}
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if directHeaderWrite(pass.Info, call) {
+				site = call
+				return false
+			}
+			if fn := vet.CalleeFunc(pass.Info, call); fn != nil {
+				if fi := pass.Graph.Lookup(fn); fi != nil && writers[fi] {
+					site = call
+					return false
+				}
+			}
+			return true
+		})
+		return site
+	}
+
+	// in[b] = OR over predecessors' out; out computed by scanning nodes.
+	preds := make(map[*vet.Block][]*vet.Block)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	in := make(map[*vet.Block]bool)
+	out := make(map[*vet.Block]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			st := false
+			for _, p := range preds[b] {
+				st = st || out[p]
+			}
+			in[b] = st
+			for _, n := range b.Nodes {
+				if nodeWrites(n) != nil {
+					st = true
+				}
+			}
+			if st != out[b] {
+				out[b] = st
+				changed = true
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		st := in[b]
+		for _, n := range b.Nodes {
+			site := nodeWrites(n)
+			if site == nil {
+				continue
+			}
+			if st {
+				pass.Report(site.Pos(), "response status may already be committed on this path: write once, then return")
+			}
+			st = true
+		}
+	}
+}

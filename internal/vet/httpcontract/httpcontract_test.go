@@ -1,0 +1,12 @@
+package httpcontract_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/httpcontract"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestHTTPContract(t *testing.T) {
+	vettest.Run(t, "testdata", httpcontract.New)
+}

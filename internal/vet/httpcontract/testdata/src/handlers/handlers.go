@@ -1,0 +1,78 @@
+// Fixture: the three contract violations — text/plain http.Error,
+// naked WriteHeader, double write on a path (direct and through a
+// helper) — plus a literal status code, next to the compliant shapes.
+package handlers
+
+import "http"
+
+type errorResponse struct {
+	Error string
+}
+
+// writeJSON is the canonical helper: its own WriteHeader is exempt.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+func handlePlainText(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http.Error sends a text/plain body`
+}
+
+func handleNaked(w http.ResponseWriter, ok bool) {
+	if !ok {
+		w.WriteHeader(http.StatusNotFound) // want `naked WriteHeader outside the canonical helper`
+		return
+	}
+	writeJSON(w, http.StatusOK, nil)
+}
+
+func handleLiteral(w http.ResponseWriter) {
+	writeJSON(w, 418, nil) // want `status 418 must be a named constant`
+}
+
+// handleDouble forgets the return after the error write: the happy
+// path write may land on a response whose status is already committed.
+func handleDouble(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	}
+	writeJSON(w, http.StatusOK, nil) // want `response status may already be committed on this path`
+}
+
+// writeErr commits the status through one level of indirection.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+}
+
+func handleHelperDouble(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeErr(w, err)
+	}
+	writeJSON(w, http.StatusOK, nil) // want `response status may already be committed on this path`
+}
+
+// handleChecked returns after its error write: no finding.
+func handleChecked(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, nil)
+}
+
+// handleSwitch writes exactly once per exclusive branch: no finding.
+func handleSwitch(w http.ResponseWriter, code int) {
+	switch code {
+	case 1:
+		writeJSON(w, http.StatusNotFound, errorResponse{"missing"})
+	default:
+		writeJSON(w, http.StatusOK, nil)
+	}
+}
+
+// handleWaived shows the suppression path for a deliberate raw write
+// (a streaming response, say).
+func handleWaived(w http.ResponseWriter) {
+	//itreevet:ignore httpcontract streaming response commits the status before the first chunk
+	w.WriteHeader(http.StatusOK)
+}

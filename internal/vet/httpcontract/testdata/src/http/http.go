@@ -1,0 +1,25 @@
+// Package http is a stub with the names the analyzer matches on:
+// ResponseWriter, WriteHeader, Error, and the Status constants.
+package http
+
+type ResponseWriter interface {
+	WriteHeader(status int)
+	Write(b []byte) (int, error)
+}
+
+type Request struct {
+	Method string
+}
+
+const (
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusTeapot              = 418
+	StatusInternalServerError = 500
+)
+
+func Error(w ResponseWriter, msg string, code int) {
+	w.WriteHeader(code)
+	w.Write([]byte(msg))
+}

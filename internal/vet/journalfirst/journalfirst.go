@@ -68,7 +68,7 @@ func run(pass *vet.Pass) {
 }
 
 func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {
-	recv := receiverObject(pass.Info, fn)
+	recv := vet.DeclReceiver(pass.Info, fn)
 	if recv == nil {
 		return // free functions hold no guarded state of their own
 	}
@@ -122,7 +122,7 @@ func journalAppends(info *types.Info, body *ast.BlockStmt) []appendSite {
 				if !ok || !isJournalAppend(info, call) {
 					return true
 				}
-				site := appendSite{call: call, name: calleeName(call)}
+				site := appendSite{call: call, name: vet.CalleeName(call)}
 				site.errHandled, site.rollback = errHandling(info, stmt, i, list, call)
 				sites = append(sites, site)
 				return true
@@ -192,7 +192,7 @@ func assignedError(info *types.Info, s *ast.AssignStmt, call *ast.CallExpr) *ast
 		if !ok || id.Name == "_" {
 			return nil
 		}
-		if o := vet.ObjectOf(info, id); o != nil && o.Type() != nil && isErrorType(o.Type()) {
+		if o := vet.ObjectOf(info, id); o != nil && o.Type() != nil && vet.IsErrorType(o.Type()) {
 			return id
 		}
 		return nil
@@ -230,7 +230,7 @@ func containsRollback(body *ast.BlockStmt) bool {
 		if !ok {
 			return true
 		}
-		if rollbackName.MatchString(calleeName(call)) {
+		if rollbackName.MatchString(vet.CalleeName(call)) {
 			found = true
 			return false
 		}
@@ -303,26 +303,4 @@ func isJournalAppend(info *types.Info, call *ast.CallExpr) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Writer" && obj.Pkg() != nil && obj.Pkg().Name() == "journal"
-}
-
-func calleeName(call *ast.CallExpr) string {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fun.Name
-	case *ast.SelectorExpr:
-		return fun.Sel.Name
-	}
-	return ""
-}
-
-func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
-		return nil
-	}
-	return info.Defs[fn.Recv.List[0].Names[0]]
-}
-
-func isErrorType(t types.Type) bool {
-	n, ok := t.(*types.Named)
-	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
 }

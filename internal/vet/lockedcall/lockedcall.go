@@ -62,7 +62,7 @@ func run(pass *vet.Pass) {
 // checkFunc applies both contract directions to one top-level
 // function and every function literal nested in it.
 func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {
-	recvObj := receiverObject(pass.Info, fn)
+	recvObj := vet.DeclReceiver(pass.Info, fn)
 	isLocked := strings.HasSuffix(fn.Name.Name, "Locked") && recvObj != nil
 
 	// Direction 1: a *Locked method must not touch its own mutex.
@@ -175,15 +175,6 @@ func acquiresBefore(info *types.Info, body *ast.BlockStmt, obj types.Object, lim
 		return true
 	})
 	return found
-}
-
-// receiverObject returns the object of fn's receiver identifier, or
-// nil for plain functions and anonymous receivers.
-func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
-		return nil
-	}
-	return info.Defs[fn.Recv.List[0].Names[0]]
 }
 
 func typeOf(info *types.Info, e ast.Expr) types.Type {

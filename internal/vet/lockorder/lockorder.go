@@ -1,0 +1,233 @@
+// Package lockorder detects potential deadlocks: it builds the
+// module-wide lock acquisition graph — one node per mutex class (a
+// struct field like store.shard.mu or audit.Auditor.scanMu, or a
+// package-level mutex), one edge A → B whenever B is acquired, or a
+// function that may acquire B is called, while A is held — and
+// reports every cycle. Edges are collected both from direct nesting
+// inside one function body and transitively through the call graph
+// (a helper that locks on the caller's behalf contributes the same
+// edge as inline code would), so an AB/BA inversion split across
+// packages is still one finding.
+//
+// The analyzer is module-wide: it consumes the shared call graph and
+// reports from Finish. Construct a fresh instance per run.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"incentivetree/internal/vet"
+)
+
+// New returns a fresh analyzer instance.
+func New() *vet.Analyzer {
+	var (
+		fset  *token.FileSet
+		graph *vet.Graph
+		pkgs  []*vet.Package
+	)
+	return &vet.Analyzer{
+		Name: "lockorder",
+		Doc:  "mutex classes are acquired in one global order: any cycle in the module-wide acquisition graph is a potential deadlock",
+		Run: func(pass *vet.Pass) {
+			// All state is module-wide; the first pass pins the shared
+			// structures and Finish does the work.
+			if graph == nil {
+				fset, graph, pkgs = pass.Fset, pass.Graph, pass.Pkgs
+			}
+		},
+		Finish: func(report func(pos token.Position, format string, args ...any)) {
+			if graph == nil {
+				return
+			}
+			analyze(fset, graph, pkgs, report)
+		},
+	}
+}
+
+// lockEdge is one ordered acquisition A (held) → B (taken).
+type lockEdge struct{ from, to vet.LockClass }
+
+// evidence is the first-seen witness of an edge.
+type evidence struct {
+	pos  token.Position
+	desc string
+}
+
+func analyze(fset *token.FileSet, graph *vet.Graph, pkgs []*vet.Package, report func(pos token.Position, format string, args ...any)) {
+	lf := vet.NewLockFacts(graph, pkgs)
+
+	edges := make(map[lockEdge]evidence)
+	var order []lockEdge // first-seen, for deterministic reporting
+	addEdge := func(from, to vet.LockClass, pos token.Position, desc string) {
+		e := lockEdge{from, to}
+		if _, ok := edges[e]; ok {
+			return
+		}
+		edges[e] = evidence{pos: pos, desc: desc}
+		order = append(order, e)
+	}
+
+	for _, fi := range graph.Funcs() {
+		fn := fi.Func.Pkg().Name() + "." + fi.Func.Name()
+		lf.WalkHeld(fi, func(ev vet.HeldEvent) {
+			pos := fset.Position(ev.Site.Pos())
+			switch {
+			case ev.Acq != nil:
+				for _, h := range ev.Held {
+					if h.Class == ev.Acq.Class && h.Read && ev.Acq.Read {
+						// Nested read locks of one class cannot invert an
+						// order on their own (writer starvation is real but
+						// is not an ordering cycle).
+						continue
+					}
+					addEdge(h.Class, ev.Acq.Class, pos,
+						fmt.Sprintf("%s acquired while holding %s in %s", ev.Acq.Class, h.Class, fn))
+				}
+			case ev.Callee != nil:
+				callee := ev.Callee.Func.Pkg().Name() + "." + ev.Callee.Func.Name()
+				for _, c := range lf.May(ev.Callee) {
+					for _, h := range ev.Held {
+						addEdge(h.Class, c, pos,
+							fmt.Sprintf("call to %s (which may acquire %s) while holding %s in %s", callee, c, h.Class, fn))
+					}
+				}
+			}
+		})
+	}
+
+	reportCycles(edges, order, report)
+}
+
+// reportCycles finds the strongly connected components of the
+// acquisition graph and reports one finding per cyclic component,
+// anchored at the first-seen edge inside it.
+func reportCycles(edges map[lockEdge]evidence, order []lockEdge, report func(pos token.Position, format string, args ...any)) {
+	succs := make(map[vet.LockClass][]vet.LockClass)
+	nodes := make(map[vet.LockClass]bool)
+	for _, e := range order {
+		succs[e.from] = append(succs[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+
+	sccOf := tarjan(nodes, succs)
+	reported := make(map[int]bool)
+	for _, e := range order {
+		id := sccOf[e.from]
+		if reported[id] {
+			continue
+		}
+		// A self edge (re-acquiring a held class) is a cycle on its own;
+		// otherwise two classes cycle iff they share a component.
+		if e.from != e.to && id != sccOf[e.to] {
+			continue
+		}
+		reported[id] = true
+		ev := edges[e]
+		report(ev.pos, "lock acquisition cycle: %s; %s", renderCycle(e, sccOf, succs), ev.desc)
+	}
+}
+
+// renderCycle walks from e.from back to itself inside its component,
+// preferring e.to as the first hop, and renders "A → B → A".
+func renderCycle(e lockEdge, sccOf map[vet.LockClass]int, succs map[vet.LockClass][]vet.LockClass) string {
+	id := sccOf[e.from]
+	names := []string{e.from.String()}
+	if e.from == e.to {
+		return e.from.String() + " → " + e.from.String()
+	}
+	// BFS from e.to back to e.from staying inside the component.
+	prev := map[vet.LockClass]vet.LockClass{}
+	seen := map[vet.LockClass]bool{e.to: true}
+	queue := []vet.LockClass{e.to}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == e.from {
+			break
+		}
+		for _, s := range succs[n] {
+			if sccOf[s] != id || seen[s] {
+				continue
+			}
+			seen[s] = true
+			prev[s] = n
+			queue = append(queue, s)
+		}
+	}
+	var back []string
+	for n := e.from; n != e.to; n = prev[n] {
+		back = append(back, n.String())
+		if _, ok := prev[n]; !ok && n != e.to {
+			break
+		}
+	}
+	back = append(back, e.to.String())
+	for i := len(back) - 1; i >= 0; i-- {
+		names = append(names, back[i])
+	}
+	return strings.Join(names, " → ")
+}
+
+// tarjan assigns a component id to every node. Iteration order is
+// deterministic (nodes sorted by rendered name, then position).
+func tarjan(nodes map[vet.LockClass]bool, succs map[vet.LockClass][]vet.LockClass) map[vet.LockClass]int {
+	sorted := make([]vet.LockClass, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.String() != b.String() {
+			return a.String() < b.String()
+		}
+		return a.Obj.Pos() < b.Obj.Pos()
+	})
+
+	index := make(map[vet.LockClass]int)
+	low := make(map[vet.LockClass]int)
+	onStack := make(map[vet.LockClass]bool)
+	sccOf := make(map[vet.LockClass]int)
+	var stack []vet.LockClass
+	next, comp := 0, 0
+
+	var strongconnect func(v vet.LockClass)
+	strongconnect = func(v vet.LockClass) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = comp
+				if w == v {
+					break
+				}
+			}
+			comp++
+		}
+	}
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccOf
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"incentivetree/internal/vet/lockorder"
+	"incentivetree/internal/vet/vettest"
+)
+
+func TestLockOrder(t *testing.T) {
+	vettest.Run(t, "testdata", lockorder.New)
+}

@@ -1,0 +1,135 @@
+// Fixture: an AB/BA lock inversion inside one package, a transitive
+// inversion through a helper, a self re-acquisition, and a pair of
+// functions that nest consistently (no finding).
+package cycle
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Forward nests B under A — the first-seen edge of the A/B cycle, so
+// the finding anchors here.
+func Forward(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock acquisition cycle: cycle.A.mu → cycle.B.mu → cycle.A.mu`
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+// Backward nests A under B: the inversion that closes the cycle.
+func Backward(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.n++
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Outer holds C.mu across a call to bumpD; Inner holds D.mu across a
+// call to bumpC. The cycle only exists through the call graph.
+func Outer(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bumpD(d) // want `lock acquisition cycle: cycle.C.mu → cycle.D.mu → cycle.C.mu`
+	c.n++
+}
+
+func Inner(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bumpC(c)
+	d.n++
+}
+
+func bumpC(c *C) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func bumpD(d *D) {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Reenter calls a helper that re-acquires the mutex it already holds:
+// a guaranteed self-deadlock, the class lockedcall's *Locked contract
+// exists to prevent.
+func Reenter(e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bumpE(e) // want `lock acquisition cycle: cycle.E.mu → cycle.E.mu`
+}
+
+func bumpE(e *E) {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+}
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+// OrderedOne and OrderedTwo both nest G under F — a consistent global
+// order, so no finding.
+func OrderedOne(f *F, g *G) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func OrderedTwo(f *F, g *G) {
+	f.mu.Lock()
+	g.mu.Lock()
+	f.n++
+	g.n++
+	g.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// Sequential locks the same classes one after another — never nested,
+// so no edge and no finding.
+func Sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

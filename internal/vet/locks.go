@@ -1,0 +1,360 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The may-hold-lock layer: mutexes are classified by their declaring
+// object (a struct field like server.Server.mu, audit.Auditor.scanMu,
+// or a package-level var), each function's direct acquisitions are
+// discovered by an in-order body walk that tracks Lock/Unlock pairing,
+// and a fixpoint over the call graph summarizes which classes each
+// function may acquire transitively. lockorder builds its acquisition
+// graph from these facts; any analyzer can ask "which locks may a call
+// to f take?".
+
+// LockClass identifies a mutex by declaration site: the *types.Var of
+// the struct field or package-level variable holding it. Two stripes
+// of the same field (shards[i].mu, shards[j].mu) share a class — the
+// coarseness that makes cross-instance ordering checkable at all.
+type LockClass struct {
+	Obj *types.Var
+}
+
+// String renders pkg.Type.field (or pkg.var) for findings.
+func (c LockClass) String() string {
+	obj := c.Obj
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Name() + "."
+	}
+	if obj.IsField() {
+		// Walk the scope for the named type owning the field is not
+		// recorded on the Var; render via the field's parent when known.
+		if owner := fieldOwner(obj); owner != "" {
+			return pkg + owner + "." + obj.Name()
+		}
+	}
+	return pkg + obj.Name()
+}
+
+// lockOwners caches field → owning named type names, filled by
+// NewLockFacts from the loaded packages' type declarations.
+var lockOwnerNames = map[*types.Var]string{}
+
+func fieldOwner(v *types.Var) string { return lockOwnerNames[v] }
+
+// Acquire is one Lock/RLock/TryLock call on a classified mutex.
+type Acquire struct {
+	Class LockClass
+	Call  *ast.CallExpr
+	// Read marks RLock/TryRLock acquisitions.
+	Read bool
+	// Root is the object at the base of the selector (the receiver or
+	// variable the mutex was reached through), nil when unresolvable.
+	Root types.Object
+}
+
+// LockFacts holds per-function lock acquisition facts over one graph.
+type LockFacts struct {
+	graph *Graph
+	// direct lists each function's own acquisitions in body order.
+	direct map[*FuncInfo][]Acquire
+	// summary maps each function to every class it may acquire
+	// synchronously: itself or transitively through direct module
+	// calls. Ref edges (value references, go launches) and function
+	// literals are excluded — their acquisitions happen on another
+	// schedule and cannot create hold-and-wait with the caller.
+	summary map[*FuncInfo]map[LockClass]bool
+}
+
+// NewLockFacts discovers mutex classes and computes acquisition
+// summaries for every function in the graph.
+func NewLockFacts(g *Graph, pkgs []*Package) *LockFacts {
+	// Record field → owner names for rendering.
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if IsMutex(f.Type()) {
+					lockOwnerNames[f] = tn.Name()
+				}
+			}
+		}
+	}
+
+	lf := &LockFacts{
+		graph:   g,
+		direct:  make(map[*FuncInfo][]Acquire),
+		summary: make(map[*FuncInfo]map[LockClass]bool),
+	}
+	for _, fi := range g.Funcs() {
+		lf.direct[fi] = directAcquires(fi)
+	}
+	lf.fixpoint()
+	return lf
+}
+
+// directAcquires lists fn's own synchronous classified acquisitions
+// in source order. Function literals are excluded: a closure acquires
+// when it runs (a gauge scrape, a stored handler), not when its
+// creator does.
+func directAcquires(fi *FuncInfo) []Acquire {
+	info := fi.Pkg.Info
+	var out []Acquire
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, root, acquired, ok := mutexOp(info, call)
+		if !ok || !acquired {
+			return true
+		}
+		cls := classOf(info, call)
+		if cls.Obj == nil {
+			return true
+		}
+		out = append(out, Acquire{Class: cls, Call: call, Read: name == "RLock" || name == "TryRLock", Root: root})
+		return true
+	})
+	return out
+}
+
+// Direct returns fn's own acquisitions in body order.
+func (lf *LockFacts) Direct(fi *FuncInfo) []Acquire { return lf.direct[fi] }
+
+// May returns every lock class fn may acquire, directly or through
+// module calls, in deterministic (name, then position) order.
+func (lf *LockFacts) May(fi *FuncInfo) []LockClass {
+	m := lf.summary[fi]
+	out := make([]LockClass, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.String() != b.String() {
+			return a.String() < b.String()
+		}
+		return a.Obj.Pos() < b.Obj.Pos()
+	})
+	return out
+}
+
+// fixpoint propagates acquisition summaries along call edges until
+// stable (the call graph has cycles).
+func (lf *LockFacts) fixpoint() {
+	for _, fi := range lf.graph.Funcs() {
+		m := make(map[LockClass]bool)
+		for _, a := range lf.direct[fi] {
+			m[a.Class] = true
+		}
+		lf.summary[fi] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range lf.graph.Funcs() {
+			m := lf.summary[fi]
+			for _, e := range fi.Edges {
+				if e.Ref {
+					continue // runs on its own schedule
+				}
+				for c := range lf.summary[e.Callee] {
+					if !m[c] {
+						m[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// HeldEvent is one observation made while at least one lock is held:
+// either a further direct acquisition (Acq non-nil) or a call to a
+// module function (Callee non-nil) that may acquire transitively.
+type HeldEvent struct {
+	// Held lists the acquisitions in force, outermost first.
+	Held []Acquire
+	// Site is the acquiring call or the call expression.
+	Site ast.Node
+	// Acq is set for direct acquisitions.
+	Acq *Acquire
+	// Callee is set for resolved module calls.
+	Callee *FuncInfo
+}
+
+// WalkHeld walks fn's body in source order tracking which classified
+// mutexes are held — Lock/RLock/TryLock acquires; a textual
+// Unlock/RUnlock on the same root releases; `defer mu.Unlock()` holds
+// to function end — and invokes visit for every further acquisition
+// and every resolved synchronous module call made under a lock.
+// Function literals get their own walk with a fresh held-state (they
+// run on their own schedule, not under their creator's locks), and
+// go-launched calls are skipped entirely: a goroutine blocking on a
+// held mutex is contention, not hold-and-wait.
+func (lf *LockFacts) WalkHeld(fi *FuncInfo, visit func(ev HeldEvent)) {
+	var bodies []*ast.BlockStmt
+	bodies = append(bodies, fi.Decl.Body)
+	for len(bodies) > 0 {
+		body := bodies[0]
+		bodies = bodies[1:]
+		bodies = append(bodies, lf.walkBody(fi, body, visit)...)
+	}
+}
+
+// walkBody tracks held locks through one body (skipping nested
+// literals, which it returns for their own walks).
+func (lf *LockFacts) walkBody(fi *FuncInfo, body *ast.BlockStmt, visit func(ev HeldEvent)) []*ast.BlockStmt {
+	info := fi.Pkg.Info
+	var held []Acquire
+	var nested []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			nested = append(nested, x.Body)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				nested = append(nested, lit.Body)
+			}
+			return false
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at return; the lock stays held for
+			// the rest of the walk. Skip so it is not mistaken for a
+			// textual release.
+			if cls, _, _, ok := mutexOp(info, x.Call); ok && !lockAcquireNames[cls] {
+				return false
+			}
+		case *ast.CallExpr:
+			name, root, acquired, ok := mutexOp(info, x)
+			if !ok {
+				// A module call made under a lock.
+				if len(held) > 0 {
+					if callee := CalleeFunc(info, x); callee != nil {
+						if ti := lf.graph.Lookup(callee); ti != nil {
+							visit(HeldEvent{Held: append([]Acquire(nil), held...), Site: x, Callee: ti})
+						}
+					}
+				}
+				return true
+			}
+			if acquired {
+				acq := Acquire{Class: classOf(info, x), Call: x, Read: name == "RLock" || name == "TryRLock", Root: root}
+				if acq.Class.Obj == nil {
+					return true
+				}
+				if len(held) > 0 {
+					a := acq
+					visit(HeldEvent{Held: append([]Acquire(nil), held...), Site: x, Acq: &a})
+				}
+				held = append(held, acq)
+				return true
+			}
+			// Textual release: drop the innermost held entry on the same
+			// root (or same class when the root is unresolvable).
+			for i := len(held) - 1; i >= 0; i-- {
+				sameRoot := held[i].Root != nil && held[i].Root == root
+				sameClass := held[i].Class == classOf(info, x)
+				if sameRoot || (root == nil && sameClass) {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+	return nested
+}
+
+// lockAcquireNames are the sync methods that acquire.
+var lockAcquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+// lockReleaseNames are the sync methods that release.
+var lockReleaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// mutexOp classifies call as a mutex operation: its method name, the
+// root object the mutex was reached through, and whether it acquires.
+func mutexOp(info *types.Info, call *ast.CallExpr) (name string, root types.Object, acquired bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false, false
+	}
+	name = sel.Sel.Name
+	if !lockAcquireNames[name] && !lockReleaseNames[name] {
+		return "", nil, false, false
+	}
+	if tv, okT := info.Types[sel.X]; !okT || !IsMutex(tv.Type) {
+		return "", nil, false, false
+	}
+	if id := RootIdent(sel.X); id != nil {
+		root = ObjectOf(info, id)
+	}
+	return name, root, lockAcquireNames[name], true
+}
+
+// classOf resolves the mutex class of a Lock/Unlock call: the declared
+// field or variable at the end of the selector chain.
+func classOf(info *types.Info, call *ast.CallExpr) LockClass {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockClass{}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): the field Var of .mu
+		if s, ok := info.Selections[x]; ok {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return LockClass{Obj: v}
+			}
+		}
+		if v, ok := ObjectOf(info, x.Sel).(*types.Var); ok {
+			return LockClass{Obj: v}
+		}
+	case *ast.Ident:
+		// mu.Lock(): package-level or local mutex variable. Embedded
+		// mutexes (s.Lock()) also land here with x naming the receiver —
+		// resolve to whatever Var the identifier is.
+		if v, ok := ObjectOf(info, x).(*types.Var); ok {
+			return LockClass{Obj: v}
+		}
+	case *ast.IndexExpr:
+		// shards[i].mu handled by the SelectorExpr arm above (sel.X is the
+		// selector); a bare indexed mutex mus[i].Lock() resolves to the
+		// slice/array variable.
+		if id := RootIdent(x); id != nil {
+			if v, ok := ObjectOf(info, id).(*types.Var); ok {
+				return LockClass{Obj: v}
+			}
+		}
+	}
+	return LockClass{}
+}
+
+// DescribeAcquire renders an acquisition for findings.
+func DescribeAcquire(a Acquire) string {
+	op := "Lock"
+	if a.Read {
+		op = "RLock"
+	}
+	return fmt.Sprintf("%s.%s()", a.Class, op)
+}

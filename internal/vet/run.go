@@ -33,6 +33,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 
+	graph := NewGraph(fset, pkgs)
 	for _, a := range analyzers {
 		for _, p := range pkgs {
 			pass := &Pass{
@@ -40,6 +41,8 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
 				Pkg:    p.Types,
 				Files:  p.Files,
 				Info:   p.Info,
+				Graph:  graph,
+				Pkgs:   pkgs,
 				report: report,
 				name:   a.Name,
 			}

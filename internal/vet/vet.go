@@ -49,6 +49,13 @@ type Pass struct {
 	Files []*ast.File
 	Info  *types.Info
 
+	// Graph is the module-wide call graph over every loaded package,
+	// built once per run and shared by all passes. Pkgs is the full
+	// loaded set in pass order. Together they are the substrate for
+	// cross-package dataflow analyzers (lockorder, followerwrite).
+	Graph *Graph
+	Pkgs  []*Package
+
 	report func(d Diagnostic)
 	name   string
 }
