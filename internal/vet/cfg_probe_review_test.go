@@ -1,0 +1,44 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// Probe: unlabeled continue inside a switch inside a for loop.
+func TestReviewProbeContinueInSwitch(t *testing.T) {
+	src := `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		switch i {
+		case 1:
+			continue
+		}
+	}
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := NewCFG(fd.Body)
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok || br.Tok != token.CONTINUE {
+				continue
+			}
+			for _, s := range b.Succs {
+				if s == cfg.Exit {
+					t.Errorf("continue block %d has an edge to Exit (should go to the loop head/post)", b.Index)
+				}
+			}
+			if len(b.Succs) == 0 {
+				t.Errorf("continue block %d has no successors", b.Index)
+			}
+		}
+	}
+}
